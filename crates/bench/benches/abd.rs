@@ -1,0 +1,43 @@
+//! Bench: ABD register emulation — operation cost vs system size and
+//! sharer count (the E11 series).
+//!
+//! Expected shape: cost per operation grows with `n` (quorums get
+//! bigger) and with `|S|` (more concurrent clients contending), and a
+//! register op is *never* cheaper than a set-agreement decision at the
+//! same `n` — sharing is harder than agreeing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sih::model::{FailurePattern, ProcessId, ProcessSet};
+use sih::pipeline;
+use sih::registers::WorkloadSpec;
+use std::hint::black_box;
+
+fn bench_abd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_register");
+    group.sample_size(10);
+    for n in [3usize, 5, 8] {
+        for s_size in [2usize, 3] {
+            let s: ProcessSet = (0..s_size as u32).map(ProcessId).collect();
+            let id = format!("n{n}_s{s_size}");
+            group.bench_with_input(BenchmarkId::new("workload", id), &n, |b, &n| {
+                let f = FailurePattern::all_correct(n);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let spec = WorkloadSpec { ops_per_process: 4, read_ratio: 0.5, seed };
+                    black_box(pipeline::run_register_workload(
+                        &f,
+                        s,
+                        spec.scripts(s),
+                        seed,
+                        600_000,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abd);
+criterion_main!(benches);

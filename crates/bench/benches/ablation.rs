@@ -1,0 +1,87 @@
+//! Ablation bench: the simulator design choices DESIGN.md calls out.
+//!
+//! * **Scheduler fairness mechanism** — FairScheduler's delivery
+//!   probability and anti-starvation bounds vs plain round-robin: how
+//!   much schedule adversity costs in time-to-decision.
+//! * **Delivery skew** — old-message bias on vs off (the `min(a, b)`
+//!   two-draw trick) affects how long messages linger.
+//!
+//! Expected shape: round-robin is the fastest (synchronous-like);
+//! lowering the delivery probability stretches runs roughly in
+//! proportion; the bounds put a ceiling on the stretch (reliability is
+//! preserved at any probability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sih::agreement::{distinct_proposals, fig2_processes};
+use sih::detectors::Sigma;
+use sih::model::{FailurePattern, ProcessId};
+use sih::runtime::{FairScheduler, RoundRobinScheduler, Simulation};
+use std::hint::black_box;
+
+fn run_with_fair(n: usize, seed: u64, deliver_prob: f64) -> u64 {
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed);
+    let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern);
+    let mut sched = FairScheduler::new(seed).with_deliver_prob(deliver_prob);
+    sim.run(&mut sched, &sigma, 600_000);
+    sim.trace().total_steps()
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_ablation");
+    group.sample_size(10);
+    let n = 6;
+
+    group.bench_function("round_robin", |b| {
+        let pattern = FailurePattern::all_correct(n);
+        let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+            let mut sched = RoundRobinScheduler::new();
+            sim.run(&mut sched, &sigma, 600_000);
+            black_box(sim.trace().total_steps())
+        });
+    });
+
+    for prob in [0.9f64, 0.5, 0.2] {
+        group.bench_with_input(
+            BenchmarkId::new("fair_deliver_prob", format!("{prob:.1}")),
+            &prob,
+            |b, &prob| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_with_fair(n, seed, prob))
+                });
+            },
+        );
+    }
+
+    for (starve, deliver) in [(16u64, 24u64), (64, 96), (256, 384)] {
+        group.bench_with_input(
+            BenchmarkId::new("fair_bounds", format!("s{starve}_d{deliver}")),
+            &(starve, deliver),
+            |b, &(starve, deliver)| {
+                let pattern = FailurePattern::all_correct(n);
+                let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 2);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim = Simulation::new(
+                        fig2_processes(&distinct_proposals(n)),
+                        pattern.clone(),
+                    );
+                    let mut sched =
+                        FairScheduler::new(seed).with_bounds(starve, deliver);
+                    sim.run(&mut sched, &sigma, 600_000);
+                    black_box(sim.trace().total_steps())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_ablation);
+criterion_main!(benches);

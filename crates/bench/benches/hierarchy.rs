@@ -1,0 +1,25 @@
+//! Bench: the full Figure 1 matrix — end-to-end cost of machine-checking
+//! every row of the paper's results figure at a small reference size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sih::claims::{check_claim, Claim, ClaimConfig};
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_matrix");
+    group.sample_size(10);
+    let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+    for claim in Claim::ALL {
+        group.bench_function(claim.title(), |b| {
+            b.iter(|| {
+                let outcome = check_claim(black_box(claim), &cfg);
+                assert!(outcome.verdict.confirmed());
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

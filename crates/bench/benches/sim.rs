@@ -1,0 +1,76 @@
+//! Bench: raw simulator throughput (steps/second) and bounded exhaustive
+//! exploration — the engine-health series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sih::model::{FailurePattern, NoDetector, ProcessId, Value};
+use sih::runtime::{explore, Automaton, Effects, FairScheduler, Simulation, StepInput};
+use std::hint::black_box;
+
+/// A minimal chattering automaton: every step, send one message to the
+/// next process and consume whatever arrives.
+#[derive(Clone, Debug, Default)]
+struct Chatter;
+
+impl Automaton for Chatter {
+    type Msg = u64;
+    fn step(&mut self, input: StepInput<u64>, eff: &mut Effects<u64>) {
+        let next = ProcessId((input.me.0 + 1) % input.n as u32);
+        eff.send(next, input.now.0);
+    }
+}
+
+/// Decides after two steps (for exploration benches).
+#[derive(Clone, Debug, Default)]
+struct TwoStep {
+    steps: u32,
+}
+
+impl Automaton for TwoStep {
+    type Msg = u8;
+    fn step(&mut self, input: StepInput<u8>, eff: &mut Effects<u8>) {
+        self.steps += 1;
+        if self.steps == 2 {
+            eff.decide(Value::of_process(input.me));
+            eff.halt();
+        }
+    }
+    fn halted(&self) -> bool {
+        self.steps >= 2
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    const STEPS: u64 = 50_000;
+    group.throughput(Throughput::Elements(STEPS));
+    for n in [4usize, 16, 48] {
+        group.bench_with_input(BenchmarkId::new("chatter_steps", n), &n, |b, &n| {
+            b.iter(|| {
+                let f = FailurePattern::all_correct(n);
+                let mut sim = Simulation::new(vec![Chatter; n], f);
+                let mut sched = FairScheduler::new(7);
+                black_box(sim.run(&mut sched, &NoDetector, STEPS))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_exploration");
+    group.sample_size(10);
+    for depth in [4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("two_step_n3", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let f = FailurePattern::all_correct(3);
+                let sim = Simulation::new(vec![TwoStep::default(); 3], f);
+                let mut check = |_: &Simulation<TwoStep>| Ok(());
+                black_box(explore(&sim, &NoDetector, depth, usize::MAX, &mut check))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_exploration);
+criterion_main!(benches);

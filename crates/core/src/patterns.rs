@@ -1,0 +1,128 @@
+//! Failure-pattern suites: the deterministic-plus-sampled set of patterns
+//! the experiments sweep over.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sih_model::{FailurePattern, ProcessId, ProcessSet, Time};
+
+/// Builds a suite of failure patterns for an `n`-process system:
+///
+/// * the failure-free pattern;
+/// * "only the members of `focus` are correct" (the non-triviality
+///   triggers of `σ`/`σ_k`);
+/// * "exactly one member of `focus` is correct" (the hardest liveness
+///   cases of Figures 2/4/6);
+/// * `extra_random` seeded random patterns (each process crashes with
+///   probability ~1/3, at a random time, from-start with probability
+///   ~1/4; at least one correct process always remains).
+///
+/// `focus` is typically the active pair/set of the detector under test.
+pub fn pattern_suite(
+    n: usize,
+    focus: ProcessSet,
+    extra_random: usize,
+    seed: u64,
+) -> Vec<FailurePattern> {
+    let mut suite = vec![FailurePattern::all_correct(n)];
+
+    if !focus.is_empty() && focus.len() < n {
+        // Only `focus` correct.
+        let crashed = ProcessSet::full(n).difference(focus);
+        suite.push(FailurePattern::crashed_from_start(n, crashed));
+    }
+    if let Some(first) = focus.min() {
+        // Exactly one member of `focus` correct.
+        let crashed = ProcessSet::full(n).difference(ProcessSet::singleton(first));
+        if crashed.len() < n {
+            suite.push(FailurePattern::crashed_from_start(n, crashed));
+        }
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for _ in 0..extra_random {
+        suite.push(random_pattern(n, &mut rng));
+    }
+    suite
+}
+
+/// One random failure pattern (at least one correct process).
+pub fn random_pattern(n: usize, rng: &mut ChaCha8Rng) -> FailurePattern {
+    loop {
+        let mut b = FailurePattern::builder(n);
+        let mut any_correct = false;
+        for i in 0..n as u32 {
+            let p = ProcessId(i);
+            if rng.gen_bool(1.0 / 3.0) {
+                if rng.gen_bool(0.25) {
+                    b = b.crash_from_start(p);
+                } else {
+                    b = b.crash_at(p, Time(rng.gen_range(1..120)));
+                }
+            } else {
+                any_correct = true;
+            }
+        }
+        if any_correct {
+            return b.build();
+        }
+    }
+}
+
+/// Random patterns constrained to keep a majority correct (for the
+/// quorum-`Σ` and register experiments).
+pub fn random_majority_pattern(n: usize, rng: &mut ChaCha8Rng) -> FailurePattern {
+    loop {
+        let p = random_pattern(n, rng);
+        if p.has_correct_majority() {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_the_canonical_patterns() {
+        let focus = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let suite = pattern_suite(5, focus, 4, 7);
+        assert_eq!(suite.len(), 3 + 4);
+        assert_eq!(suite[0].correct(), ProcessSet::full(5));
+        assert_eq!(suite[1].correct(), focus);
+        assert_eq!(suite[2].correct(), ProcessSet::singleton(ProcessId(0)));
+        assert!(suite.iter().all(FailurePattern::has_correct_process));
+    }
+
+    #[test]
+    fn random_patterns_always_have_a_correct_process() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(random_pattern(4, &mut rng).has_correct_process());
+        }
+    }
+
+    #[test]
+    fn majority_patterns_keep_a_majority() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..30 {
+            assert!(random_majority_pattern(5, &mut rng).has_correct_majority());
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic_in_seed() {
+        let focus = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let a = pattern_suite(4, focus, 3, 11);
+        let b = pattern_suite(4, focus, 3, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_focus_skips_only_focus_pattern() {
+        let suite = pattern_suite(3, ProcessSet::full(3), 0, 0);
+        // all-correct + one-member-correct only.
+        assert_eq!(suite.len(), 2);
+    }
+}

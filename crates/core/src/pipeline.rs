@@ -1,0 +1,226 @@
+//! Ready-made experiment pipelines: one call = one run of a paper
+//! algorithm (or a stacked reduction) with everything wired up.
+//!
+//! These are the building blocks the claims API, the `lab` harness, the
+//! benches and the examples all share.
+
+use sih_agreement::{distinct_proposals, fig2_processes, fig4_processes, paxos_processes};
+use sih_detectors::{Omega, Sigma, SigmaK, SigmaS};
+use sih_model::{FailurePattern, FdOutput, OpKind, OpRecord, ProcessId, ProcessSet};
+use sih_reductions::{fig3_processes, fig5_processes, fig6_processes};
+use sih_registers::abd_processes;
+use sih_runtime::{FairScheduler, Simulation, Stacked, Trace};
+
+/// Runs Figure 2 (set agreement from `σ`) once; returns the trace.
+pub fn run_fig2(pattern: &FailurePattern, a0: ProcessId, a1: ProcessId, seed: u64, max_steps: u64) -> Trace {
+    let n = pattern.n();
+    let sigma = Sigma::new(a0, a1, pattern, seed);
+    let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &sigma, max_steps);
+    sim.into_trace()
+}
+
+/// Runs Figure 4 (`(n−k)`-set agreement from `σ_2k`) once.
+pub fn run_fig4(pattern: &FailurePattern, active: ProcessSet, seed: u64, max_steps: u64) -> Trace {
+    let n = pattern.n();
+    let det = SigmaK::new(active, pattern, seed);
+    let mut sim = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &det, max_steps);
+    sim.into_trace()
+}
+
+/// Runs Figure 3 (emulating `σ` from `Σ_{p,q}`) once; the trace's
+/// emulated history is the produced `σ` history.
+pub fn run_fig3(pattern: &FailurePattern, p: ProcessId, q: ProcessId, seed: u64, max_steps: u64) -> Trace {
+    let n = pattern.n();
+    let s = ProcessSet::from_iter([p, q]);
+    let det = SigmaS::new(s, pattern, seed);
+    let mut sim = Simulation::new(fig3_processes(n, p, q), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &det, max_steps);
+    sim.into_trace()
+}
+
+/// Runs Figure 5 (emulating `σ_|X|` from `Σ_X`) once.
+pub fn run_fig5(pattern: &FailurePattern, x: ProcessSet, seed: u64, max_steps: u64) -> Trace {
+    let det = SigmaS::new(x, pattern, seed);
+    let mut sim = Simulation::new(fig5_processes(pattern.n(), x), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &det, max_steps);
+    sim.into_trace()
+}
+
+/// Runs Figure 6 (emulating `anti-Ω` from `σ`) once.
+pub fn run_fig6(pattern: &FailurePattern, a0: ProcessId, a1: ProcessId, seed: u64, max_steps: u64) -> Trace {
+    let sigma = Sigma::new(a0, a1, pattern, seed);
+    let mut sim = Simulation::new(fig6_processes(pattern.n()), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &sigma, max_steps);
+    sim.into_trace()
+}
+
+/// Runs the full positive pipeline of Theorem 2: **Figure 2 stacked on
+/// Figure 3** — the set-agreement consumer runs on the `σ` that the
+/// Figure 3 layer emulates live from a real `Σ_{p,q}` history. The
+/// returned trace carries both the decisions (upper layer) and the
+/// emulated `σ` stream (lower layer).
+pub fn run_stack_fig3_fig2(
+    pattern: &FailurePattern,
+    p: ProcessId,
+    q: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> Trace {
+    let n = pattern.n();
+    let s = ProcessSet::from_iter([p, q]);
+    let det = SigmaS::new(s, pattern, seed);
+    let proposals = distinct_proposals(n);
+    let procs: Vec<_> = fig3_processes(n, p, q)
+        .into_iter()
+        .zip(fig2_processes(&proposals))
+        .map(|(lower, upper)| Stacked::new(lower, upper, FdOutput::Bot))
+        .collect();
+    let mut sim = Simulation::new(procs, pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run_until(&mut sched, &det, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    sim.into_trace()
+}
+
+/// The Theorem 8 positive pipeline: **Figure 4 stacked on Figure 5** —
+/// `(n−k)`-set agreement on top of the `σ_2k` emulated from `Σ_X2k`.
+pub fn run_stack_fig5_fig4(
+    pattern: &FailurePattern,
+    x: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> Trace {
+    let n = pattern.n();
+    let det = SigmaS::new(x, pattern, seed);
+    let proposals = distinct_proposals(n);
+    let procs: Vec<_> = fig5_processes(n, x)
+        .into_iter()
+        .zip(fig4_processes(&proposals))
+        .map(|(lower, upper)| Stacked::new(lower, upper, FdOutput::Bot))
+        .collect();
+    let mut sim = Simulation::new(procs, pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run_until(&mut sched, &det, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    sim.into_trace()
+}
+
+/// Runs an ABD `S`-register workload; returns the trace and the operation
+/// records for linearizability checking.
+pub fn run_register_workload(
+    pattern: &FailurePattern,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> (Trace, Vec<OpRecord>) {
+    let n = pattern.n();
+    let det = SigmaS::new(s, pattern, seed);
+    let mut sim = Simulation::new(abd_processes(s, n, scripts), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run_until(&mut sched, &det, max_steps, |sim| {
+        sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+    });
+    let trace = sim.into_trace();
+    let ops = trace.op_records();
+    (trace, ops)
+}
+
+/// Runs the Paxos consensus baseline (`Ω` + majority) once.
+pub fn run_paxos(pattern: &FailurePattern, seed: u64, max_steps: u64) -> Trace {
+    let n = pattern.n();
+    let omega = Omega::new(pattern, seed);
+    let mut sim = Simulation::new(paxos_processes(&distinct_proposals(n)), pattern.clone());
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &omega, max_steps);
+    sim.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sih_agreement::check_k_set_agreement;
+    use sih_detectors::{check_anti_omega, check_sigma, check_sigma_k};
+    use sih_registers::check_linearizable;
+    use sih_model::Value;
+
+    #[test]
+    fn stack_fig3_fig2_solves_set_agreement_end_to_end() {
+        // Theorem 2's positive direction as a single executable pipeline:
+        // a {p,q}-register's detector (Σ_{p,q}) emulates σ (Figure 3),
+        // which solves set agreement (Figure 2).
+        for seed in 0..6 {
+            let f = FailurePattern::all_correct(5);
+            let tr = run_stack_fig3_fig2(&f, ProcessId(0), ProcessId(1), seed, 200_000);
+            check_k_set_agreement(&tr, &f, &distinct_proposals(5), 4).unwrap();
+            // And the lower layer's emulated history is a legal σ history.
+            check_sigma(
+                tr.emulated_history(),
+                &f,
+                ProcessSet::from_iter([0, 1].map(ProcessId)),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn stack_fig3_fig2_with_only_pair_correct() {
+        for seed in 0..6 {
+            let f = FailurePattern::crashed_from_start(
+                5,
+                ProcessSet::from_iter([2, 3, 4].map(ProcessId)),
+            );
+            let tr = run_stack_fig3_fig2(&f, ProcessId(0), ProcessId(1), seed, 200_000);
+            check_k_set_agreement(&tr, &f, &distinct_proposals(5), 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn stack_fig5_fig4_solves_n_minus_k_agreement_end_to_end() {
+        let x = ProcessSet::from_iter([0, 1, 2, 3].map(ProcessId));
+        for seed in 0..6 {
+            let f = FailurePattern::all_correct(6);
+            let tr = run_stack_fig5_fig4(&f, x, seed, 300_000);
+            check_k_set_agreement(&tr, &f, &distinct_proposals(6), 4).unwrap();
+            check_sigma_k(tr.emulated_history(), &f, x).unwrap();
+        }
+    }
+
+    #[test]
+    fn fig6_pipeline_produces_legal_anti_omega() {
+        for seed in 0..6 {
+            let f = FailurePattern::all_correct(4);
+            let tr = run_fig6(&f, ProcessId(0), ProcessId(1), seed, 10_000);
+            check_anti_omega(tr.emulated_history(), &f).unwrap();
+        }
+    }
+
+    #[test]
+    fn register_pipeline_is_linearizable() {
+        let s = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let f = FailurePattern::all_correct(4);
+        let scripts = vec![
+            vec![OpKind::Write(Value(1)), OpKind::Read],
+            vec![OpKind::Read, OpKind::Write(Value(2)), OpKind::Read],
+        ];
+        let (_, ops) = run_register_workload(&f, s, scripts, 3, 200_000);
+        assert_eq!(ops.iter().filter(|o| o.is_complete()).count(), 5);
+        check_linearizable(&ops, None).unwrap();
+    }
+
+    #[test]
+    fn paxos_pipeline_reaches_consensus() {
+        let f = FailurePattern::all_correct(4);
+        let tr = run_paxos(&f, 2, 200_000);
+        check_k_set_agreement(&tr, &f, &distinct_proposals(4), 1).unwrap();
+    }
+}

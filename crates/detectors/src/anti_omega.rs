@@ -1,0 +1,154 @@
+//! The `anti-Ω` failure detector (Zieliński [22]; Appendix of the paper).
+//!
+//! Each query returns a single process id; the specification guarantees
+//! that **some correct process's id is returned only finitely many
+//! times**. `anti-Ω` is the weakest failure detector for set agreement in
+//! shared memory; the paper's appendix proves it does *not* implement set
+//! agreement in message passing (Lemma 15), and that `σ` is strictly
+//! stronger than it (Figure 6 / Lemma 16 + Corollary 17).
+
+use crate::rng::{query_rng, random_member};
+use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};
+
+/// An oracle history of `anti-Ω`, sampled by a seed.
+///
+/// Construction: a *protected* correct process is fixed per run; before
+/// stabilization any id may be returned, after it the returned id is drawn
+/// from `Π \ {protected}` — so the protected id is returned only finitely
+/// many times, as required.
+///
+/// # Example
+///
+/// ```
+/// use sih_detectors::AntiOmega;
+/// use sih_model::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::all_correct(3);
+/// let d = AntiOmega::new(&pattern, 5);
+/// let late = d.output(ProcessId(1), d.stabilization_time() + 3).leader().unwrap();
+/// assert_ne!(late, d.protected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct AntiOmega {
+    pattern: FailurePattern,
+    protected: ProcessId,
+    stab: Time,
+    seed: u64,
+}
+
+impl AntiOmega {
+    /// Samples an `anti-Ω` history, protecting the least correct process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.n() < 2` (with one process there is no other id
+    /// to return).
+    pub fn new(pattern: &FailurePattern, seed: u64) -> Self {
+        assert!(pattern.n() >= 2, "anti-Ω needs at least two processes");
+        let protected = pattern.correct().min().expect("at least one correct process");
+        AntiOmega {
+            pattern: pattern.clone(),
+            protected,
+            stab: pattern.last_crash_time().next(),
+            seed,
+        }
+    }
+
+    /// Chooses which correct process is protected (returned only finitely
+    /// many times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not correct in the pattern.
+    pub fn with_protected(mut self, p: ProcessId) -> Self {
+        assert!(self.pattern.is_correct(p), "the protected process must be correct");
+        self.protected = p;
+        self
+    }
+
+    /// Delays stabilization to `stab`.
+    pub fn with_stabilization(mut self, stab: Time) -> Self {
+        assert!(stab >= self.pattern.last_crash_time());
+        self.stab = stab;
+        self
+    }
+
+    /// The correct process whose id is returned only finitely many times.
+    pub fn protected(&self) -> ProcessId {
+        self.protected
+    }
+}
+
+impl FailureDetector for AntiOmega {
+    fn output(&self, p: ProcessId, t: Time) -> FdOutput {
+        let mut rng = query_rng(self.seed, p, t);
+        let pool = if t >= self.stab {
+            self.pattern.all().difference(ProcessSet::singleton(self.protected))
+        } else {
+            self.pattern.all()
+        };
+        FdOutput::Leader(random_member(&mut rng, pool))
+    }
+
+    fn stabilization_time(&self) -> Time {
+        self.stab
+    }
+
+    fn name(&self) -> String {
+        format!("anti-Ω (protects {})", self.protected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protected_never_returned_after_stabilization() {
+        let f = FailurePattern::crashed_from_start(4, ProcessSet::singleton(ProcessId(0)));
+        let d = AntiOmega::new(&f, 7);
+        assert_eq!(d.protected(), ProcessId(1));
+        for p in 0..4u32 {
+            for dt in 0..80 {
+                let t = d.stabilization_time() + dt;
+                assert_ne!(d.output(ProcessId(p), t).leader().unwrap(), d.protected());
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_always_leader_shaped() {
+        let f = FailurePattern::all_correct(3);
+        let d = AntiOmega::new(&f, 1);
+        for p in 0..3u32 {
+            for t in 0..40u64 {
+                assert!(d.output(ProcessId(p), Time(t)).leader().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn with_protected_override() {
+        let f = FailurePattern::all_correct(3);
+        let d = AntiOmega::new(&f, 1).with_protected(ProcessId(2));
+        assert_eq!(d.protected(), ProcessId(2));
+        let t = d.stabilization_time() + 1;
+        assert_ne!(d.output(ProcessId(0), t).leader().unwrap(), ProcessId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be correct")]
+    fn protecting_a_faulty_process_is_rejected() {
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::singleton(ProcessId(1)));
+        let _ = AntiOmega::new(&f, 0).with_protected(ProcessId(1));
+    }
+
+    #[test]
+    fn purity() {
+        let f = FailurePattern::all_correct(3);
+        let d = AntiOmega::new(&f, 11);
+        for t in 0..30 {
+            assert_eq!(d.output(ProcessId(2), Time(t)), d.output(ProcessId(2), Time(t)));
+        }
+    }
+}

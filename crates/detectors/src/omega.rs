@@ -1,0 +1,106 @@
+//! The leader failure detector `Ω` (Chandra–Hadzilacos–Toueg [4]).
+//!
+//! Eventually all correct processes are returned the same correct leader.
+//! `Ω` is not part of the paper's contribution; it is the classic weakest
+//! detector for consensus and powers the consensus *baseline* used by the
+//! benchmark harness (agreeing with strong information vs the paper's
+//! minimal `σ`).
+
+use crate::rng::{query_rng, random_member};
+use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, Time};
+
+/// An oracle history of `Ω`, sampled by a seed: arbitrary leaders before
+/// stabilization, the least correct process forever after.
+///
+/// # Example
+///
+/// ```
+/// use sih_detectors::Omega;
+/// use sih_model::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+///
+/// let pattern = FailurePattern::crashed_from_start(3, ProcessSet::singleton(ProcessId(0)));
+/// let d = Omega::new(&pattern, 2);
+/// let t = d.stabilization_time() + 4;
+/// assert_eq!(d.output(ProcessId(1), t).leader(), Some(ProcessId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Omega {
+    pattern: FailurePattern,
+    leader: ProcessId,
+    stab: Time,
+    seed: u64,
+}
+
+impl Omega {
+    /// Samples an `Ω` history whose eventual leader is the least correct
+    /// process.
+    pub fn new(pattern: &FailurePattern, seed: u64) -> Self {
+        let leader = pattern.correct().min().expect("at least one correct process");
+        Omega {
+            pattern: pattern.clone(),
+            leader,
+            stab: pattern.last_crash_time().next(),
+            seed,
+        }
+    }
+
+    /// Delays stabilization to `stab`.
+    pub fn with_stabilization(mut self, stab: Time) -> Self {
+        assert!(stab >= self.pattern.last_crash_time());
+        self.stab = stab;
+        self
+    }
+
+    /// The eventual common correct leader.
+    pub fn leader(&self) -> ProcessId {
+        self.leader
+    }
+}
+
+impl FailureDetector for Omega {
+    fn output(&self, p: ProcessId, t: Time) -> FdOutput {
+        if t >= self.stab {
+            FdOutput::Leader(self.leader)
+        } else {
+            let mut rng = query_rng(self.seed, p, t);
+            FdOutput::Leader(random_member(&mut rng, self.pattern.all()))
+        }
+    }
+
+    fn stabilization_time(&self) -> Time {
+        self.stab
+    }
+
+    fn name(&self) -> String {
+        format!("Ω (leader {})", self.leader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sih_model::ProcessSet;
+
+    #[test]
+    fn eventual_common_correct_leader() {
+        let f = FailurePattern::crashed_from_start(4, ProcessSet::singleton(ProcessId(0)));
+        let d = Omega::new(&f, 5);
+        assert_eq!(d.leader(), ProcessId(1));
+        assert!(f.is_correct(d.leader()));
+        for p in 0..4u32 {
+            for dt in 0..40 {
+                let t = d.stabilization_time() + dt;
+                assert_eq!(d.output(ProcessId(p), t).leader(), Some(d.leader()));
+            }
+        }
+    }
+
+    #[test]
+    fn pre_stabilization_leaders_are_arbitrary_but_pure() {
+        let f = FailurePattern::all_correct(3);
+        let d = Omega::new(&f, 1).with_stabilization(Time(50));
+        for t in 0..50 {
+            assert_eq!(d.output(ProcessId(0), Time(t)), d.output(ProcessId(0), Time(t)));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The perfect failure detector `P` ([5]), viewed as a quorum source.
+//!
+//! The paper's introduction lists two classical ways to get a register
+//! in message passing: a correct majority ([1] — our [`QuorumSigma`]),
+//! or accurate failure detection ([5]). This module supplies the second
+//! route: `P` outputs the exact alive set, and *alive sets are legal
+//! `Σ_S` trusted lists in every environment*:
+//!
+//! * **Intersection** — any two alive sets (at any times) both contain
+//!   every correct process, and at least one process is correct;
+//! * **Completeness** — after the last crash the alive set *is*
+//!   `Correct(F)`.
+//!
+//! Feeding `P` to the ABD emulation therefore implements an atomic
+//! register even where a majority of processes is faulty — which no
+//! quorum-`Σ` can do. The unit tests drive exactly that configuration.
+//!
+//! [`QuorumSigma`]: crate::QuorumSigma
+
+use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, Time};
+
+/// A perfect-failure-detection oracle: `H(p, t)` is the alive set at
+/// `t`, emitted as a trusted list (so it plugs into anything that
+/// consumes `Σ`-shaped quorums).
+///
+/// # Example
+///
+/// ```
+/// use sih_detectors::Perfect;
+/// use sih_model::{FailureDetector, FailurePattern, ProcessId, Time};
+///
+/// let pattern = FailurePattern::builder(3).crash_at(ProcessId(2), Time(5)).build();
+/// let p = Perfect::new(&pattern);
+/// assert_eq!(p.output(ProcessId(0), Time(4)).trust().unwrap().len(), 3);
+/// assert_eq!(p.output(ProcessId(0), Time(6)).trust().unwrap().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Perfect {
+    pattern: FailurePattern,
+}
+
+impl Perfect {
+    /// A perfect detector for `pattern`.
+    pub fn new(pattern: &FailurePattern) -> Self {
+        Perfect { pattern: pattern.clone() }
+    }
+}
+
+impl FailureDetector for Perfect {
+    fn output(&self, _p: ProcessId, t: Time) -> FdOutput {
+        FdOutput::Trust(self.pattern.alive_at(t))
+    }
+
+    fn stabilization_time(&self) -> Time {
+        self.pattern.last_crash_time().next()
+    }
+
+    fn name(&self) -> String {
+        "P (perfect)".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{check_sigma_s, sample_history};
+    use sih_model::ProcessSet;
+
+    #[test]
+    fn alive_sets_are_legal_sigma_histories_even_without_majority() {
+        // 1 correct out of 5: far below a majority — no quorum-Σ exists
+        // here, but P's history still satisfies the Σ specification.
+        let f = FailurePattern::builder(5)
+            .crash_at(ProcessId(0), Time(3))
+            .crash_at(ProcessId(1), Time(9))
+            .crash_at(ProcessId(2), Time(14))
+            .crash_from_start(ProcessId(3))
+            .build();
+        assert!(!f.has_correct_majority());
+        let p = Perfect::new(&f);
+        let h = sample_history(&p, 5, Time(60));
+        check_sigma_s(&h, &f, ProcessSet::full(5)).unwrap();
+    }
+
+    #[test]
+    fn outputs_track_crashes_exactly() {
+        let f = FailurePattern::builder(3).crash_at(ProcessId(1), Time(7)).build();
+        let p = Perfect::new(&f);
+        assert!(p.output(ProcessId(0), Time(7)).trust().unwrap().contains(ProcessId(1)));
+        assert!(!p.output(ProcessId(0), Time(8)).trust().unwrap().contains(ProcessId(1)));
+        assert_eq!(p.stabilization_time(), Time(8));
+    }
+
+    #[test]
+    fn abd_register_works_without_a_correct_majority_under_p() {
+        // The intro's second route: accurate detection replaces the
+        // majority assumption. 2 of 5 correct; the register still
+        // linearizes and stays live.
+        use sih_model::{OpKind, Value};
+        use sih_registers::{abd_processes, check_linearizable};
+        use sih_runtime::{FairScheduler, Simulation};
+
+        for seed in 0..5 {
+            let f = FailurePattern::builder(5)
+                .crash_at(ProcessId(2), Time(40))
+                .crash_at(ProcessId(3), Time(60))
+                .crash_from_start(ProcessId(4))
+                .build();
+            assert!(!f.has_correct_majority());
+            let s = ProcessSet::from_iter([0, 1].map(ProcessId));
+            let det = Perfect::new(&f);
+            let scripts = vec![
+                vec![OpKind::Write(Value(7)), OpKind::Read],
+                vec![OpKind::Read, OpKind::Write(Value(9)), OpKind::Read],
+            ];
+            let mut sim = Simulation::new(abd_processes(s, 5, scripts), f.clone());
+            let mut sched = FairScheduler::new(seed);
+            sim.run_until(&mut sched, &det, 400_000, |sim| {
+                sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+            });
+            let ops = sim.trace().op_records();
+            assert_eq!(
+                ops.iter().filter(|o| o.is_complete()).count(),
+                5,
+                "seed {seed}: all ops complete despite minority-correct"
+            );
+            check_linearizable(&ops, None).unwrap();
+        }
+    }
+}

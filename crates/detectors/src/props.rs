@@ -1,0 +1,537 @@
+//! Specification checkers: validate a recorded history against a failure
+//! detector's definition.
+//!
+//! The checkers take a finite [`RecordedHistory`] (either sampled from an
+//! oracle or recorded from an emulation algorithm's `output` variable) and
+//! the run's [`FailurePattern`], and decide each property of the
+//! definitions in §2.2/§3.1/§4.1 and the appendix of the paper.
+//!
+//! ## Bounded liveness
+//!
+//! "Eventually forever" properties are checked against the **final** value
+//! of each timeline: a finite timeline's last value persists forever, so
+//! `final ⊆ Correct` is exactly "∃t ∀t′>t: H(·,t′) ⊆ Correct" for the
+//! (infinite) extension of the recorded run. This is sound provided the
+//! run was long enough for the history to have actually stabilized —
+//! harnesses run past the oracle's `stabilization_time` plus a margin.
+//!
+//! ## Initialization prefixes
+//!
+//! An *emulated* detector variable does not exist before its process's
+//! first step; the trace reports it as `⊥` until the first `output ← …`.
+//! The checkers therefore accept, at every process, an initial `⊥`-prefix
+//! before the first real output (for oracle-sampled histories the prefix
+//! is empty and this acceptance is vacuous).
+
+use sih_model::{FailurePattern, FdOutput, ProcessId, ProcessSet, RecordedHistory};
+use std::fmt;
+
+/// A specification violation: which property broke and how.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated property (e.g. `"intersection"`).
+    pub property: &'static str,
+    /// Human-readable details (processes, times, values involved).
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(property: &'static str, detail: impl Into<String>) -> Self {
+        Violation { property, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "violated {}: {}", self.property, self.detail)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Samples an oracle detector into a [`RecordedHistory`] over times
+/// `0..=horizon` — the bridge from "detector as function" to "history as
+/// data" that the checkers consume.
+pub fn sample_history(
+    det: &(impl sih_model::FailureDetector + ?Sized),
+    n: usize,
+    horizon: sih_model::Time,
+) -> RecordedHistory {
+    let initials = (0..n as u32)
+        .map(|i| det.output(ProcessId(i), sih_model::Time::ZERO))
+        .collect();
+    let mut h = RecordedHistory::with_initials(initials).with_label(det.name());
+    for i in 0..n as u32 {
+        let p = ProcessId(i);
+        for t in 1..=horizon.0 {
+            h.record(p, sih_model::Time(t), det.output(p, sih_model::Time(t)));
+        }
+    }
+    h
+}
+
+/// The observations of `p` with the initial `⊥`-prefix removed.
+fn real_observations(
+    h: &RecordedHistory,
+    p: ProcessId,
+) -> impl Iterator<Item = (sih_model::Time, FdOutput)> + '_ {
+    h.timeline(p)
+        .observations()
+        .into_iter()
+        .skip_while(|&(_, o)| o == FdOutput::Bot)
+}
+
+/// Checks the `Σ_S` specification (§2.2): well-formedness (this
+/// implementation's convention: `⊥` outside `S`, trusted lists inside),
+/// intersection of every two lists, and completeness at correct members
+/// of `S`.
+pub fn check_sigma_s(
+    h: &RecordedHistory,
+    pattern: &FailurePattern,
+    s: ProcessSet,
+) -> Result<(), Violation> {
+    // Well-formedness.
+    for (p, tl) in h.iter() {
+        if s.contains(p) {
+            for (t, o) in real_observations(h, p) {
+                if o.is_bot() {
+                    return Err(Violation::new(
+                        "well-formedness",
+                        format!("{p} reverted to ⊥ at {t} after producing lists"),
+                    ));
+                }
+                if !o.is_trust_set() {
+                    return Err(Violation::new(
+                        "well-formedness",
+                        format!("{p} output non-list {o} at {t}"),
+                    ));
+                }
+            }
+        } else {
+            for (t, o) in tl.observations() {
+                if !o.is_bot() {
+                    return Err(Violation::new(
+                        "well-formedness",
+                        format!("{p} ∉ S output {o} at {t}"),
+                    ));
+                }
+            }
+        }
+    }
+    // Intersection: every two lists, across processes of S and times.
+    let lists: Vec<(ProcessId, sih_model::Time, ProcessSet)> = s
+        .iter()
+        .filter(|p| p.index() < h.n())
+        .flat_map(|p| {
+            real_observations(h, p)
+                .filter_map(move |(t, o)| o.trust().map(|set| (p, t, set)))
+        })
+        .collect();
+    for (p, t, a) in &lists {
+        for (q, u, b) in &lists {
+            if !a.intersects(*b) {
+                return Err(Violation::new(
+                    "intersection",
+                    format!("H({p},{t})={a} ∩ H({q},{u})={b} = ∅"),
+                ));
+            }
+        }
+    }
+    // Completeness at correct members of S.
+    for p in s.intersection(pattern.correct()) {
+        if p.index() >= h.n() {
+            continue;
+        }
+        let fin = h.timeline(p).final_output();
+        match fin.trust() {
+            Some(set) if set.is_subset(pattern.correct()) => {}
+            _ => {
+                return Err(Violation::new(
+                    "completeness",
+                    format!("final output {fin} of correct {p} ⊄ Correct={}", pattern.correct()),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the `σ` specification (Definition 3) for active pair `active`.
+pub fn check_sigma(
+    h: &RecordedHistory,
+    pattern: &FailurePattern,
+    active: ProcessSet,
+) -> Result<(), Violation> {
+    assert_eq!(active.len(), 2, "σ's active set is a pair");
+    // Well-formedness.
+    for (p, tl) in h.iter() {
+        if active.contains(p) {
+            for (t, o) in real_observations(h, p) {
+                match o.trust() {
+                    Some(set) if set.is_subset(active) && o.is_trust_set() => {}
+                    _ => {
+                        return Err(Violation::new(
+                            "well-formedness",
+                            format!("active {p} output {o} ⊄ A at {t}"),
+                        ));
+                    }
+                }
+            }
+        } else {
+            for (t, o) in tl.observations() {
+                if !o.is_bot() {
+                    return Err(Violation::new(
+                        "well-formedness",
+                        format!("non-active {p} output {o} at {t}"),
+                    ));
+                }
+            }
+        }
+    }
+    // Intersection of nonempty outputs.
+    let lists: Vec<(ProcessId, sih_model::Time, ProcessSet)> = active
+        .iter()
+        .filter(|p| p.index() < h.n())
+        .flat_map(|p| {
+            real_observations(h, p).filter_map(move |(t, o)| {
+                o.trust().filter(|s| !s.is_empty()).map(|s| (p, t, s))
+            })
+        })
+        .collect();
+    for (p, t, a) in &lists {
+        for (q, u, b) in &lists {
+            if !a.intersects(*b) {
+                return Err(Violation::new(
+                    "intersection",
+                    format!("H({p},{t})={a} ∩ H({q},{u})={b} = ∅"),
+                ));
+            }
+        }
+    }
+    // Completeness at correct active processes.
+    for p in active.intersection(pattern.correct()) {
+        let fin = h.timeline(p).final_output();
+        match fin.trust() {
+            Some(set) if set.is_subset(pattern.correct()) => {}
+            _ => {
+                return Err(Violation::new(
+                    "completeness",
+                    format!("final output {fin} of correct active {p} ⊄ Correct"),
+                ));
+            }
+        }
+    }
+    // Non-triviality: if Correct ⊆ A, correct actives end nonempty.
+    if pattern.correct().is_subset(active) {
+        for p in active.intersection(pattern.correct()) {
+            let fin = h.timeline(p).final_output();
+            if fin.trust().is_none_or(|s| s.is_empty()) {
+                return Err(Violation::new(
+                    "non-triviality",
+                    format!("Correct ⊆ A but final output of {p} is {fin}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the `σ_k` specification (Definition 9) for active set `active`
+/// (`k = |active|`).
+pub fn check_sigma_k(
+    h: &RecordedHistory,
+    pattern: &FailurePattern,
+    active: ProcessSet,
+) -> Result<(), Violation> {
+    assert!(!active.is_empty());
+    // Well-formedness: ∅ or (X ⊆ A, A) at active processes, ⊥ outside.
+    for (p, tl) in h.iter() {
+        if active.contains(p) {
+            for (t, o) in real_observations(h, p) {
+                match o {
+                    FdOutput::Trust(s) if s.is_empty() => {}
+                    FdOutput::TrustActive { trust, active: a }
+                        if a == active && trust.is_subset(active) => {}
+                    other => {
+                        return Err(Violation::new(
+                            "well-formedness",
+                            format!("active {p} output {other} at {t}"),
+                        ));
+                    }
+                }
+            }
+        } else {
+            for (t, o) in tl.observations() {
+                if !o.is_bot() {
+                    return Err(Violation::new(
+                        "well-formedness",
+                        format!("non-active {p} output {o} at {t}"),
+                    ));
+                }
+            }
+        }
+    }
+    // Intersection of nonempty X components.
+    let xs: Vec<(ProcessId, sih_model::Time, ProcessSet)> = active
+        .iter()
+        .filter(|p| p.index() < h.n())
+        .flat_map(|p| {
+            real_observations(h, p).filter_map(move |(t, o)| match o {
+                FdOutput::TrustActive { trust, .. } if !trust.is_empty() => Some((p, t, trust)),
+                _ => None,
+            })
+        })
+        .collect();
+    for (p, t, a) in &xs {
+        for (q, u, b) in &xs {
+            if !a.intersects(*b) {
+                return Err(Violation::new(
+                    "intersection",
+                    format!("X({p},{t})={a} ∩ X({q},{u})={b} = ∅"),
+                ));
+            }
+        }
+    }
+    // Completeness at correct active processes.
+    for p in active.intersection(pattern.correct()) {
+        let fin = h.timeline(p).final_output();
+        match fin {
+            FdOutput::Trust(s) if s.is_empty() => {}
+            FdOutput::TrustActive { trust, .. } if trust.is_subset(pattern.correct()) => {}
+            other => {
+                return Err(Violation::new(
+                    "completeness",
+                    format!("final output {other} of correct active {p}"),
+                ));
+            }
+        }
+    }
+    // Non-triviality (Definition 9): trigger on Correct ⊆ A-low or ⊆ A-high.
+    let low = active.smallest(active.len() / 2);
+    let high = active.difference(low);
+    let correct = pattern.correct();
+    if correct.is_subset(low) || correct.is_subset(high) {
+        for p in correct {
+            let fin = h.timeline(p).final_output();
+            let forced_ok =
+                matches!(fin, FdOutput::TrustActive { trust, .. } if !trust.is_empty());
+            if !forced_ok {
+                return Err(Violation::new(
+                    "non-triviality",
+                    format!("trigger holds but final output of correct {p} is {fin}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the `anti-Ω` specification: outputs are process ids, and some
+/// correct process's id is returned only finitely many times — i.e. it is
+/// **not** the final output of any correct process (a final output
+/// persists, hence is returned infinitely often; crashed processes stop
+/// querying, so only correct processes' finals matter).
+pub fn check_anti_omega(h: &RecordedHistory, pattern: &FailurePattern) -> Result<(), Violation> {
+    for (p, _) in h.iter() {
+        for (t, o) in real_observations(h, p) {
+            if o.leader().is_none() {
+                return Err(Violation::new(
+                    "well-formedness",
+                    format!("{p} output non-id {o} at {t}"),
+                ));
+            }
+        }
+    }
+    let finals: Vec<ProcessId> = pattern
+        .correct()
+        .iter()
+        .filter(|p| p.index() < h.n())
+        .filter_map(|p| h.timeline(p).final_output().leader())
+        .collect();
+    let escaped = pattern
+        .correct()
+        .iter()
+        .find(|c| !finals.contains(c));
+    match escaped {
+        Some(_) => Ok(()),
+        None => Err(Violation::new(
+            "finiteness",
+            format!(
+                "every correct process is some correct process's final output: finals={finals:?}, correct={}",
+                pattern.correct()
+            ),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AntiOmega, Sigma, SigmaK, SigmaMode, SigmaS};
+    use sih_model::Time;
+
+    const HORIZON: Time = Time(120);
+
+    fn pattern_one_crash() -> FailurePattern {
+        FailurePattern::builder(4).crash_at(ProcessId(3), Time(9)).build()
+    }
+
+    #[test]
+    fn sampled_sigma_s_passes_its_checker() {
+        for seed in 0..8 {
+            let f = pattern_one_crash();
+            let d = SigmaS::new(ProcessSet::full(4), &f, seed);
+            let h = sample_history(&d, 4, HORIZON);
+            check_sigma_s(&h, &f, ProcessSet::full(4)).unwrap();
+        }
+    }
+
+    #[test]
+    fn sampled_sigma_passes_its_checker() {
+        for seed in 0..8 {
+            let f = FailurePattern::crashed_from_start(
+                4,
+                ProcessSet::from_iter([2, 3].map(ProcessId)),
+            );
+            let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+            for mode in [SigmaMode::Reticent, SigmaMode::Generous] {
+                let d = Sigma::new(ProcessId(0), ProcessId(1), &f, seed).with_mode(mode);
+                let h = sample_history(&d, 4, HORIZON);
+                check_sigma(&h, &f, a).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_sigma_k_passes_its_checker() {
+        for seed in 0..8 {
+            let f = FailurePattern::crashed_from_start(
+                6,
+                ProcessSet::from_iter([2, 3, 4, 5].map(ProcessId)),
+            );
+            let a = ProcessSet::from_iter([0, 1, 2, 3].map(ProcessId));
+            let d = SigmaK::new(a, &f, seed);
+            let h = sample_history(&d, 6, HORIZON);
+            check_sigma_k(&h, &f, a).unwrap();
+        }
+    }
+
+    #[test]
+    fn sampled_anti_omega_passes_its_checker() {
+        for seed in 0..8 {
+            let f = pattern_one_crash();
+            let d = AntiOmega::new(&f, seed);
+            let h = sample_history(&d, 4, HORIZON);
+            check_anti_omega(&h, &f).unwrap();
+        }
+    }
+
+    #[test]
+    fn sigma_checker_catches_intersection_violation() {
+        let f = FailurePattern::all_correct(3);
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        h.record(ProcessId(0), Time(1), FdOutput::Trust(ProcessSet::singleton(ProcessId(0))));
+        h.record(ProcessId(1), Time(2), FdOutput::Trust(ProcessSet::singleton(ProcessId(1))));
+        let err = check_sigma(&h, &f, a).unwrap_err();
+        assert_eq!(err.property, "intersection");
+    }
+
+    #[test]
+    fn sigma_checker_catches_well_formedness_violation() {
+        let f = FailurePattern::all_correct(3);
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        // Non-active p2 outputs a list.
+        h.record(ProcessId(2), Time(1), FdOutput::EMPTY_TRUST);
+        let err = check_sigma(&h, &f, a).unwrap_err();
+        assert_eq!(err.property, "well-formedness");
+    }
+
+    #[test]
+    fn sigma_checker_catches_completeness_violation() {
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::singleton(ProcessId(1)));
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        // Correct active p0 ends trusting the faulty p1.
+        h.record(ProcessId(0), Time(1), FdOutput::Trust(a));
+        let err = check_sigma(&h, &f, a).unwrap_err();
+        assert_eq!(err.property, "completeness");
+    }
+
+    #[test]
+    fn sigma_checker_catches_non_triviality_violation() {
+        // Correct ⊆ A but p0's output stays ∅ forever.
+        let f = FailurePattern::crashed_from_start(
+            3,
+            ProcessSet::from_iter([1, 2].map(ProcessId)),
+        );
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        h.record(ProcessId(0), Time(1), FdOutput::EMPTY_TRUST);
+        let err = check_sigma(&h, &f, a).unwrap_err();
+        assert_eq!(err.property, "non-triviality");
+    }
+
+    #[test]
+    fn sigma_checker_accepts_bot_initialization_prefix() {
+        // Emulated variables are ⊥ before the first step; that prefix is
+        // not a well-formedness violation.
+        let f = FailurePattern::crashed_from_start(
+            3,
+            ProcessSet::from_iter([1, 2].map(ProcessId)),
+        );
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        h.record(ProcessId(0), Time(5), FdOutput::Trust(ProcessSet::singleton(ProcessId(0))));
+        // p1, p2 stay ⊥ forever (crashed from start / non-active).
+        check_sigma(&h, &f, a).unwrap();
+    }
+
+    #[test]
+    fn anti_omega_checker_catches_everyone_covered() {
+        let f = FailurePattern::all_correct(2);
+        let mut h = RecordedHistory::new(2, FdOutput::Bot);
+        // p0's final is p1, p1's final is p0: no correct process escapes.
+        h.record(ProcessId(0), Time(1), FdOutput::Leader(ProcessId(1)));
+        h.record(ProcessId(1), Time(1), FdOutput::Leader(ProcessId(0)));
+        let err = check_anti_omega(&h, &f).unwrap_err();
+        assert_eq!(err.property, "finiteness");
+    }
+
+    #[test]
+    fn anti_omega_checker_accepts_escaping_process() {
+        let f = FailurePattern::all_correct(3);
+        let mut h = RecordedHistory::new(3, FdOutput::Bot);
+        for i in 0..3u32 {
+            h.record(ProcessId(i), Time(1), FdOutput::Leader(ProcessId(0)));
+        }
+        // p1 and p2 are never anyone's final output.
+        check_anti_omega(&h, &f).unwrap();
+    }
+
+    #[test]
+    fn sigma_k_checker_catches_wrong_active_component() {
+        let f = FailurePattern::all_correct(4);
+        let a = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let wrong = ProcessSet::from_iter([0, 2].map(ProcessId));
+        let mut h = RecordedHistory::new(4, FdOutput::Bot);
+        h.record(
+            ProcessId(0),
+            Time(1),
+            FdOutput::TrustActive { trust: ProcessSet::singleton(ProcessId(0)), active: wrong },
+        );
+        let err = check_sigma_k(&h, &f, a).unwrap_err();
+        assert_eq!(err.property, "well-formedness");
+    }
+
+    #[test]
+    fn sigma_s_checker_catches_bot_relapse() {
+        let f = FailurePattern::all_correct(2);
+        let mut h = RecordedHistory::new(2, FdOutput::Bot);
+        h.record(ProcessId(0), Time(1), FdOutput::Trust(ProcessSet::full(2)));
+        h.record(ProcessId(0), Time(2), FdOutput::Bot);
+        let err = check_sigma_s(&h, &f, ProcessSet::full(2)).unwrap_err();
+        assert_eq!(err.property, "well-formedness");
+    }
+}

@@ -1,0 +1,77 @@
+//! Pure pseudo-random helpers for oracle histories.
+//!
+//! Oracle detectors must be *pure functions* of `(process, time)` — the
+//! simulator may query the same point twice (e.g. during replay) and must
+//! see the same value. We therefore derive a fresh, deterministic RNG from
+//! `(seed, p, t)` for each query instead of keeping mutable RNG state.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sih_model::{ProcessId, ProcessSet, Time};
+
+/// SplitMix64-style mixing of the query coordinates into one RNG seed.
+pub(crate) fn mix(seed: u64, p: ProcessId, t: Time) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(p.0) + 1))
+        .wrapping_add(0xbf58_476d_1ce4_e5b9u64.wrapping_mul(t.0 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic RNG for the query `(seed, p, t)`.
+pub(crate) fn query_rng(seed: u64, p: ProcessId, t: Time) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(mix(seed, p, t))
+}
+
+/// A uniformly random subset of `base` (each member kept with probability
+/// 1/2), deterministic in `rng`.
+pub(crate) fn random_subset(rng: &mut ChaCha8Rng, base: ProcessSet) -> ProcessSet {
+    base.iter().filter(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// A uniformly random member of `base`.
+///
+/// # Panics
+///
+/// Panics if `base` is empty.
+pub(crate) fn random_member(rng: &mut ChaCha8Rng, base: ProcessSet) -> ProcessId {
+    let k = rng.gen_range(0..base.len());
+    base.iter().nth(k).expect("nonempty set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_pure_and_spreads() {
+        let a = mix(1, ProcessId(0), Time(0));
+        let b = mix(1, ProcessId(0), Time(0));
+        assert_eq!(a, b);
+        assert_ne!(mix(1, ProcessId(0), Time(1)), a);
+        assert_ne!(mix(1, ProcessId(1), Time(0)), a);
+        assert_ne!(mix(2, ProcessId(0), Time(0)), a);
+    }
+
+    #[test]
+    fn random_subset_is_subset_and_deterministic() {
+        let base = ProcessSet::from_iter([0, 1, 2, 3, 4].map(ProcessId));
+        let mut r1 = query_rng(9, ProcessId(0), Time(5));
+        let mut r2 = query_rng(9, ProcessId(0), Time(5));
+        let s1 = random_subset(&mut r1, base);
+        let s2 = random_subset(&mut r2, base);
+        assert_eq!(s1, s2);
+        assert!(s1.is_subset(base));
+    }
+
+    #[test]
+    fn random_member_is_member() {
+        let base = ProcessSet::from_iter([3, 7].map(ProcessId));
+        for t in 0..20 {
+            let mut rng = query_rng(0, ProcessId(0), Time(t));
+            assert!(base.contains(random_member(&mut rng, base)));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! `lab` — the experiment CLI.
+//!
+//! ```text
+//! lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--json PATH]
+//! ```
+
+use sih_lab::{render_figure1, run_experiment, ExperimentReport, LabConfig, EXPERIMENT_IDS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--json PATH]");
+        eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    let command = args[0].clone();
+    let mut cfg = LabConfig::default();
+    let mut json_path: Option<String> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().unwrap_or_else(|| panic!("missing value for {flag}")).clone()
+        };
+        match flag.as_str() {
+            "--n" => cfg.n = value(&mut it).parse().expect("--n takes an integer"),
+            "--k" => cfg.k = value(&mut it).parse().expect("--k takes an integer"),
+            "--seeds" => cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer"),
+            "--steps" => cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer"),
+            "--json" => json_path = Some(value(&mut it)),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reports: Vec<ExperimentReport> = match command.as_str() {
+        "figure1" => {
+            print!("{}", render_figure1(&cfg));
+            return ExitCode::SUCCESS;
+        }
+        "all" => EXPERIMENT_IDS
+            .iter()
+            .map(|id| {
+                let r = run_experiment(id, &cfg);
+                print!("{r}");
+                r
+            })
+            .collect(),
+        id if EXPERIMENT_IDS.contains(&id) => {
+            let r = run_experiment(id, &cfg);
+            print!("{r}");
+            vec![r]
+        }
+        other => {
+            eprintln!("unknown command {other}; expected e1..e15, figure1 or all");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let all_ok = reports.iter().all(|r| r.ok);
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {} report(s) to {path}", reports.len());
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("UNEXPECTED outcomes present");
+        ExitCode::FAILURE
+    }
+}

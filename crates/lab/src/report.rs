@@ -1,0 +1,130 @@
+//! Experiment reports: serializable records of what was run and measured.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics of a family of runs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct RunStats {
+    /// Number of runs.
+    pub runs: u64,
+    /// Property violations observed (expected 0 for positive results).
+    pub violations: u64,
+    /// Mean steps per run.
+    pub mean_steps: f64,
+    /// Mean messages sent per run.
+    pub mean_messages: f64,
+}
+
+impl RunStats {
+    /// Accumulates one run.
+    pub fn record(&mut self, steps: u64, messages: u64, violated: bool) {
+        let prev = self.runs as f64;
+        self.runs += 1;
+        let now = self.runs as f64;
+        self.mean_steps = (self.mean_steps * prev + steps as f64) / now;
+        self.mean_messages = (self.mean_messages * prev + messages as f64) / now;
+        if violated {
+            self.violations += 1;
+        }
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs, {} violations, ⌀{:.0} steps, ⌀{:.0} msgs",
+            self.runs, self.violations, self.mean_steps, self.mean_messages
+        )
+    }
+}
+
+/// One experiment's report (one `E*` id of DESIGN.md / EXPERIMENTS.md).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (`"e1"` … `"e12"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Paper artifact the experiment regenerates.
+    pub paper_ref: String,
+    /// Whether the expected outcome was observed.
+    pub ok: bool,
+    /// One-line outcome.
+    pub outcome: String,
+    /// Supporting lines (defeats, sub-sweeps, …).
+    pub details: Vec<String>,
+    /// Aggregate run statistics, when applicable.
+    pub stats: Option<RunStats>,
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} ({}) — {}",
+            self.id.to_uppercase(),
+            self.title,
+            self.paper_ref,
+            if self.ok { "OK" } else { "UNEXPECTED" }
+        )?;
+        writeln!(f, "    {}", self.outcome)?;
+        if let Some(stats) = &self.stats {
+            writeln!(f, "    {stats}")?;
+        }
+        for d in &self.details {
+            writeln!(f, "    · {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_means() {
+        let mut s = RunStats::default();
+        s.record(10, 100, false);
+        s.record(20, 200, true);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.violations, 1);
+        assert!((s.mean_steps - 15.0).abs() < 1e-9);
+        assert!((s.mean_messages - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = ExperimentReport {
+            id: "e1".into(),
+            title: "t".into(),
+            paper_ref: "Fig 2".into(),
+            ok: true,
+            outcome: "fine".into(),
+            details: vec!["d".into()],
+            stats: Some(RunStats::default()),
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.id, "e1");
+        assert!(back.ok);
+    }
+
+    #[test]
+    fn display_contains_id_and_outcome() {
+        let r = ExperimentReport {
+            id: "e3".into(),
+            title: "Lemma 7".into(),
+            paper_ref: "Lemma 7".into(),
+            ok: true,
+            outcome: "defeated".into(),
+            details: vec![],
+            stats: None,
+        };
+        let text = r.to_string();
+        assert!(text.contains("[E3]"));
+        assert!(text.contains("defeated"));
+    }
+}

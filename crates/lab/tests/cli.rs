@@ -1,0 +1,67 @@
+//! End-to-end tests of the `lab` binary: argument handling, exit codes,
+//! JSON output.
+
+use std::process::Command;
+
+fn lab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lab"))
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = lab().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+    assert!(err.contains("e1"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = lab().arg("e99").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn single_experiment_succeeds_and_prints_report() {
+    let out = lab()
+        .args(["e7", "--n", "4", "--k", "1", "--seeds", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[E7]"), "{text}");
+    assert!(text.contains("OK"), "{text}");
+}
+
+#[test]
+fn json_flag_writes_reports() {
+    let dir = std::env::temp_dir().join(format!("lab-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("reports.json");
+    let out = lab()
+        .args(["e14", "--seeds", "2", "--json"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).unwrap();
+    let reports: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(reports[0]["id"], "e14");
+    assert_eq!(reports[0]["ok"], true);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure1_renders_the_matrix() {
+    let out = lab()
+        .args(["figure1", "--n", "4", "--k", "1", "--seeds", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Figure 1"), "{text}");
+    assert!(text.contains("HOLDS"), "{text}");
+    assert!(!text.contains("REFUTED"), "{text}");
+}

@@ -1,0 +1,126 @@
+//! Environments: sets of failure patterns (§2.1).
+
+use crate::{FailurePattern, ProcessSet};
+use std::fmt;
+
+/// An *environment* is a set of failure patterns. The paper works in:
+///
+/// * [`Environment::AnyCorrect`] — the paper's `E`: all patterns with at
+///   least one correct process (the default everywhere);
+/// * [`Environment::MajorityCorrect`] — where `Σ_S` is implementable
+///   without synchrony assumptions (§2.2) and where Theorem 12's reduction
+///   takes place;
+/// * [`Environment::CorrectSubsetOf`] — patterns whose correct set is
+///   contained in a given set (used to state `σ`'s non-triviality trigger
+///   and to build targeted samples);
+/// * [`Environment::MaxFaults`] — the classic `t`-resilient environments.
+///
+/// # Example
+///
+/// ```
+/// use sih_model::{Environment, FailurePattern, ProcessId, ProcessSet};
+/// let f = FailurePattern::crashed_from_start(5, ProcessSet::singleton(ProcessId(0)));
+/// assert!(Environment::AnyCorrect.contains(&f));
+/// assert!(Environment::MajorityCorrect.contains(&f));
+/// assert!(!Environment::MaxFaults(0).contains(&f));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Environment {
+    /// All failure patterns with at least one correct process (the `E` of
+    /// the paper).
+    AnyCorrect,
+    /// Patterns in which a majority of processes is correct.
+    MajorityCorrect,
+    /// Patterns whose correct set is a subset of the given set.
+    CorrectSubsetOf(ProcessSet),
+    /// Patterns with at most `t` faulty processes.
+    MaxFaults(usize),
+}
+
+impl Environment {
+    /// Whether the pattern belongs to this environment.
+    pub fn contains(&self, f: &FailurePattern) -> bool {
+        if !f.has_correct_process() {
+            return false;
+        }
+        match *self {
+            Environment::AnyCorrect => true,
+            Environment::MajorityCorrect => f.has_correct_majority(),
+            Environment::CorrectSubsetOf(s) => f.correct().is_subset(s),
+            Environment::MaxFaults(t) => f.faulty().len() <= t,
+        }
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Environment::AnyCorrect => write!(f, "E (≥1 correct)"),
+            Environment::MajorityCorrect => write!(f, "majority-correct"),
+            Environment::CorrectSubsetOf(s) => write!(f, "Correct ⊆ {s}"),
+            Environment::MaxFaults(t) => write!(f, "≤{t} faults"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProcessId, Time};
+
+    #[test]
+    fn any_correct_accepts_everything_with_a_correct_process() {
+        let f = FailurePattern::crashed_from_start(
+            3,
+            ProcessSet::from_iter([0, 1].map(ProcessId)),
+        );
+        assert!(Environment::AnyCorrect.contains(&f));
+    }
+
+    #[test]
+    fn any_correct_rejects_all_faulty() {
+        let f = FailurePattern::builder(2)
+            .crash_from_start(ProcessId(0))
+            .crash_at(ProcessId(1), Time(3))
+            .build_unchecked();
+        assert!(!Environment::AnyCorrect.contains(&f));
+        assert!(!Environment::MajorityCorrect.contains(&f));
+    }
+
+    #[test]
+    fn majority_boundary() {
+        // 2 of 4 correct is not a majority; 3 of 4 is.
+        let half = FailurePattern::crashed_from_start(
+            4,
+            ProcessSet::from_iter([0, 1].map(ProcessId)),
+        );
+        assert!(!Environment::MajorityCorrect.contains(&half));
+        let maj = FailurePattern::crashed_from_start(4, ProcessSet::singleton(ProcessId(0)));
+        assert!(Environment::MajorityCorrect.contains(&maj));
+    }
+
+    #[test]
+    fn correct_subset_environment() {
+        let pair = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let f = FailurePattern::crashed_from_start(
+            4,
+            ProcessSet::from_iter([2, 3].map(ProcessId)),
+        );
+        assert!(Environment::CorrectSubsetOf(pair).contains(&f));
+        let g = FailurePattern::all_correct(4);
+        assert!(!Environment::CorrectSubsetOf(pair).contains(&g));
+    }
+
+    #[test]
+    fn max_faults_environment() {
+        let f = FailurePattern::crashed_from_start(5, ProcessSet::singleton(ProcessId(4)));
+        assert!(Environment::MaxFaults(1).contains(&f));
+        assert!(Environment::MaxFaults(2).contains(&f));
+        assert!(!Environment::MaxFaults(0).contains(&f));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Environment::MaxFaults(2).to_string(), "≤2 faults");
+    }
+}

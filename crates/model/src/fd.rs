@@ -1,0 +1,256 @@
+//! Failure-detector outputs and the history interface.
+
+use crate::{ProcessId, ProcessSet, Time};
+use std::fmt;
+
+/// The value a process obtains from one `queryFD()` call.
+///
+/// The paper works with failure detectors of several output shapes; this
+/// enum is their union, so that reductions can emulate a detector whose
+/// output shape differs from the underlying one's:
+///
+/// * [`FdOutput::Bot`] — the `⊥` that `σ` and `σ_k` permanently output at
+///   non-active processes, and that `Σ_S` outputs outside `S` (a
+///   convention of this implementation: the paper leaves outputs outside
+///   `S` unspecified).
+/// * [`FdOutput::Trust`] — a set of trusted processes (`Σ_S` lists, `σ`
+///   outputs, and the bare `∅` of Definition 9).
+/// * [`FdOutput::TrustActive`] — the `(X, A)` pairs of `σ_k`
+///   (Definition 9): a trusted subset `X ⊆ A` together with the active set
+///   `A` itself.
+/// * [`FdOutput::Leader`] — a single process id (`anti-Ω`, `Ω`).
+///
+/// Accessors mirror the pseudocode: `queryFD().active` is
+/// [`FdOutput::active`], `queryFD().trust` is [`FdOutput::trust`].
+///
+/// # Example
+///
+/// ```
+/// use sih_model::{FdOutput, ProcessId, ProcessSet};
+/// let a = ProcessSet::from_iter([1, 2].map(ProcessId));
+/// let out = FdOutput::TrustActive { trust: ProcessSet::singleton(ProcessId(1)), active: a };
+/// assert_eq!(out.active(), Some(a));
+/// assert_eq!(out.trust(), Some(ProcessSet::singleton(ProcessId(1))));
+/// assert!(!FdOutput::Bot.is_trust_set());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FdOutput {
+    /// The `⊥` output.
+    Bot,
+    /// A set of trusted processes (possibly empty — the specifications of
+    /// `σ` and `σ_k` use `∅` as a meaningful "no information" output).
+    Trust(ProcessSet),
+    /// The `(X, A)` output of `σ_k`: trusted subset `X` plus active set `A`.
+    TrustActive {
+        /// The trusted subset `X ⊆ A`.
+        trust: ProcessSet,
+        /// The active set `A` chosen by the detector for this run.
+        active: ProcessSet,
+    },
+    /// A single process id (`anti-Ω` / `Ω` style detectors).
+    Leader(ProcessId),
+}
+
+impl FdOutput {
+    /// The empty trusted set `∅`.
+    pub const EMPTY_TRUST: FdOutput = FdOutput::Trust(ProcessSet::EMPTY);
+
+    /// Whether this output is `⊥`.
+    #[inline]
+    pub fn is_bot(self) -> bool {
+        matches!(self, FdOutput::Bot)
+    }
+
+    /// The `.trust` component, mirroring `queryFD().trust` in Figure 4:
+    /// the trusted set of a [`FdOutput::Trust`] or [`FdOutput::TrustActive`]
+    /// output, `None` for `⊥` and leader outputs.
+    #[inline]
+    pub fn trust(self) -> Option<ProcessSet> {
+        match self {
+            FdOutput::Trust(s) => Some(s),
+            FdOutput::TrustActive { trust, .. } => Some(trust),
+            _ => None,
+        }
+    }
+
+    /// The `.active` component, mirroring `queryFD().active` in Figure 4.
+    ///
+    /// * `⊥` ↦ `None` (the pseudocode's `active = ⊥` test, line 2);
+    /// * bare `∅` (a [`FdOutput::Trust`] with an empty set) ↦
+    ///   `Some(∅)` (the pseudocode's `while A = ∅` loop, lines 20–21);
+    /// * `(X, A)` ↦ `Some(A)`;
+    /// * leader outputs ↦ `None`.
+    #[inline]
+    pub fn active(self) -> Option<ProcessSet> {
+        match self {
+            FdOutput::Bot => None,
+            FdOutput::Trust(_) => Some(ProcessSet::EMPTY),
+            FdOutput::TrustActive { active, .. } => Some(active),
+            FdOutput::Leader(_) => None,
+        }
+    }
+
+    /// Whether this is a (possibly empty) trusted-set output.
+    #[inline]
+    pub fn is_trust_set(self) -> bool {
+        matches!(self, FdOutput::Trust(_))
+    }
+
+    /// The leader id of a [`FdOutput::Leader`] output.
+    #[inline]
+    pub fn leader(self) -> Option<ProcessId> {
+        match self {
+            FdOutput::Leader(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FdOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdOutput::Bot => write!(f, "⊥"),
+            FdOutput::Trust(s) => write!(f, "{s}"),
+            FdOutput::TrustActive { trust, active } => write!(f, "({trust},{active})"),
+            FdOutput::Leader(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A failure-detector history `H`, queryable as `H(p, t)`.
+///
+/// In the paper a failure detector `D` maps a failure pattern to a *set* of
+/// histories `D(F)`; downstream code works with one concrete history at a
+/// time (an *oracle* — typically sampled from `D(F)` with a seed, or
+/// constructed explicitly by an adversary). Implementations must be pure:
+/// the same `(p, t)` always yields the same output, which is what makes
+/// runs replayable.
+///
+/// Implementors also expose a [`stabilization_time`]: a time after which
+/// the history's output no longer changes at any process. Every "eventual"
+/// property of the paper's specifications holds from that point on, which
+/// lets finite runs check liveness soundly (run past stabilization, then
+/// assert).
+///
+/// [`stabilization_time`]: FailureDetector::stabilization_time
+pub trait FailureDetector {
+    /// The history value `H(p, t)`.
+    fn output(&self, p: ProcessId, t: Time) -> FdOutput;
+
+    /// A time after which `output(p, ·)` is constant for every `p`.
+    fn stabilization_time(&self) -> Time;
+
+    /// Human-readable name for reports (e.g. `"σ (A={p0,p1})"`).
+    fn name(&self) -> String {
+        "unnamed detector".to_owned()
+    }
+}
+
+impl<T: FailureDetector + ?Sized> FailureDetector for Box<T> {
+    fn output(&self, p: ProcessId, t: Time) -> FdOutput {
+        (**self).output(p, t)
+    }
+    fn stabilization_time(&self) -> Time {
+        (**self).stabilization_time()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<T: FailureDetector + ?Sized> FailureDetector for &T {
+    fn output(&self, p: ProcessId, t: Time) -> FdOutput {
+        (**self).output(p, t)
+    }
+    fn stabilization_time(&self) -> Time {
+        (**self).stabilization_time()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The trivial detector that outputs `⊥` everywhere — what an algorithm
+/// that uses *no* failure information sees (used by the Theorem 13
+/// simulation, where processes outside `X` run with no failure
+/// information).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoDetector;
+
+impl FailureDetector for NoDetector {
+    fn output(&self, _p: ProcessId, _t: Time) -> FdOutput {
+        FdOutput::Bot
+    }
+    fn stabilization_time(&self) -> Time {
+        Time::ZERO
+    }
+    fn name(&self) -> String {
+        "none".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bot_accessors() {
+        assert!(FdOutput::Bot.is_bot());
+        assert_eq!(FdOutput::Bot.trust(), None);
+        assert_eq!(FdOutput::Bot.active(), None);
+        assert_eq!(FdOutput::Bot.leader(), None);
+    }
+
+    #[test]
+    fn trust_accessors() {
+        let s = ProcessSet::from_iter([0, 3].map(ProcessId));
+        let out = FdOutput::Trust(s);
+        assert_eq!(out.trust(), Some(s));
+        // A bare trusted set has an *empty* active component (Definition 9's
+        // "∅" output), not ⊥.
+        assert_eq!(out.active(), Some(ProcessSet::EMPTY));
+        assert!(out.is_trust_set());
+        assert!(FdOutput::EMPTY_TRUST.trust().unwrap().is_empty());
+    }
+
+    #[test]
+    fn trust_active_accessors() {
+        let a = ProcessSet::from_iter([1, 2, 4, 5].map(ProcessId));
+        let x = ProcessSet::singleton(ProcessId(4));
+        let out = FdOutput::TrustActive { trust: x, active: a };
+        assert_eq!(out.trust(), Some(x));
+        assert_eq!(out.active(), Some(a));
+        assert!(!out.is_trust_set());
+    }
+
+    #[test]
+    fn leader_accessors() {
+        let out = FdOutput::Leader(ProcessId(3));
+        assert_eq!(out.leader(), Some(ProcessId(3)));
+        assert_eq!(out.trust(), None);
+        assert_eq!(out.active(), None);
+    }
+
+    #[test]
+    fn no_detector_is_bot_everywhere() {
+        let d = NoDetector;
+        assert_eq!(d.output(ProcessId(0), Time(99)), FdOutput::Bot);
+        assert_eq!(d.stabilization_time(), Time::ZERO);
+    }
+
+    #[test]
+    fn boxed_and_borrowed_detectors_delegate() {
+        let d: Box<dyn FailureDetector> = Box::new(NoDetector);
+        assert_eq!(d.output(ProcessId(1), Time(5)), FdOutput::Bot);
+        assert_eq!(d.name(), "none");
+        let r = &NoDetector;
+        assert_eq!(FailureDetector::output(&r, ProcessId(0), Time(0)), FdOutput::Bot);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(FdOutput::Bot.to_string(), "⊥");
+        assert_eq!(FdOutput::Trust(ProcessSet::singleton(ProcessId(1))).to_string(), "{p1}");
+        assert_eq!(FdOutput::Leader(ProcessId(2)).to_string(), "p2");
+    }
+}

@@ -1,0 +1,148 @@
+//! Register operation records, shared by the register emulation and the
+//! linearizability checker.
+
+use crate::{ProcessId, Time, Value};
+use std::fmt;
+
+/// Unique identifier of one register operation within a run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// What an operation does: `read` or `write(v)` (§2.2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A read; its response carries the value read.
+    Read,
+    /// A write of the given value; its response is the paper's `OK`.
+    Write(Value),
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write(v) => write!(f, "write({v})"),
+        }
+    }
+}
+
+/// A completed (or pending) register operation as observed at the
+/// abstraction boundary: invocation and response events with their times.
+///
+/// The linearizability checker consumes a set of these; an operation with
+/// `returned == None` is pending (its issuer crashed mid-operation), which
+/// an atomic register permits — the operation may or may not take effect.
+///
+/// # Example
+///
+/// ```
+/// use sih_model::{OpId, OpKind, OpRecord, ProcessId, Time, Value};
+/// let w = OpRecord {
+///     id: OpId(0),
+///     process: ProcessId(1),
+///     kind: OpKind::Write(Value(7)),
+///     invoked: Time(3),
+///     returned: Some(Time(9)),
+///     read_value: None,
+/// };
+/// assert!(w.is_complete());
+/// assert!(w.overlaps(&OpRecord { invoked: Time(5), ..w }));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpRecord {
+    /// Unique id of the operation within the run.
+    pub id: OpId,
+    /// The invoking process.
+    pub process: ProcessId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Invocation time.
+    pub invoked: Time,
+    /// Response time; `None` if the operation never returned.
+    pub returned: Option<Time>,
+    /// For completed reads: the value returned (`None` = initial value ⊥).
+    pub read_value: Option<Value>,
+}
+
+impl OpRecord {
+    /// Whether the operation completed (got a response).
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.returned.is_some()
+    }
+
+    /// Whether this operation's real-time interval overlaps `other`'s.
+    /// Pending operations extend to infinity.
+    pub fn overlaps(&self, other: &OpRecord) -> bool {
+        let self_ends_before = self.returned.is_some_and(|r| r < other.invoked);
+        let other_ends_before = other.returned.is_some_and(|r| r < self.invoked);
+        !(self_ends_before || other_ends_before)
+    }
+
+    /// Whether this operation strictly precedes `other` in real time
+    /// (returned before `other` was invoked) — the happens-before order
+    /// that a linearization must respect.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        self.returned.is_some_and(|r| r < other.invoked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(id: u64, invoked: u64, returned: Option<u64>) -> OpRecord {
+        OpRecord {
+            id: OpId(id),
+            process: ProcessId(0),
+            kind: OpKind::Read,
+            invoked: Time(invoked),
+            returned: returned.map(Time),
+            read_value: None,
+        }
+    }
+
+    #[test]
+    fn precedence_is_strict_real_time_order() {
+        let a = op(0, 0, Some(5));
+        let b = op(1, 6, Some(9));
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        let c = op(2, 5, Some(7)); // invoked at a's return instant: concurrent
+        assert!(!a.precedes(&c));
+    }
+
+    #[test]
+    fn overlap_symmetry() {
+        let a = op(0, 0, Some(5));
+        let b = op(1, 3, Some(9));
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        let c = op(2, 6, Some(7));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn pending_ops_overlap_everything_later() {
+        let pending = op(0, 4, None);
+        assert!(!pending.is_complete());
+        assert!(pending.overlaps(&op(1, 1_000, Some(1_001))));
+        assert!(!pending.precedes(&op(1, 1_000, Some(1_001))));
+        // ...but not things that finished before it started.
+        assert!(!pending.overlaps(&op(2, 0, Some(3))));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(OpId(3).to_string(), "op3");
+        assert_eq!(OpKind::Read.to_string(), "read");
+        assert_eq!(OpKind::Write(Value(2)).to_string(), "write(v2)");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the model vocabulary: algebraic laws of
+//! [`ProcessSet`], monotonicity of [`FailurePattern`], and step-function
+//! consistency of [`OutputTimeline`].
+
+#![cfg(test)]
+
+use crate::{FailurePattern, FdOutput, OutputTimeline, ProcessId, ProcessSet, Time};
+use proptest::prelude::*;
+
+fn arb_set() -> impl Strategy<Value = ProcessSet> {
+    any::<u64>().prop_map(|bits| {
+        (0..16u32)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(ProcessId)
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(
+            a.intersection(b.union(c)),
+            a.intersection(b).union(a.intersection(c))
+        );
+    }
+
+    #[test]
+    fn de_morgan_within_a_universe(a in arb_set(), b in arb_set()) {
+        let u = ProcessSet::full(16);
+        let comp = |s: ProcessSet| u.difference(s);
+        prop_assert_eq!(comp(a.union(b)), comp(a).intersection(comp(b)));
+        prop_assert_eq!(comp(a.intersection(b)), comp(a).union(comp(b)));
+    }
+
+    #[test]
+    fn subset_iff_union_absorbs(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset(b), a.union(b) == b);
+        prop_assert_eq!(a.intersects(b), !a.intersection(b).is_empty());
+    }
+
+    #[test]
+    fn smallest_and_greatest_partition(a in arb_set(), m in 0usize..20) {
+        let low = a.smallest(m);
+        let high = a.difference(low);
+        prop_assert_eq!(low.union(high), a);
+        prop_assert!(!low.intersects(high));
+        prop_assert_eq!(low.len(), m.min(a.len()));
+        // Every low member is below every high member.
+        if let (Some(lo_max), Some(hi_min)) = (low.max(), high.min()) {
+            prop_assert!(lo_max < hi_min);
+        }
+    }
+
+    #[test]
+    fn iteration_round_trips(a in arb_set()) {
+        let back: ProcessSet = a.iter().collect();
+        prop_assert_eq!(back, a);
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn crashed_by_is_monotone(crash in proptest::option::of(0u64..50), probe in 0u64..100) {
+        let mut b = FailurePattern::builder(3);
+        if let Some(t) = crash {
+            b = b.crash_at(ProcessId(1), Time(t));
+        }
+        let f = b.build();
+        let earlier = f.crashed_by(Time(probe));
+        let later = f.crashed_by(Time(probe + 1));
+        prop_assert!(earlier.is_subset(later));
+        prop_assert_eq!(f.alive_at(Time(probe)), f.all().difference(earlier));
+    }
+
+    #[test]
+    fn correct_processes_are_alive_forever(probe in 0u64..1_000) {
+        let f = FailurePattern::builder(4)
+            .crash_at(ProcessId(0), Time(5))
+            .crash_from_start(ProcessId(1))
+            .build();
+        for p in f.correct() {
+            prop_assert!(f.is_alive(p, Time(probe)));
+        }
+        prop_assert!(!f.is_alive(ProcessId(1), Time(probe)));
+    }
+
+    #[test]
+    fn timeline_at_returns_last_set_value(changes in proptest::collection::vec((0u64..100, 0u32..8), 0..12)) {
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut tl = OutputTimeline::new(FdOutput::Bot);
+        for &(t, leader) in &sorted {
+            tl.set(Time(t), FdOutput::Leader(ProcessId(leader)));
+        }
+        // Reference: scan for the last change ≤ probe.
+        for probe in [0u64, 1, 10, 50, 99, 150] {
+            let expected = sorted
+                .iter().rfind(|&&(t, _)| t <= probe)
+                .map_or(FdOutput::Bot, |&(_, l)| FdOutput::Leader(ProcessId(l)));
+            prop_assert_eq!(tl.at(Time(probe)), expected);
+        }
+        prop_assert_eq!(
+            tl.final_output(),
+            sorted.last().map_or(FdOutput::Bot, |&(_, l)| FdOutput::Leader(ProcessId(l)))
+        );
+    }
+}

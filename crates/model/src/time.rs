@@ -1,0 +1,101 @@
+//! The global clock `Φ`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point of the paper's global clock `Φ`.
+///
+/// In the paper's model, at most one process takes a step at any time, and
+/// the clock is **not** accessible to the processes — only to failure
+/// patterns, failure-detector histories, and to the meta-level checkers.
+/// The simulator advances `Time` by one per executed step, so `Time` doubles
+/// as a global step counter.
+///
+/// # Example
+///
+/// ```
+/// use sih_model::Time;
+/// let t = Time(10);
+/// assert_eq!(t + 5, Time(15));
+/// assert_eq!(t.next(), Time(11));
+/// assert!(t < Time(11));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The initial time `t_0 = 0`.
+    pub const ZERO: Time = Time(0);
+
+    /// The immediately following time.
+    #[inline]
+    pub fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    /// Saturating subtraction, useful for "within the last `d` steps"
+    /// window computations in checkers.
+    #[inline]
+    pub fn saturating_sub(self, d: u64) -> Time {
+        Time(self.0.saturating_sub(d))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Time {
+    fn from(value: u64) -> Self {
+        Time(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        assert!(Time::ZERO < Time(1));
+        assert_eq!(Time(3) + 4, Time(7));
+        assert_eq!(Time(7) - Time(3), 4);
+        assert_eq!(Time(2).next(), Time(3));
+        let mut t = Time(0);
+        t += 10;
+        assert_eq!(t, Time(10));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Time(5).saturating_sub(10), Time::ZERO);
+        assert_eq!(Time(10).saturating_sub(3), Time(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time(42).to_string(), "t42");
+    }
+}

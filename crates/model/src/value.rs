@@ -1,0 +1,71 @@
+//! Proposal, decision and register values.
+
+use std::fmt;
+
+/// An opaque value, used as an initial/decided value in `k`-set agreement
+/// and as the content of a register.
+///
+/// The paper's algorithms only ever compare values and take maxima (with
+/// the convention `⊥ < v` for every value `v`, used in Phase 3 of Figure 2
+/// — that `⊥` is represented downstream as `Option::<Value>::None`, with
+/// `None < Some(_)` matching the paper's convention for free).
+///
+/// # Example
+///
+/// ```
+/// use sih_model::Value;
+/// let v = Value(7);
+/// assert!(Value(3) < v);
+/// assert_eq!(v.to_string(), "v7");
+/// // The paper's "⊥ < v for all v" convention:
+/// assert!(Option::<Value>::None < Some(Value(0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The canonical "initial value of process `p`" used throughout the
+    /// experiments: distinct per process, so distinct decisions are
+    /// attributable to their proposers.
+    #[inline]
+    pub fn of_process(p: crate::ProcessId) -> Value {
+        Value(p.0 as u64)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(value: u64) -> Self {
+        Value(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    #[test]
+    fn ordering_matches_paper_convention() {
+        // ⊥ (None) is below every value.
+        assert!(Option::<Value>::None < Some(Value(0)));
+        assert!(Some(Value(1)) < Some(Value(2)));
+        assert_eq!(std::cmp::max(None, Some(Value(3))), Some(Value(3)));
+    }
+
+    #[test]
+    fn of_process_is_injective_on_ids() {
+        assert_ne!(Value::of_process(ProcessId(0)), Value::of_process(ProcessId(1)));
+        assert_eq!(Value::of_process(ProcessId(4)), Value(4));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value(9).to_string(), "v9");
+    }
+}

@@ -1,0 +1,304 @@
+//! Lemma 15, executable: no algorithm implements set agreement from
+//! `anti-Ω` in message passing.
+//!
+//! The proof's chain-of-runs construction, mechanized:
+//!
+//! 1. **Solo probes** — for each `i`, run `r_i`: only `p_i` is correct,
+//!    everyone else crashed from the start, and the `anti-Ω` history
+//!    returns `p_{i+1 mod n}` at `p_i` forever (legal for `F_i`: the
+//!    only correct process `p_i` is never named). `p_i` receives no
+//!    messages; by Termination it must decide, and by Validity it decides
+//!    its own value. The number of steps it takes is the segment length.
+//! 2. **The glued run** — all `n` processes are correct; the history
+//!    returns `p_{x+1 mod n}` at `p_x` during the segments and `p_0`
+//!    forever afterwards (legal for the all-correct pattern: e.g. `p_1`
+//!    is named only during finite segment 0). The adversary schedules the
+//!    segments back to back, delaying every message past the end.
+//!    Each `p_i` sees exactly the inputs of its solo probe —
+//!    indistinguishability — so each decides its own value: `n` distinct
+//!    decisions, violating `(n−1)`-set agreement.
+//!
+//! A candidate that fails to decide in a solo probe (or decides a value
+//! it never saw) is reported as a Termination/Validity defeat instead —
+//! again, *some* property of set agreement fails.
+
+use sih_agreement::distinct_proposals;
+use sih_model::{FailurePattern, FdOutput, ProcessId, RecordedHistory, Value};
+use sih_runtime::{Automaton, Choice, ScriptedScheduler, Simulation};
+use std::fmt;
+
+/// The verdict of the Lemma 15 construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lemma15Verdict {
+    /// The glued run decided `n` distinct values — Agreement of
+    /// `(n−1)`-set agreement is violated.
+    AgreementViolation {
+        /// The distinct decided values (one per process).
+        distinct: Vec<Value>,
+    },
+    /// A solo probe never decided within the deadline — Termination is
+    /// violated in run `r_i` (which uses a legal `anti-Ω` history).
+    SoloTermination {
+        /// The solo process that failed to decide.
+        process: ProcessId,
+    },
+    /// A solo probe decided a value that is not its own initial value —
+    /// with no messages received, Validity is violated.
+    SoloValidity {
+        /// The offending process and its decision.
+        process: ProcessId,
+        /// The decided value.
+        decided: Value,
+    },
+}
+
+/// Full report of the construction.
+#[derive(Clone, Debug)]
+pub struct Lemma15Report {
+    /// The verdict (always a defeat of some property).
+    pub verdict: Lemma15Verdict,
+    /// Segment lengths (steps each solo probe needed to decide).
+    pub segments: Vec<u64>,
+}
+
+impl fmt::Display for Lemma15Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.verdict {
+            Lemma15Verdict::AgreementViolation { distinct } => write!(
+                f,
+                "agreement violated: all {} processes decided their own values ({} distinct > n−1)",
+                self.segments.len(),
+                distinct.len()
+            ),
+            Lemma15Verdict::SoloTermination { process } => {
+                write!(f, "termination violated: {process} never decides alone")
+            }
+            Lemma15Verdict::SoloValidity { process, decided } => {
+                write!(f, "validity violated: solo {process} decided {decided}")
+            }
+        }
+    }
+}
+
+/// The segmented `anti-Ω` history: `p_x` is answered `p_{x+1 mod n}`.
+/// (The infinite tail that makes it legal for the all-correct pattern —
+/// `p_0` forever after the last segment — is never queried by the finite
+/// glued run, so it needs no explicit representation.)
+fn chain_history(n: usize) -> RecordedHistory {
+    let initials = (0..n as u32)
+        .map(|i| FdOutput::Leader(ProcessId((i + 1) % n as u32)))
+        .collect();
+    RecordedHistory::with_initials(initials).with_label("anti-Ω chain history")
+}
+
+/// Runs the Lemma 15 construction against a candidate set-agreement
+/// algorithm using `anti-Ω`. `mk` builds the `n` automata for the given
+/// proposals (process `p_i` proposes `proposals[i]`).
+pub fn lemma15_defeat<A, F>(mk: &F, n: usize, deadline_per_segment: u64) -> Lemma15Report
+where
+    A: Automaton,
+    F: Fn(&[Value]) -> Vec<A>,
+{
+    assert!(n >= 2);
+    let proposals = distinct_proposals(n);
+    let fd = chain_history(n);
+    let mut segments = Vec::with_capacity(n);
+
+    // Phase 1: solo probes.
+    for i in 0..n {
+        let p = ProcessId(i as u32);
+        let mut b = FailurePattern::builder(n);
+        for j in 0..n as u32 {
+            if j != i as u32 {
+                b = b.crash_from_start(ProcessId(j));
+            }
+        }
+        let pattern = b.build();
+        let mut sim = Simulation::new(mk(&proposals), pattern);
+        let mut steps = 0u64;
+        while sim.trace().decision_of(p).is_none() && steps < deadline_per_segment {
+            // No deliveries ever: the adversary delays all messages.
+            sim.step(Choice::compute(p), &fd);
+            steps += 1;
+        }
+        match sim.trace().decision_of(p) {
+            None => {
+                return Lemma15Report {
+                    verdict: Lemma15Verdict::SoloTermination { process: p },
+                    segments,
+                };
+            }
+            Some(v) if v != proposals[i] => {
+                return Lemma15Report {
+                    verdict: Lemma15Verdict::SoloValidity { process: p, decided: v },
+                    segments,
+                };
+            }
+            Some(_) => segments.push(steps),
+        }
+    }
+
+    // Phase 2: the glued run — all correct, segments back to back,
+    // every message delayed past the last decision.
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(mk(&proposals), pattern);
+    let script: Vec<Choice> = (0..n)
+        .flat_map(|i| {
+            std::iter::repeat_n(Choice::compute(ProcessId(i as u32)), segments[i] as usize)
+        })
+        .collect();
+    let mut sched = ScriptedScheduler::new(script);
+    sim.run(&mut sched, &fd, u64::MAX);
+
+    // Indistinguishability: each p_i decided exactly its own value.
+    for (i, expected) in proposals.iter().enumerate() {
+        let p = ProcessId(i as u32);
+        assert_eq!(
+            sim.trace().decision_of(p),
+            Some(*expected),
+            "determinism: the glued run must replay each solo probe"
+        );
+    }
+    let distinct = sim.trace().distinct_decisions();
+    assert_eq!(distinct.len(), n, "n processes decided n distinct values");
+    Lemma15Report { verdict: Lemma15Verdict::AgreementViolation { distinct }, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::AntiOmegaAgreementCandidate;
+    use sih_detectors::check_anti_omega;
+    use sih_model::{FailureDetector, ProcessSet, Time};
+
+    #[test]
+    fn defeats_the_patience_candidate() {
+        for n in [3usize, 4, 6] {
+            let report = lemma15_defeat(
+                &|props: &[Value]| AntiOmegaAgreementCandidate::processes(props, 5),
+                n,
+                10_000,
+            );
+            match report.verdict {
+                Lemma15Verdict::AgreementViolation { distinct } => {
+                    assert_eq!(distinct.len(), n);
+                }
+                other => panic!("expected agreement violation, got {other:?}"),
+            }
+            assert_eq!(report.segments.len(), n);
+            assert!(report.segments.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn chain_history_is_legal_for_each_solo_pattern() {
+        let n = 4;
+        let h = chain_history(n);
+        for i in 0..n as u32 {
+            let mut crashed = ProcessSet::EMPTY;
+            for j in 0..n as u32 {
+                if j != i {
+                    crashed.insert(ProcessId(j));
+                }
+            }
+            let f = FailurePattern::crashed_from_start(n, crashed);
+            check_anti_omega(&h, &f).unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_history_glued_with_tail_is_legal_for_all_correct() {
+        // The glued history with the p_0-forever tail: after the segments
+        // (say they end by t = 1000) everyone is answered p_0, so e.g.
+        // p_1 is named only finitely — legal for the all-correct pattern.
+        let n = 4;
+        let mut h = chain_history(n);
+        for i in 0..n as u32 {
+            h.record(ProcessId(i), Time(1_000), FdOutput::Leader(ProcessId(0)));
+        }
+        let f = FailurePattern::all_correct(n);
+        check_anti_omega(&h, &f).unwrap();
+    }
+
+    #[test]
+    fn chain_history_never_names_the_solo_process_to_itself() {
+        let n = 5;
+        let h = chain_history(n);
+        for i in 0..n as u32 {
+            for t in 0..50u64 {
+                assert_ne!(
+                    h.output(ProcessId(i), Time(t)).leader(),
+                    Some(ProcessId(i)),
+                    "p{i} must not be named at itself"
+                );
+            }
+        }
+    }
+
+    /// A candidate that refuses to decide alone (it waits for another
+    /// value forever): defeated via solo termination instead.
+    #[derive(Clone, Debug)]
+    struct StubbornCandidate;
+    impl Automaton for StubbornCandidate {
+        type Msg = Value;
+        fn step(
+            &mut self,
+            input: sih_runtime::StepInput<Value>,
+            eff: &mut sih_runtime::Effects<Value>,
+        ) {
+            if let Some(env) = &input.delivered {
+                eff.decide(env.payload);
+                eff.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn stubborn_candidate_fails_termination() {
+        let report = lemma15_defeat(&|props: &[Value]| vec![StubbornCandidate; props.len()], 3, 500);
+        assert_eq!(
+            report.verdict,
+            Lemma15Verdict::SoloTermination { process: ProcessId(0) }
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_candidates {
+    use super::*;
+    use crate::candidates::SelfQuietCandidate;
+
+    #[test]
+    fn defeats_the_self_quiet_candidate() {
+        // This candidate watches for its OWN id falling silent; the chain
+        // history never names the solo process at itself, so its solo
+        // path fires just the same.
+        for n in [3usize, 5] {
+            let report = lemma15_defeat(
+                &|props: &[Value]| SelfQuietCandidate::processes(props, 7),
+                n,
+                10_000,
+            );
+            match report.verdict {
+                Lemma15Verdict::AgreementViolation { distinct } => {
+                    assert_eq!(distinct.len(), n)
+                }
+                other => panic!("expected agreement violation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn self_quiet_candidate_is_otherwise_reasonable() {
+        // Sanity: in talkative runs it satisfies the safety side easily.
+        use sih_detectors::AntiOmega;
+        use sih_runtime::{FairScheduler, Simulation};
+        let f = FailurePattern::all_correct(4);
+        let d = AntiOmega::new(&f, 3);
+        let procs = SelfQuietCandidate::processes(&distinct_proposals(4), 1_000);
+        let mut sim = Simulation::new(procs, f);
+        let mut sched = FairScheduler::new(3);
+        sim.run(&mut sched, &d, 50_000);
+        assert!(sim.trace().distinct_decisions().len() <= 3);
+    }
+}

@@ -1,0 +1,280 @@
+//! Lemma 7, executable: no algorithm emulates `Σ_{p,q}` from `σ`
+//! (`n ≥ 3`) — hence set agreement is not harder than a 2-register.
+//!
+//! The proof's construction, mechanized:
+//!
+//! 1. **Run `r`** — failure pattern `F`: `p` and a third process `a` are
+//!    correct, everyone else (including `q`) crashed from the start. The
+//!    `σ` history has active pair `A = {p, q}` and outputs `∅` at them
+//!    forever (legal: `Correct(F) ⊄ A`, so non-triviality is mute). By
+//!    `Σ_{p,q}`'s completeness the candidate must reach a time `t` with
+//!    `output_p(t) ⊆ {a, p}` (and nonempty, by intersection-with-self).
+//! 2. **Run `r′`** — `q` is correct, `p` and `a` crash right after `t`,
+//!    and `q` takes its first step at `t+1`. The `σ` history agrees with
+//!    run `r` up to `t` and afterwards outputs `{q}` at `q` (legal:
+//!    `Correct(F′) = {q} ⊆ A` triggers non-triviality; intersection holds
+//!    as `{q}` is the only nonempty output). The prefix is **replayed**
+//!    verbatim — `p` cannot distinguish `r′` from `r` — so
+//!    `output_p(t) ⊆ {a, p}` still. Completeness now forces a `t″` with
+//!    `output_q(t″) ⊆ {q}`.
+//! 3. `output_p(t) ∩ output_q(t″) = ∅` — the intersection property of
+//!    `Σ_{p,q}` is violated inside the single run `r′`.
+//!
+//! If the candidate never confines its output (step 1 or 2 times out),
+//! that is already a completeness/intersection defeat and is reported as
+//! such: *some* property fails, which is the lemma.
+
+use super::{await_confined, Defeat};
+use sih_model::{FailurePattern, FdOutput, ProcessId, ProcessSet, RecordedHistory};
+use sih_runtime::{Automaton, FairScheduler, ScriptedScheduler, Simulation};
+
+/// Runs the Lemma 7 construction against a candidate `Σ_{p,q}`-from-`σ`
+/// emulation; returns the property violation it exhibits.
+///
+/// `mk` builds the `n` candidate automata afresh (the construction runs
+/// the algorithm twice from identical initial states).
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `p`, `q`, `a` are not three distinct processes
+/// within range (the lemma requires a third process).
+pub fn lemma7_defeat<A, F>(
+    mk: &F,
+    n: usize,
+    p: ProcessId,
+    q: ProcessId,
+    a: ProcessId,
+    seed: u64,
+    deadline_steps: u64,
+) -> Defeat
+where
+    A: Automaton,
+    F: Fn() -> Vec<A>,
+{
+    assert!(n >= 3, "Lemma 7 needs n ≥ 3");
+    assert!(p != q && q != a && p != a, "p, q, a must be distinct");
+    assert!(p.index() < n && q.index() < n && a.index() < n);
+    let pair = ProcessSet::from_iter([p, q]);
+
+    // ---- Run r ----
+    let mut pattern_r = FailurePattern::builder(n);
+    for i in 0..n as u32 {
+        let x = ProcessId(i);
+        if x != p && x != a {
+            pattern_r = pattern_r.crash_from_start(x);
+        }
+    }
+    let pattern_r = pattern_r.build();
+
+    // σ history for r: silent (∅) at the active pair, ⊥ elsewhere.
+    let silent_sigma = sigma_silent_history(n, pair).with_label("σ(r): A={p,q}, ∅ forever");
+
+    let mut sim_r = Simulation::new(mk(), pattern_r);
+    let mut sched_r = FairScheduler::new(seed);
+    let t = match await_confined(
+        &mut sim_r,
+        &mut sched_r,
+        &silent_sigma,
+        p,
+        ProcessSet::from_iter([a, p]),
+        "r",
+        deadline_steps,
+    ) {
+        Ok(t) => t,
+        Err(defeat) => return defeat,
+    };
+    let prefix = sim_r.script().to_vec();
+
+    // ---- Run r′ ----
+    let mut pattern_r2 = FailurePattern::builder(n).crash_at(p, t).crash_at(a, t);
+    for i in 0..n as u32 {
+        let x = ProcessId(i);
+        if x != p && x != q && x != a {
+            pattern_r2 = pattern_r2.crash_from_start(x);
+        }
+    }
+    let pattern_r2 = pattern_r2.build();
+
+    let mut sigma_r2 = sigma_silent_history(n, pair).with_label("σ(r′): {q} after t");
+    sigma_r2.record(q, t.next(), FdOutput::Trust(ProcessSet::singleton(q)));
+
+    let mut sim_r2 = Simulation::new(mk(), pattern_r2);
+    let mut sched_r2 =
+        ScriptedScheduler::followed_by(prefix, FairScheduler::new(seed.wrapping_add(1)));
+    let t2 = match await_confined(
+        &mut sim_r2,
+        &mut sched_r2,
+        &sigma_r2,
+        q,
+        ProcessSet::singleton(q),
+        "r′",
+        deadline_steps * 2,
+    ) {
+        Ok(t2) => t2,
+        Err(defeat) => return defeat,
+    };
+
+    // ---- The violation, inside r′ alone ----
+    let h = sim_r2.trace().emulated_history();
+    let out_p = h
+        .timeline(p)
+        .at(t)
+        .trust()
+        .expect("replayed prefix preserves p's confined output");
+    let out_q = h.timeline(q).at(t2).trust().expect("just confined");
+    assert!(
+        !out_p.intersects(out_q),
+        "construction invariant: {out_p} ⊆ {{a,p}} and {out_q} ⊆ {{q}} are disjoint"
+    );
+    Defeat::Intersection {
+        t_first: t,
+        t_second: t2,
+        first: (p, out_p),
+        second: (q, out_q),
+    }
+}
+
+/// The `σ` history outputting `∅` at the active pair and `⊥` elsewhere.
+fn sigma_silent_history(n: usize, pair: ProcessSet) -> RecordedHistory {
+    let initials = (0..n as u32)
+        .map(|i| {
+            if pair.contains(ProcessId(i)) {
+                FdOutput::EMPTY_TRUST
+            } else {
+                FdOutput::Bot
+            }
+        })
+        .collect();
+    RecordedHistory::with_initials(initials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{GossipPairCandidate, MirrorPairCandidate};
+    use crate::fig3::fig3_processes;
+    use sih_detectors::check_sigma;
+    use sih_model::{FailureDetector, Time};
+
+    const N: usize = 4;
+
+    fn pqa() -> (ProcessId, ProcessId, ProcessId) {
+        (ProcessId(0), ProcessId(1), ProcessId(2))
+    }
+
+    #[test]
+    fn defeats_the_mirror_candidate() {
+        let (p, q, a) = pqa();
+        let defeat = lemma7_defeat(
+            &|| (0..N).map(|_| MirrorPairCandidate::new(p, q)).collect(),
+            N,
+            p,
+            q,
+            a,
+            7,
+            20_000,
+        );
+        // Mirror outputs {p,q} whenever σ is silent: in run r its output
+        // never confines to {a,p} — a completeness defeat.
+        match defeat {
+            Defeat::Completeness { run: "r", process, .. } => assert_eq!(process, p),
+            other => panic!("expected completeness defeat in r, got {other}"),
+        }
+    }
+
+    #[test]
+    fn defeats_the_gossip_candidate() {
+        let (p, q, a) = pqa();
+        let defeat = lemma7_defeat(
+            &|| (0..N).map(|_| GossipPairCandidate::new(p, q, 16)).collect(),
+            N,
+            p,
+            q,
+            a,
+            3,
+            40_000,
+        );
+        // Gossip confines to {p,a} in r (only a answers) and to {q} in r′
+        // (σ says {q}), so the full intersection violation materializes.
+        match defeat {
+            Defeat::Intersection { first, second, .. } => {
+                assert_eq!(first.0, p);
+                assert_eq!(second.0, q);
+                assert!(!first.1.intersects(second.1));
+            }
+            other => panic!("expected intersection defeat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn construction_histories_are_legal_sigma_histories() {
+        // The σ histories the adversary feeds the candidates must
+        // themselves satisfy Definition 3 — otherwise the defeat would be
+        // vacuous. Validate both against the σ checker.
+        let (p, q, a) = pqa();
+        let pair = ProcessSet::from_iter([p, q]);
+        // Run r's pattern and history.
+        let mut b = FailurePattern::builder(N);
+        for i in 0..N as u32 {
+            let x = ProcessId(i);
+            if x != p && x != a {
+                b = b.crash_from_start(x);
+            }
+        }
+        let f_r = b.build();
+        let h_r = sigma_silent_history(N, pair);
+        check_sigma(&h_r, &f_r, pair).unwrap();
+
+        // Run r′'s pattern and history (t = 10, say).
+        let t = Time(10);
+        let mut b2 = FailurePattern::builder(N).crash_at(p, t).crash_at(a, t);
+        for i in 0..N as u32 {
+            let x = ProcessId(i);
+            if x != p && x != q && x != a {
+                b2 = b2.crash_from_start(x);
+            }
+        }
+        let f_r2 = b2.build();
+        let mut h_r2 = sigma_silent_history(N, pair);
+        h_r2.record(q, t.next(), FdOutput::Trust(ProcessSet::singleton(q)));
+        check_sigma(&h_r2, &f_r2, pair).unwrap();
+        assert_eq!(h_r2.output(q, t), FdOutput::EMPTY_TRUST);
+        assert_eq!(h_r2.output(q, t.next()), FdOutput::Trust(ProcessSet::singleton(q)));
+    }
+
+    #[test]
+    fn even_the_paper_own_fig3_is_no_counterexample() {
+        // Figure 3 emulates σ from Σ_{p,q}, not the converse; feeding its
+        // automata (which just echo their detector) to the adversary must
+        // still produce a defeat — σ's silent history gives them nothing
+        // to echo, so their output never confines (∅ forever).
+        let (p, q, a) = pqa();
+        let defeat = lemma7_defeat(
+            &|| fig3_processes(N, p, q),
+            N,
+            p,
+            q,
+            a,
+            1,
+            10_000,
+        );
+        match defeat {
+            Defeat::EmptyOutput { run: "r", process } => assert_eq!(process, p),
+            other => panic!("expected empty-output defeat, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_degenerate_processes() {
+        let _ = lemma7_defeat(
+            &|| (0..N).map(|_| MirrorPairCandidate::new(ProcessId(0), ProcessId(1))).collect(),
+            N,
+            ProcessId(0),
+            ProcessId(0),
+            ProcessId(2),
+            0,
+            100,
+        );
+    }
+}

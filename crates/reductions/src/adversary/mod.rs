@@ -1,0 +1,117 @@
+//! Executable impossibility constructions.
+//!
+//! Each module mechanizes one proof of the paper as an *adversary*: a
+//! procedure that takes a candidate algorithm (a black-box automaton
+//! factory) and builds the exact runs of the proof, returning a
+//! machine-checked [`Defeat`] naming the property the candidate violated.
+//! The proofs are uniform in the algorithm, so the same construction
+//! defeats every candidate — running it is the executable counterpart of
+//! reading the proof.
+
+mod lemma11;
+mod lemma15;
+mod lemma7;
+mod theorem13;
+mod tightness;
+
+pub use lemma11::lemma11_defeat;
+pub use lemma15::{lemma15_defeat, Lemma15Report, Lemma15Verdict};
+pub use lemma7::lemma7_defeat;
+pub use theorem13::{theorem13_demo, Theorem13Report, Theorem13Transform};
+pub use tightness::{fig2_tightness, fig4_tightness, TightnessReport};
+
+use sih_model::{FdOutput, ProcessId, ProcessSet, Time};
+use std::fmt;
+
+/// How a candidate emulation was defeated by a two-run construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Defeat {
+    /// The candidate's emulated output at `process` never confined itself
+    /// to `target` within the deadline — violating the emulated
+    /// detector's completeness in the named run.
+    Completeness {
+        /// Which constructed run (`"r"` or `"r′"`).
+        run: &'static str,
+        /// The observed process.
+        process: ProcessId,
+        /// Its final emulated output.
+        final_output: FdOutput,
+        /// The completeness target it had to reach.
+        target: ProcessSet,
+    },
+    /// The candidate emitted an empty trusted list — an immediate
+    /// intersection violation (every two lists must intersect, including
+    /// a list with itself).
+    EmptyOutput {
+        /// Which constructed run.
+        run: &'static str,
+        /// The offending process.
+        process: ProcessId,
+    },
+    /// The headline verdict: two confined outputs from the glued runs are
+    /// disjoint, violating the emulated detector's intersection property.
+    Intersection {
+        /// Time of the first output (in run `r`, preserved in `r′`).
+        t_first: Time,
+        /// Time of the second output (in run `r′`).
+        t_second: Time,
+        /// The first process and its output.
+        first: (ProcessId, ProcessSet),
+        /// The second process and its output.
+        second: (ProcessId, ProcessSet),
+    },
+}
+
+impl fmt::Display for Defeat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Defeat::Completeness { run, process, final_output, target } => write!(
+                f,
+                "completeness violated in run {run}: output of {process} stuck at {final_output}, never confined to {target}"
+            ),
+            Defeat::EmptyOutput { run, process } => write!(
+                f,
+                "intersection violated in run {run}: {process} emitted the empty list (∅ ∩ ∅ = ∅)"
+            ),
+            Defeat::Intersection { t_first, t_second, first, second } => write!(
+                f,
+                "intersection violated across the glued runs: H({},{t_first})={} ∩ H({},{t_second})={} = ∅",
+                first.0, first.1, second.0, second.1
+            ),
+        }
+    }
+}
+
+/// Shared skeleton of the Lemma 7 / Lemma 11 constructions: run the
+/// candidate under `fd` and `pattern` until the emulated output at
+/// `watch` becomes a nonempty trusted list confined to `target`.
+///
+/// Returns `Ok(time_of_confinement)` or the appropriate [`Defeat`] if the
+/// deadline passes first.
+pub(crate) fn await_confined<A>(
+    sim: &mut sih_runtime::Simulation<A>,
+    sched: &mut dyn sih_runtime::Scheduler,
+    fd: &dyn sih_model::FailureDetector,
+    watch: ProcessId,
+    target: ProcessSet,
+    run: &'static str,
+    deadline_steps: u64,
+) -> Result<Time, Defeat>
+where
+    A: sih_runtime::Automaton,
+{
+    let confined = |out: FdOutput| {
+        out.trust().is_some_and(|s| !s.is_empty() && s.is_subset(target))
+    };
+    sim.run_until(sched, &fd, deadline_steps, |s| {
+        confined(s.trace().emulated_history().timeline(watch).final_output())
+    });
+    let fin = sim.trace().emulated_history().timeline(watch).final_output();
+    if confined(fin) {
+        return Ok(sim.now());
+    }
+    match fin.trust() {
+        Some(s) if s.is_empty() => Err(Defeat::EmptyOutput { run, process: watch }),
+        _ => Err(Defeat::Completeness { run, process: watch, final_output: fin, target }),
+    }
+}

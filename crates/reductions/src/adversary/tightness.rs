@@ -1,0 +1,192 @@
+//! Tightness schedules: adversarial runs forcing the paper's positive
+//! algorithms to actually *use* their full decision budget.
+//!
+//! Theorem 8 gives `(n−k)`-set agreement from `σ_2k`, and claim (c) /
+//! Theorem 13 say one cannot do better (`(n−k)−1` is unattainable). The
+//! executable half of "the bound is tight" is a schedule under which
+//! Figure 4 emits **exactly `n−k` distinct decisions** (and Figure 2
+//! exactly `n−1`): the adversary steps every non-active process once and
+//! crashes it (own value decided, messages delayed), kills one half of
+//! the active set, and lets the surviving half exit its loop undecided.
+
+use sih_agreement::{distinct_proposals, fig2_processes, fig4_processes, Fig2Msg};
+use sih_detectors::{Sigma, SigmaK};
+use sih_model::{FailurePattern, ProcessId, ProcessSet, Time, Value};
+use sih_runtime::{Choice, Simulation};
+
+/// Outcome of a tightness schedule.
+#[derive(Clone, Debug)]
+pub struct TightnessReport {
+    /// The distinct decided values.
+    pub distinct: Vec<Value>,
+    /// The agreement bound `k` of the abstraction (`n−1` or `n−k`).
+    pub bound: usize,
+}
+
+impl TightnessReport {
+    /// Whether the run used the full budget: exactly `bound` distinct
+    /// decisions (so the algorithm cannot be claimed to solve
+    /// `(bound−1)`-set agreement).
+    pub fn is_exact(&self) -> bool {
+        self.distinct.len() == self.bound
+    }
+}
+
+/// Forces Figure 2 to decide exactly `n−1` distinct values.
+///
+/// Schedule: every non-active process steps once (deciding its own value)
+/// and crashes; all `(D, ·)` messages are delayed forever; the two active
+/// processes (now the only correct ones — `σ`'s non-triviality case) run
+/// Task 2 to completion, contributing exactly one more value.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or the schedule fails to produce a decision for the
+/// actives within a generous cap (which would indicate an engine bug).
+pub fn fig2_tightness(n: usize, seed: u64) -> TightnessReport {
+    assert!(n >= 3);
+    let p0 = ProcessId(0);
+    let p1 = ProcessId(1);
+
+    // Non-actives crash right after their single step at times 1..n−2.
+    let mut b = FailurePattern::builder(n);
+    for j in 2..n as u32 {
+        b = b.crash_at(ProcessId(j), Time(u64::from(j) - 1));
+    }
+    let pattern = b.build();
+    let sigma = Sigma::new(p0, p1, &pattern, seed);
+    let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern);
+
+    // Step each non-active once: it sees ⊥ and decides its own value.
+    for j in 2..n as u32 {
+        sim.step(Choice::compute(ProcessId(j)), &sigma);
+    }
+
+    // Drive the actives, delivering only Task 2 traffic (never (D, ·)).
+    let mut guard = 0;
+    while sim.trace().decision_of(p0).is_none() || sim.trace().decision_of(p1).is_none() {
+        for p in [p0, p1] {
+            if sim.trace().decision_of(p).is_some() {
+                continue;
+            }
+            let deliver = sim
+                .network()
+                .pending(p)
+                .iter()
+                .position(|env| !matches!(env.payload, Fig2Msg::Decision(_)));
+            sim.step(Choice { p, deliver }, &sigma);
+        }
+        guard += 1;
+        assert!(guard < 10_000, "actives must decide under this schedule");
+    }
+
+    let report =
+        TightnessReport { distinct: sim.trace().distinct_decisions(), bound: n - 1 };
+    assert!(report.is_exact(), "the schedule forces exactly n−1 values: {report:?}");
+    report
+}
+
+/// Forces Figure 4 to decide exactly `n−k` distinct values.
+///
+/// Schedule: the low half of the active set is crashed from the start
+/// (its values never circulate); each non-active process steps once
+/// (deciding its own value) and crashes; the surviving high half — now
+/// `Correct ⊆ A-high`, Definition 9's trigger — exits its repeat loop
+/// undecided and decides its own values. Total: `(n−2k) + k = n−k`.
+///
+/// # Panics
+///
+/// Panics if `1 ≤ k` and `2k ≤ n` fail, or the schedule misbehaves.
+pub fn fig4_tightness(n: usize, k: usize, seed: u64) -> TightnessReport {
+    assert!(k >= 1 && 2 * k <= n);
+    let active: ProcessSet = (0..2 * k as u32).map(ProcessId).collect();
+    let low = active.smallest(k);
+    let high = active.difference(low);
+
+    let mut b = FailurePattern::builder(n);
+    for z in low {
+        b = b.crash_from_start(z);
+    }
+    for j in 2 * k..n {
+        // Non-active p_j steps at time (j − 2k) + 1, then crashes.
+        b = b.crash_at(ProcessId(j as u32), Time((j - 2 * k) as u64 + 1));
+    }
+    let pattern = b.build();
+    let det = SigmaK::new(active, &pattern, seed);
+    let mut sim = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern);
+
+    // Non-actives: one step each (⊥ ⇒ decide own value).
+    for j in 2 * k..n {
+        sim.step(Choice::compute(ProcessId(j as u32)), &det);
+    }
+
+    // High half: two computation steps each (learn A; exit the loop
+    // undecided), with every message delayed.
+    for h in high {
+        sim.step(Choice::compute(h), &det);
+        if sim.trace().decision_of(h).is_none() {
+            sim.step(Choice::compute(h), &det);
+        }
+        assert_eq!(
+            sim.trace().decision_of(h),
+            Some(Value::of_process(h)),
+            "{h} must exit its loop undecided and fall back on its own value"
+        );
+    }
+
+    let report = TightnessReport { distinct: sim.trace().distinct_decisions(), bound: n - k };
+    assert!(report.is_exact(), "the schedule forces exactly n−k values: {report:?}");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_budget_is_reachable() {
+        for n in [3usize, 4, 6, 8] {
+            for seed in 0..4 {
+                let r = fig2_tightness(n, seed);
+                assert_eq!(r.distinct.len(), n - 1, "n={n} seed={seed}");
+                assert!(r.is_exact());
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_budget_is_reachable() {
+        for (n, k) in [(4usize, 1usize), (6, 2), (8, 2), (8, 3), (4, 2), (6, 3)] {
+            for seed in 0..4 {
+                let r = fig4_tightness(n, k, seed);
+                assert_eq!(r.distinct.len(), n - k, "n={n} k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_actives_decide_one_common_extra_value() {
+        let r = fig2_tightness(5, 1);
+        // Non-actives contribute v2, v3, v4; the actives add exactly one
+        // of {v0, v1}.
+        let extras: Vec<&Value> =
+            r.distinct.iter().filter(|v| v.0 < 2).collect();
+        assert_eq!(extras.len(), 1, "{:?}", r.distinct);
+    }
+
+    #[test]
+    fn fig4_high_half_contributes_its_own_values() {
+        let r = fig4_tightness(8, 3, 0);
+        // Low half {0,1,2} never decides; high half {3,4,5} decides own;
+        // non-actives {6,7} decide own.
+        let mut expect: Vec<Value> = (3..8).map(Value).collect();
+        expect.sort_unstable();
+        assert_eq!(r.distinct, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 * k <= n")]
+    fn fig4_rejects_oversized_k() {
+        let _ = fig4_tightness(4, 3, 0);
+    }
+}

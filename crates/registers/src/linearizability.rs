@@ -1,0 +1,448 @@
+//! Linearizability checking for single-register histories (Wing–Gong
+//! style search with memoization).
+//!
+//! Atomicity ("every operation appears to execute instantaneously between
+//! its invocation and response", §2.2 of the paper, after [15, 14]) is
+//! checked by searching for a *linearization*: a total order of operations
+//! that (1) contains every completed operation, (2) may contain any subset
+//! of pending operations (a crashed client's operation may or may not have
+//! taken effect), (3) respects real-time precedence, and (4) is a legal
+//! sequential register history — every read returns the latest preceding
+//! write (or the initial value).
+
+use sih_model::{OpKind, OpRecord, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The history is not linearizable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearizabilityViolation {
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for LinearizabilityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "history is not linearizable: {}", self.detail)
+    }
+}
+
+impl std::error::Error for LinearizabilityViolation {}
+
+/// Maximum history size the checker accepts (bitmask-bounded).
+pub const MAX_OPS: usize = 128;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct SearchState {
+    linearized: u128,
+    value: Option<Value>,
+}
+
+/// Checks that `ops` is a linearizable history of one atomic register
+/// with the given initial value.
+///
+/// # Errors
+///
+/// Returns a [`LinearizabilityViolation`] if no linearization exists.
+///
+/// # Panics
+///
+/// Panics if the history exceeds [`MAX_OPS`] operations.
+pub fn check_linearizable(
+    ops: &[OpRecord],
+    initial: Option<Value>,
+) -> Result<(), LinearizabilityViolation> {
+    assert!(ops.len() <= MAX_OPS, "history too large for the checker");
+    let completed_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_complete())
+        .fold(0, |m, (i, _)| m | (1 << i));
+
+    let mut visited: HashSet<SearchState> = HashSet::new();
+    let start = SearchState { linearized: 0, value: initial };
+    if dfs(ops, completed_mask, start, &mut visited) {
+        Ok(())
+    } else {
+        Err(LinearizabilityViolation {
+            detail: format!(
+                "no linearization of {} operations ({} completed) from initial {:?}",
+                ops.len(),
+                completed_mask.count_ones(),
+                initial
+            ),
+        })
+    }
+}
+
+/// Whether operation `i` may be linearized next: no *unlinearized* other
+/// operation returned strictly before `i`'s invocation.
+fn is_minimal(ops: &[OpRecord], linearized: u128, i: usize) -> bool {
+    ops.iter().enumerate().all(|(j, o)| {
+        j == i || linearized & (1 << j) != 0 || !o.precedes(&ops[i])
+    })
+}
+
+fn dfs(
+    ops: &[OpRecord],
+    completed_mask: u128,
+    state: SearchState,
+    visited: &mut HashSet<SearchState>,
+) -> bool {
+    if state.linearized & completed_mask == completed_mask {
+        return true; // every completed op linearized; pendings optional
+    }
+    if !visited.insert(state) {
+        return false;
+    }
+    for i in 0..ops.len() {
+        let bit = 1u128 << i;
+        if state.linearized & bit != 0 || !is_minimal(ops, state.linearized, i) {
+            continue;
+        }
+        let op = &ops[i];
+        let next_value = match op.kind {
+            OpKind::Read => {
+                if op.is_complete() && op.read_value != state.value {
+                    continue; // this read cannot go here
+                }
+                state.value
+            }
+            OpKind::Write(v) => Some(v),
+        };
+        let next = SearchState { linearized: state.linearized | bit, value: next_value };
+        if dfs(ops, completed_mask, next, visited) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Brute-force reference: decides linearizability by enumerating every
+/// subset of pending operations and every permutation of the chosen
+/// operations. Exponential — usable only for tiny histories — but
+/// obviously correct, which makes it the differential-testing oracle for
+/// [`check_linearizable`].
+///
+/// # Panics
+///
+/// Panics if the history exceeds 8 operations.
+pub fn check_linearizable_brute_force(
+    ops: &[OpRecord],
+    initial: Option<Value>,
+) -> Result<(), LinearizabilityViolation> {
+    assert!(ops.len() <= 8, "brute force is factorial; keep histories tiny");
+    let completed: Vec<usize> =
+        (0..ops.len()).filter(|&i| ops[i].is_complete()).collect();
+    let pending: Vec<usize> =
+        (0..ops.len()).filter(|&i| !ops[i].is_complete()).collect();
+
+    // Every subset of pendings...
+    for subset_bits in 0..(1u32 << pending.len()) {
+        let mut chosen: Vec<usize> = completed.clone();
+        for (j, &idx) in pending.iter().enumerate() {
+            if subset_bits & (1 << j) != 0 {
+                chosen.push(idx);
+            }
+        }
+        // ...and every permutation of the chosen operations.
+        if permutations_any(&mut chosen.clone(), 0, &mut |perm| {
+            legal_sequential(ops, perm, initial)
+        }) {
+            return Ok(());
+        }
+    }
+    Err(LinearizabilityViolation {
+        detail: "brute force found no linearization".to_owned(),
+    })
+}
+
+/// Heap's-algorithm permutation visitor with early exit.
+fn permutations_any(
+    items: &mut Vec<usize>,
+    k: usize,
+    visit: &mut impl FnMut(&[usize]) -> bool,
+) -> bool {
+    if k == items.len() {
+        return visit(items);
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        if permutations_any(items, k + 1, visit) {
+            return true;
+        }
+        items.swap(k, i);
+    }
+    false
+}
+
+/// Whether `perm` is a legal linearization: respects real-time precedence
+/// and register sequential semantics.
+fn legal_sequential(ops: &[OpRecord], perm: &[usize], initial: Option<Value>) -> bool {
+    // Real-time: if a precedes b, a must come first.
+    for (pos_a, &a) in perm.iter().enumerate() {
+        for &b in &perm[pos_a + 1..] {
+            if ops[b].precedes(&ops[a]) {
+                return false;
+            }
+        }
+    }
+    // Excluded pendings must not be required: an excluded op is fine by
+    // definition (it never took effect); completed ops are all in perm by
+    // construction of the caller.
+    let mut value = initial;
+    for &i in perm {
+        match ops[i].kind {
+            OpKind::Write(v) => value = Some(v),
+            OpKind::Read => {
+                if ops[i].is_complete() && ops[i].read_value != value {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sih_model::{OpId, ProcessId, Time};
+
+    fn op(
+        id: u64,
+        p: u32,
+        kind: OpKind,
+        invoked: u64,
+        returned: Option<u64>,
+        read_value: Option<Value>,
+    ) -> OpRecord {
+        OpRecord {
+            id: OpId(id),
+            process: ProcessId(p),
+            kind,
+            invoked: Time(invoked),
+            returned: returned.map(Time),
+            read_value,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        check_linearizable(&[], None).unwrap();
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(5), None),
+            op(1, 1, OpKind::Read, 6, Some(9), Some(Value(1))),
+        ];
+        check_linearizable(&h, None).unwrap();
+    }
+
+    #[test]
+    fn stale_sequential_read_is_rejected() {
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(5), None),
+            // Strictly after the write, yet returns the initial value.
+            op(1, 1, OpKind::Read, 6, Some(9), None),
+        ];
+        let err = check_linearizable(&h, None).unwrap_err();
+        assert!(err.detail.contains("no linearization"));
+    }
+
+    #[test]
+    fn concurrent_read_may_return_either_value() {
+        let w = op(0, 0, OpKind::Write(Value(1)), 0, Some(10), None);
+        let old = op(1, 1, OpKind::Read, 5, Some(6), None);
+        let new = op(2, 2, OpKind::Read, 5, Some(6), Some(Value(1)));
+        check_linearizable(&[w, old], None).unwrap();
+        check_linearizable(&[w, new], None).unwrap();
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads concurrent with a write: the first sees the
+        // new value, the second (strictly later) sees the old one — the
+        // classic atomicity violation a write-back prevents.
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(20), None),
+            op(1, 1, OpKind::Read, 5, Some(8), Some(Value(1))),
+            op(2, 1, OpKind::Read, 9, Some(12), None),
+        ];
+        let err = check_linearizable(&h, None).unwrap_err();
+        assert!(err.detail.contains("no linearization"));
+    }
+
+    #[test]
+    fn pending_write_may_take_effect() {
+        // The writer crashed, but a later read observed its value: legal —
+        // the pending write linearizes before the read.
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(3)), 0, None, None),
+            op(1, 1, OpKind::Read, 10, Some(12), Some(Value(3))),
+        ];
+        check_linearizable(&h, None).unwrap();
+    }
+
+    #[test]
+    fn pending_write_may_also_never_take_effect() {
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(3)), 0, None, None),
+            op(1, 1, OpKind::Read, 10, Some(12), None),
+        ];
+        check_linearizable(&h, None).unwrap();
+    }
+
+    #[test]
+    fn pending_write_cannot_flicker() {
+        // Read new value, then old value, both after the pending write's
+        // invocation: still an inversion.
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(3)), 0, None, None),
+            op(1, 1, OpKind::Read, 10, Some(12), Some(Value(3))),
+            op(2, 1, OpKind::Read, 13, Some(15), None),
+        ];
+        let err = check_linearizable(&h, None).unwrap_err();
+        assert!(err.detail.contains("no linearization"));
+    }
+
+    #[test]
+    fn respects_initial_value() {
+        let h = vec![op(0, 0, OpKind::Read, 0, Some(1), Some(Value(9)))];
+        check_linearizable(&h, Some(Value(9))).unwrap();
+        assert!(check_linearizable(&h, None).is_err());
+    }
+
+    #[test]
+    fn interleaved_writers_find_a_witness_order() {
+        // Two concurrent writes and two later reads agreeing on one of
+        // them: linearizable by ordering that write last.
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(10), None),
+            op(1, 1, OpKind::Write(Value(2)), 0, Some(10), None),
+            op(2, 2, OpKind::Read, 11, Some(12), Some(Value(2))),
+            op(3, 2, OpKind::Read, 13, Some(14), Some(Value(2))),
+        ];
+        check_linearizable(&h, None).unwrap();
+    }
+
+    #[test]
+    fn disagreeing_later_reads_without_intervening_write_rejected() {
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(10), None),
+            op(1, 1, OpKind::Write(Value(2)), 0, Some(10), None),
+            op(2, 2, OpKind::Read, 11, Some(12), Some(Value(2))),
+            op(3, 2, OpKind::Read, 13, Some(14), Some(Value(1))),
+            op(4, 2, OpKind::Read, 15, Some(16), Some(Value(2))),
+        ];
+        let err = check_linearizable(&h, None).unwrap_err();
+        assert!(err.detail.contains("no linearization"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_history_panics() {
+        let h: Vec<OpRecord> =
+            (0..129).map(|i| op(i, 0, OpKind::Read, i, Some(i + 1), None)).collect();
+        let _ = check_linearizable(&h, None);
+    }
+
+    #[test]
+    fn brute_force_agrees_on_the_handwritten_cases() {
+        let cases: Vec<(Vec<OpRecord>, bool)> = vec![
+            (vec![], true),
+            (
+                vec![
+                    op(0, 0, OpKind::Write(Value(1)), 0, Some(5), None),
+                    op(1, 1, OpKind::Read, 6, Some(9), Some(Value(1))),
+                ],
+                true,
+            ),
+            (
+                vec![
+                    op(0, 0, OpKind::Write(Value(1)), 0, Some(5), None),
+                    op(1, 1, OpKind::Read, 6, Some(9), None),
+                ],
+                false,
+            ),
+            (
+                vec![
+                    op(0, 0, OpKind::Write(Value(3)), 0, None, None),
+                    op(1, 1, OpKind::Read, 10, Some(12), Some(Value(3))),
+                    op(2, 1, OpKind::Read, 13, Some(15), None),
+                ],
+                false,
+            ),
+        ];
+        for (history, expect_ok) in cases {
+            assert_eq!(check_linearizable(&history, None).is_ok(), expect_ok);
+            assert_eq!(check_linearizable_brute_force(&history, None).is_ok(), expect_ok);
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential {
+    //! The DFS checker must agree with the brute-force reference on
+    //! arbitrary tiny histories (most of which are *not* linearizable —
+    //! the property is checker agreement, in both directions).
+    use super::*;
+    use proptest::prelude::*;
+    use sih_model::{OpId, ProcessId, Time};
+
+    fn arb_op(id: u64) -> impl Strategy<Value = OpRecord> {
+        (
+            0u32..3,
+            prop_oneof![
+                Just(OpKind::Read),
+                (1u64..4).prop_map(|v| OpKind::Write(Value(v))),
+            ],
+            0u64..12,
+            proptest::option::of(1u64..14),
+            proptest::option::of(1u64..4),
+        )
+            .prop_map(move |(p, kind, invoked, ret_delta, read_val)| {
+                let returned = ret_delta.map(|d| Time(invoked + d));
+                let read_value = match kind {
+                    OpKind::Read if returned.is_some() => read_val.map(Value),
+                    _ => None,
+                };
+                OpRecord {
+                    id: OpId(id),
+                    process: ProcessId(p),
+                    kind,
+                    invoked: Time(invoked),
+                    returned,
+                    read_value,
+                }
+            })
+    }
+
+    fn arb_history() -> impl Strategy<Value = Vec<OpRecord>> {
+        proptest::collection::vec(any::<u8>(), 0..=5).prop_flat_map(|v| {
+            let strategies: Vec<_> = (0..v.len() as u64).map(arb_op).collect();
+            strategies
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 300, ..ProptestConfig::default() })]
+
+        #[test]
+        fn dfs_checker_matches_brute_force(history in arb_history()) {
+            let fast = check_linearizable(&history, None).is_ok();
+            let slow = check_linearizable_brute_force(&history, None).is_ok();
+            prop_assert_eq!(fast, slow, "history: {:?}", history);
+        }
+
+        #[test]
+        fn dfs_checker_matches_brute_force_with_initial(history in arb_history()) {
+            let init = Some(Value(2));
+            let fast = check_linearizable(&history, init).is_ok();
+            let slow = check_linearizable_brute_force(&history, init).is_ok();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The deterministic process automaton interface.
+//!
+//! A distributed algorithm in the paper's model (§2.1) is a collection of
+//! `n` deterministic automata, one per process. In each step a process
+//! atomically: (1) receives a message (or a null message), (2) queries its
+//! failure detector, and (3) changes state and sends messages. The
+//! [`Automaton`] trait is that step function; [`StepInput`] carries (1) and
+//! (2); [`Effects`] collects (3) plus the observable actions the harness
+//! cares about (decisions, emulated failure-detector outputs, register
+//! operation events, halting).
+
+use sih_model::{FdOutput, OpId, OpKind, ProcessId, Time, Value};
+
+/// Unique identifier of a message within a run (assigned at send time, in
+/// send order — deterministic, so replays produce identical ids).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct MsgId(pub u64);
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A message in flight or being delivered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Unique id of the message within the run.
+    pub id: MsgId,
+    /// The sender.
+    pub from: ProcessId,
+    /// The destination.
+    pub to: ProcessId,
+    /// The time of the sending step.
+    pub sent_at: Time,
+    /// The protocol payload.
+    pub payload: M,
+}
+
+/// Everything a process observes in one atomic step.
+#[derive(Clone, Debug)]
+pub struct StepInput<M> {
+    /// The stepping process's own identity.
+    pub me: ProcessId,
+    /// System size `n` (processes know `Π`).
+    pub n: usize,
+    /// The global time of this step. **Algorithms must not branch on
+    /// this** — the global clock is not accessible to processes in the
+    /// model; it is included for trace annotations only (register
+    /// emulations use it to tag operation records, which is metadata, not
+    /// protocol state).
+    pub now: Time,
+    /// The delivered message, if the scheduler chose to deliver one
+    /// (the paper's "receives a message from some process or a null
+    /// message").
+    pub delivered: Option<Envelope<M>>,
+    /// The failure-detector output `H(p, t)` for this step (the paper's
+    /// "queries and receives a value from its failure detector module").
+    pub fd: FdOutput,
+}
+
+/// The actions a process takes in one atomic step.
+///
+/// Obtained empty by the engine, filled by [`Automaton::step`], and then
+/// applied atomically: sends enter the network, a decision/emulated output
+/// is recorded in the trace, and `halt` stops the process for good (the
+/// pseudocode's `return`).
+#[derive(Clone, Debug, Default)]
+pub struct Effects<M> {
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) decision: Option<Value>,
+    pub(crate) emulated: Option<FdOutput>,
+    pub(crate) op_events: Vec<OpEvent>,
+    pub(crate) halt: bool,
+}
+
+/// A register-operation boundary event emitted by a register client or
+/// emulation (consumed by the linearizability checker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpEvent {
+    /// An operation was invoked.
+    Invoke {
+        /// Operation id (unique per run, chosen by the emitter).
+        id: OpId,
+        /// Read or write.
+        kind: OpKind,
+    },
+    /// An operation returned.
+    Return {
+        /// Operation id matching the invocation.
+        id: OpId,
+        /// Read or write.
+        kind: OpKind,
+        /// For reads, the value returned (`None` = register's initial ⊥).
+        read_value: Option<Value>,
+    },
+}
+
+impl<M> Effects<M> {
+    /// A fresh, empty effect set.
+    pub fn new() -> Self {
+        Effects {
+            sends: Vec::new(),
+            decision: None,
+            emulated: None,
+            op_events: Vec::new(),
+            halt: false,
+        }
+    }
+
+    /// Sends `payload` to process `to` (may be the sender itself).
+    pub fn send(&mut self, to: ProcessId, payload: M) {
+        self.sends.push((to, payload));
+    }
+
+    /// Sends a copy of `payload` to every process in `Π`, including the
+    /// sender (the pseudocode's "send to all").
+    pub fn send_all(&mut self, n: usize, payload: M)
+    where
+        M: Clone,
+    {
+        for i in 0..n as u32 {
+            self.sends.push((ProcessId(i), payload.clone()));
+        }
+    }
+
+    /// Sends a copy of `payload` to every process except `me` (the
+    /// pseudocode's "send to every process except p", Figure 2 line 17).
+    pub fn send_others(&mut self, n: usize, me: ProcessId, payload: M)
+    where
+        M: Clone,
+    {
+        for i in 0..n as u32 {
+            if ProcessId(i) != me {
+                self.sends.push((ProcessId(i), payload.clone()));
+            }
+        }
+    }
+
+    /// Records the decision of this process (at most one per run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice within one step; the engine additionally
+    /// rejects a second decision across steps.
+    pub fn decide(&mut self, v: Value) {
+        assert!(self.decision.is_none(), "decide called twice in one step");
+        self.decision = Some(v);
+    }
+
+    /// Publishes the current emulated failure-detector output (the
+    /// `output ← …` assignments of Figures 3, 5 and 6).
+    pub fn set_output(&mut self, out: FdOutput) {
+        self.emulated = Some(out);
+    }
+
+    /// Records a register-operation invocation event.
+    pub fn op_invoke(&mut self, id: OpId, kind: OpKind) {
+        self.op_events.push(OpEvent::Invoke { id, kind });
+    }
+
+    /// Records a register-operation response event.
+    pub fn op_return(&mut self, id: OpId, kind: OpKind, read_value: Option<Value>) {
+        self.op_events.push(OpEvent::Return { id, kind, read_value });
+    }
+
+    /// Stops this process for good (the pseudocode's `return`): the
+    /// scheduler will never step it again.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// The sends queued so far (read access, e.g. for wrapper automata
+    /// and tests).
+    pub fn sends(&self) -> &[(ProcessId, M)] {
+        &self.sends
+    }
+
+    /// The decision recorded this step, if any.
+    pub fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    /// The emulated failure-detector output published this step, if any.
+    pub fn emulated(&self) -> Option<FdOutput> {
+        self.emulated
+    }
+
+    /// The register-operation events recorded this step.
+    pub fn op_events(&self) -> &[OpEvent] {
+        &self.op_events
+    }
+
+    /// Whether the process requested to halt this step.
+    pub fn halt_requested(&self) -> bool {
+        self.halt
+    }
+
+    /// Drains all queued sends, leaving the list empty — for wrapper
+    /// automata (e.g. the Theorem 13 simulation) that translate and
+    /// re-emit an inner automaton's effects.
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Takes the recorded decision, leaving none.
+    pub fn take_decision(&mut self) -> Option<Value> {
+        self.decision.take()
+    }
+
+    /// Takes the published emulated output, leaving none.
+    pub fn take_emulated(&mut self) -> Option<FdOutput> {
+        self.emulated.take()
+    }
+
+    /// Drains the recorded operation events.
+    pub fn take_op_events(&mut self) -> Vec<OpEvent> {
+        std::mem::take(&mut self.op_events)
+    }
+
+    /// Whether no effect was produced (useful in tests).
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+            && self.decision.is_none()
+            && self.emulated.is_none()
+            && self.op_events.is_empty()
+            && !self.halt
+    }
+}
+
+/// A deterministic process automaton — one of the `n` automata making up a
+/// distributed algorithm.
+///
+/// Determinism is load-bearing: the indistinguishability arguments of
+/// Lemmas 7, 11 and 15 replay run prefixes and rely on identical behaviour
+/// given identical inputs. Implementations must not use interior
+/// randomness or wall-clock state; all nondeterminism lives in the
+/// scheduler and the failure-detector history.
+pub trait Automaton {
+    /// The protocol message type.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Executes one atomic step.
+    fn step(&mut self, input: StepInput<Self::Msg>, eff: &mut Effects<Self::Msg>);
+
+    /// Whether the process has returned (pseudocode `return`); the engine
+    /// also tracks halting via [`Effects::halt`], and a halted process is
+    /// never stepped again.
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_send_all_includes_self() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.send_all(3, 7);
+        assert_eq!(eff.sends.len(), 3);
+        assert!(eff.sends.iter().any(|&(to, _)| to == ProcessId(0)));
+    }
+
+    #[test]
+    fn effects_send_others_excludes_self() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.send_others(3, ProcessId(1), 9);
+        let dests: Vec<ProcessId> = eff.sends.iter().map(|&(to, _)| to).collect();
+        assert_eq!(dests, vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decide called twice")]
+    fn double_decide_in_one_step_panics() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.decide(Value(1));
+        eff.decide(Value(2));
+    }
+
+    #[test]
+    fn empty_effects() {
+        let eff: Effects<u8> = Effects::new();
+        assert!(eff.is_empty());
+        let mut eff2: Effects<u8> = Effects::new();
+        eff2.halt();
+        assert!(!eff2.is_empty());
+    }
+
+    #[test]
+    fn op_events_accumulate_in_order() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.op_invoke(OpId(0), OpKind::Read);
+        eff.op_return(OpId(0), OpKind::Read, Some(Value(3)));
+        assert_eq!(eff.op_events.len(), 2);
+        assert!(matches!(eff.op_events[0], OpEvent::Invoke { .. }));
+        assert!(matches!(
+            eff.op_events[1],
+            OpEvent::Return { read_value: Some(Value(3)), .. }
+        ));
+    }
+
+    #[test]
+    fn msg_id_display() {
+        assert_eq!(MsgId(4).to_string(), "m4");
+    }
+}

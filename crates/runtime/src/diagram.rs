@@ -1,0 +1,203 @@
+//! ASCII space-time diagrams of runs.
+//!
+//! [`render_diagram`] draws a trace as one lane per process, one column
+//! per step — the pictures distributed-computing papers draw by hand,
+//! generated from real runs:
+//!
+//! ```text
+//! p0 │ ●──────■D0
+//! p1 │ ───●───────■D0
+//! p2 │ ✕
+//! ```
+//!
+//! Legend: `●` step, `▲` step with delivery, `■Dv` decision of value
+//! `v`, `✕` crash, `·` idle. Long runs are column-capped.
+
+use crate::trace::{Event, Trace};
+use sih_model::{FailurePattern, ProcessId, Time};
+use std::fmt::Write as _;
+
+/// Maximum number of step-columns rendered (later events elided).
+pub const MAX_COLUMNS: usize = 120;
+
+/// Renders the first [`MAX_COLUMNS`] steps of a trace as a space-time
+/// diagram (one lane per process).
+pub fn render_diagram(trace: &Trace, pattern: &FailurePattern) -> String {
+    let n = trace.n();
+    let columns: Vec<&Event> = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Step { .. }))
+        .take(MAX_COLUMNS)
+        .collect();
+
+    // Per-process glyph per column.
+    let mut lanes: Vec<Vec<String>> = vec![vec![String::from("─"); columns.len()]; n];
+    let mut crashed_marked = vec![false; n];
+    for (col, ev) in columns.iter().enumerate() {
+        let Event::Step { t, p, delivered, .. } = ev else { unreachable!() };
+        let glyph = if delivered.is_some() { "▲" } else { "●" };
+        lanes[p.index()][col] = glyph.to_owned();
+        // Decision in the same step?
+        if trace.decision_time_of(*p) == Some(*t) {
+            let v = trace.decision_of(*p).expect("decided");
+            lanes[p.index()][col] = format!("■D{}", v.0);
+        }
+        // Mark crashes at the first column past each crash time.
+        for i in 0..n {
+            let q = ProcessId(i as u32);
+            if !crashed_marked[i] && !pattern.is_alive(q, *t) {
+                crashed_marked[i] = true;
+                lanes[i][col] = "✕".to_owned();
+            }
+        }
+    }
+    for (i, marked) in crashed_marked.iter_mut().enumerate() {
+        if !*marked && pattern.crashed_from_start_at(ProcessId(i as u32)) {
+            if let Some(first) = lanes[i].first_mut() {
+                *first = "✕".to_owned();
+            }
+            *marked = true;
+        }
+    }
+
+    // Uniform column width so the lanes stay aligned even with
+    // multi-character decision markers.
+    let width = lanes
+        .iter()
+        .flatten()
+        .map(|g| g.chars().count())
+        .max()
+        .unwrap_or(1);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "steps 1..{} of {} (● step  ▲ delivery  ■Dv decide  ✕ crash)",
+        columns.len(),
+        trace.total_steps()
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        let _ = write!(out, "p{i:<2}│ ");
+        for glyph in lane {
+            let pad = width - glyph.chars().count();
+            let _ = write!(out, "{glyph}{}", "─".repeat(pad));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One-line run summary: decisions, steps, messages.
+pub fn render_summary(trace: &Trace) -> String {
+    let decisions: Vec<String> = (0..trace.n() as u32)
+        .map(ProcessId)
+        .map(|p| match trace.decision_of(p) {
+            Some(v) => format!("{p}→{v}"),
+            None => format!("{p}→⋯"),
+        })
+        .collect();
+    format!(
+        "steps={} msgs={} decisions: {}",
+        trace.total_steps(),
+        trace.messages_sent(),
+        decisions.join("  ")
+    )
+}
+
+/// The time axis label for a column (used by tooling/tests).
+pub fn column_time(trace: &Trace, column: usize) -> Option<Time> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Step { t, .. } => Some(*t),
+            _ => None,
+        })
+        .nth(column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Automaton, Effects, StepInput};
+    use crate::scheduler::RoundRobinScheduler;
+    use crate::sim::Simulation;
+    use sih_model::{NoDetector, Value};
+
+    #[derive(Clone, Debug, Default)]
+    struct DecideSecond {
+        steps: u32,
+    }
+    impl Automaton for DecideSecond {
+        type Msg = u8;
+        fn step(&mut self, input: StepInput<u8>, eff: &mut Effects<u8>) {
+            self.steps += 1;
+            if self.steps == 1 {
+                eff.send_all(input.n, 1);
+            }
+            if self.steps == 2 {
+                eff.decide(Value::of_process(input.me));
+                eff.halt();
+            }
+        }
+        fn halted(&self) -> bool {
+            self.steps >= 2
+        }
+    }
+
+    fn sample_run() -> (Trace, FailurePattern) {
+        let pattern = FailurePattern::builder(3)
+            .crash_at(ProcessId(2), Time(2))
+            .build();
+        let mut sim = Simulation::new(vec![DecideSecond::default(); 3], pattern.clone());
+        let mut sched = RoundRobinScheduler::new();
+        sim.run(&mut sched, &NoDetector, 50);
+        (sim.into_trace(), pattern)
+    }
+
+    #[test]
+    fn diagram_contains_lanes_and_markers() {
+        let (trace, pattern) = sample_run();
+        let text = render_diagram(&trace, &pattern);
+        assert!(text.contains("p0 │"));
+        assert!(text.contains("p2 │"));
+        assert!(text.contains("■D0"), "{text}");
+        assert!(text.contains("✕"), "{text}");
+        assert!(text.lines().count() == 4, "{text}");
+    }
+
+    #[test]
+    fn summary_lists_all_processes() {
+        let (trace, _) = sample_run();
+        let s = render_summary(&trace);
+        assert!(s.contains("p0→v0"));
+        assert!(s.contains("p1→v1"));
+        assert!(s.contains("p2→"), "{s}");
+    }
+
+    #[test]
+    fn column_times_are_increasing() {
+        let (trace, _) = sample_run();
+        let t0 = column_time(&trace, 0).unwrap();
+        let t1 = column_time(&trace, 1).unwrap();
+        assert!(t0 < t1);
+        assert_eq!(column_time(&trace, 10_000), None);
+    }
+
+    #[test]
+    fn diagram_caps_columns() {
+        let pattern = FailurePattern::all_correct(2);
+        #[derive(Clone, Debug)]
+        struct Spin;
+        impl Automaton for Spin {
+            type Msg = u8;
+            fn step(&mut self, _i: StepInput<u8>, _e: &mut Effects<u8>) {}
+        }
+        let mut sim = Simulation::new(vec![Spin, Spin], pattern.clone());
+        let mut sched = RoundRobinScheduler::new();
+        sim.run(&mut sched, &NoDetector, 1_000);
+        let text = render_diagram(sim.trace(), &pattern);
+        assert!(text.contains(&format!("steps 1..{MAX_COLUMNS}")));
+    }
+}

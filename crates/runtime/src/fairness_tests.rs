@@ -1,0 +1,184 @@
+//! Fairness and legality tests for the schedulers — the run-validity
+//! conditions of the paper's model ("every correct process takes an
+//! infinite number of steps"; reliable channels) translated to bounded
+//! assertions on long finite runs.
+
+#![cfg(test)]
+
+use crate::automaton::{Automaton, Effects, StepInput};
+use crate::scheduler::{Choice, FairScheduler, RoundRobinScheduler, ScriptedScheduler};
+use crate::sim::Simulation;
+use proptest::prelude::*;
+use sih_model::{FailurePattern, NoDetector, ProcessId, Time};
+
+/// Sends one message to everyone each step; counts receipts.
+#[derive(Clone, Debug, Default)]
+struct Flood {
+    received: u64,
+    steps: u64,
+}
+
+impl Automaton for Flood {
+    type Msg = u8;
+    fn step(&mut self, input: StepInput<u8>, eff: &mut Effects<u8>) {
+        self.steps += 1;
+        if input.delivered.is_some() {
+            self.received += 1;
+        }
+        // Bound the flood so queues stay finite.
+        if self.steps <= 50 {
+            eff.send_all(input.n, 1);
+        }
+    }
+}
+
+#[test]
+fn fair_scheduler_steps_every_correct_process() {
+    let n = 6;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern.clone());
+    let mut sched = FairScheduler::new(9);
+    sim.run(&mut sched, &NoDetector, 5_000);
+    for i in 0..n as u32 {
+        let p = ProcessId(i);
+        let steps = sim.trace().steps_of(p);
+        assert!(steps > 200, "{p} starved: only {steps} steps");
+    }
+}
+
+#[test]
+fn fair_scheduler_respects_starvation_bound() {
+    // No schedulable process goes more than `starvation_bound` choices
+    // without being scheduled.
+    let n = 5;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let bound = 16;
+    let mut sched = FairScheduler::new(3).with_bounds(bound, 24);
+    sim.run(&mut sched, &NoDetector, 3_000);
+    let script = sim.script();
+    let mut last_seen = vec![0usize; n];
+    for (idx, choice) in script.iter().enumerate() {
+        last_seen[choice.p.index()] = idx;
+        for (i, seen) in last_seen.iter().enumerate() {
+            let gap = idx - seen;
+            assert!(
+                gap <= (bound as usize) + n,
+                "p{i} unscheduled for {gap} steps (bound {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fair_scheduler_delivers_every_message_eventually() {
+    // Channel reliability: at the end of a long run with bounded
+    // flooding, no message is older than the delivery bound.
+    let n = 4;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let mut sched = FairScheduler::new(5).with_deliver_prob(0.3);
+    sim.run(&mut sched, &NoDetector, 8_000);
+    let now = sim.now();
+    let delivery_bound = 96 + 64; // delivery bound + slack for scheduling gaps
+    for i in 0..n as u32 {
+        let p = ProcessId(i);
+        for env in sim.network().pending(p) {
+            assert!(
+                now - env.sent_at <= delivery_bound,
+                "stale message at {p}: sent {} now {now}",
+                env.sent_at
+            );
+        }
+    }
+}
+
+#[test]
+fn round_robin_cycles_in_id_order() {
+    let n = 4;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let mut sched = RoundRobinScheduler::new();
+    sim.run(&mut sched, &NoDetector, 12);
+    let order: Vec<u32> = sim.script().iter().map(|c| c.p.0).collect();
+    assert_eq!(order, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+}
+
+#[test]
+fn round_robin_skips_crashed_processes() {
+    let n = 3;
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), Time(2)).build();
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let mut sched = RoundRobinScheduler::new();
+    sim.run(&mut sched, &NoDetector, 8);
+    let order: Vec<u32> = sim.script().iter().map(|c| c.p.0).collect();
+    // p1 may step at times 1 and 2 only (its slot at t=2), then vanishes.
+    assert!(order.iter().skip(3).all(|&p| p != 1), "{order:?}");
+}
+
+#[test]
+fn scripted_scheduler_hands_over_to_fallback() {
+    let n = 2;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let script = vec![Choice::compute(ProcessId(1)); 3];
+    let mut sched = ScriptedScheduler::followed_by(script, RoundRobinScheduler::new());
+    assert_eq!(sched.remaining(), 3);
+    sim.run(&mut sched, &NoDetector, 7);
+    let order: Vec<u32> = sim.script().iter().map(|c| c.p.0).collect();
+    assert_eq!(&order[..3], &[1, 1, 1]);
+    assert_eq!(order.len(), 7);
+    assert_eq!(sched.remaining(), 0);
+}
+
+#[test]
+fn scripted_scheduler_without_fallback_exhausts() {
+    let n = 2;
+    let pattern = FailurePattern::all_correct(n);
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+    let mut sched = ScriptedScheduler::new(vec![Choice::compute(ProcessId(0)); 2]);
+    let outcome = sim.run(&mut sched, &NoDetector, 100);
+    assert_eq!(outcome.steps, 2);
+    assert_eq!(outcome.reason, crate::sim::StopReason::SchedulerExhausted);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fairness_holds_for_arbitrary_seeds_and_probabilities(
+        seed in 0u64..10_000,
+        prob in 0.05f64..1.0,
+    ) {
+        let n = 4;
+        let pattern = FailurePattern::all_correct(n);
+        let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+        let mut sched = FairScheduler::new(seed).with_deliver_prob(prob);
+        sim.run(&mut sched, &NoDetector, 4_000);
+        for i in 0..n as u32 {
+            prop_assert!(sim.trace().steps_of(ProcessId(i)) > 100);
+        }
+        // All 50 × n × n flooded messages either delivered or younger
+        // than the delivery bound.
+        let now = sim.now();
+        for i in 0..n as u32 {
+            for env in sim.network().pending(ProcessId(i)) {
+                prop_assert!(now - env.sent_at <= 96 + 64);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_choices_are_always_legal(seed in 0u64..10_000) {
+        // The engine panics on illegal choices; a clean run is the proof.
+        let n = 5;
+        let pattern = FailurePattern::builder(n)
+            .crash_at(ProcessId(0), Time(40))
+            .crash_at(ProcessId(3), Time(90))
+            .build();
+        let mut sim = Simulation::new(vec![Flood::default(); n], pattern);
+        let mut sched = FairScheduler::new(seed);
+        sim.run(&mut sched, &NoDetector, 2_000);
+        prop_assert!(sim.trace().total_steps() == 2_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! The reliable, asynchronous network.
+//!
+//! Channels are reliable (no loss, no duplication, no corruption) but
+//! asynchronous: a message stays pending until a scheduler chooses to
+//! deliver it, arbitrarily later. There is no FIFO guarantee — the paper's
+//! model does not assume one, and several adversary constructions exploit
+//! reordering. Pending queues are kept in arrival order so that delivery
+//! *by index* is deterministic and replayable.
+
+use crate::automaton::{Envelope, MsgId};
+use sih_model::{ProcessId, Time};
+
+/// The in-flight message state of a run.
+#[derive(Clone, Debug)]
+pub struct Network<M> {
+    /// `pending[to]`: messages awaiting delivery at `to`, in arrival order.
+    pending: Vec<Vec<Envelope<M>>>,
+    next_id: u64,
+    sent_count: u64,
+    delivered_count: u64,
+}
+
+impl<M: Clone> Network<M> {
+    /// An empty network over `n` processes.
+    pub fn new(n: usize) -> Self {
+        Network {
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            next_id: 0,
+            sent_count: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Enqueues a message; returns its id.
+    pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_at: Time, payload: M) -> MsgId {
+        let id = MsgId(self.next_id);
+        self.next_id += 1;
+        self.sent_count += 1;
+        self.pending[to.index()].push(Envelope { id, from, to, sent_at, payload });
+        id
+    }
+
+    /// Number of messages pending at `to`.
+    pub fn pending_count(&self, to: ProcessId) -> usize {
+        self.pending[to.index()].len()
+    }
+
+    /// The pending messages at `to`, in arrival order (oldest first).
+    pub fn pending(&self, to: ProcessId) -> &[Envelope<M>] {
+        &self.pending[to.index()]
+    }
+
+    /// Send time of the oldest message pending at `to`, if any — used by
+    /// fair schedulers to bound delivery delay.
+    pub fn oldest_sent_at(&self, to: ProcessId) -> Option<Time> {
+        self.pending[to.index()].iter().map(|e| e.sent_at).min()
+    }
+
+    /// Index (into the arrival-ordered pending queue) of the oldest
+    /// message pending at `to`.
+    pub fn oldest_index(&self, to: ProcessId) -> Option<usize> {
+        let q = &self.pending[to.index()];
+        (0..q.len()).min_by_key(|&i| q[i].sent_at)
+    }
+
+    /// Removes and returns the `index`-th pending message at `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn deliver(&mut self, to: ProcessId, index: usize) -> Envelope<M> {
+        self.delivered_count += 1;
+        self.pending[to.index()].remove(index)
+    }
+
+    /// Total messages sent so far.
+    pub fn sent_count(&self) -> u64 {
+        self.sent_count
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// Total messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_assigns_sequential_ids() {
+        let mut net: Network<u8> = Network::new(2);
+        let a = net.send(ProcessId(0), ProcessId(1), Time(1), 10);
+        let b = net.send(ProcessId(1), ProcessId(0), Time(2), 20);
+        assert_eq!(a, MsgId(0));
+        assert_eq!(b, MsgId(1));
+        assert_eq!(net.sent_count(), 2);
+        assert_eq!(net.in_flight(), 2);
+    }
+
+    #[test]
+    fn pending_queues_keep_arrival_order() {
+        let mut net: Network<u8> = Network::new(2);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 10);
+        net.send(ProcessId(0), ProcessId(1), Time(2), 20);
+        let payloads: Vec<u8> = net.pending(ProcessId(1)).iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![10, 20]);
+        assert_eq!(net.pending_count(ProcessId(1)), 2);
+        assert_eq!(net.pending_count(ProcessId(0)), 0);
+    }
+
+    #[test]
+    fn deliver_removes_by_index() {
+        let mut net: Network<u8> = Network::new(2);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 10);
+        net.send(ProcessId(0), ProcessId(1), Time(2), 20);
+        let e = net.deliver(ProcessId(1), 1);
+        assert_eq!(e.payload, 20);
+        assert_eq!(net.pending_count(ProcessId(1)), 1);
+        assert_eq!(net.delivered_count(), 1);
+        assert_eq!(net.in_flight(), 1);
+    }
+
+    #[test]
+    fn oldest_tracking() {
+        let mut net: Network<u8> = Network::new(3);
+        assert_eq!(net.oldest_sent_at(ProcessId(2)), None);
+        assert_eq!(net.oldest_index(ProcessId(2)), None);
+        net.send(ProcessId(0), ProcessId(2), Time(5), 1);
+        net.send(ProcessId(1), ProcessId(2), Time(3), 2);
+        assert_eq!(net.oldest_sent_at(ProcessId(2)), Some(Time(3)));
+        assert_eq!(net.oldest_index(ProcessId(2)), Some(1));
+    }
+}

@@ -1,0 +1,246 @@
+//! Schedulers: who steps next, and which message (if any) they receive.
+//!
+//! The asynchrony of the model lives entirely here. A [`Scheduler`] is
+//! asked, before every step, to pick a [`Choice`]: the stepping process and
+//! an optional pending-message index to deliver to it. The engine enforces
+//! crash times; schedulers must provide *fairness* (every correct process
+//! keeps taking steps, every message to a live process is eventually
+//! delivered) for runs to be legal runs of the paper's model —
+//! [`FairScheduler`] does this with explicit anti-starvation bounds, while
+//! [`ScriptedScheduler`] replays recorded or hand-authored prefixes for the
+//! indistinguishability constructions.
+
+use crate::sim::SchedState;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use sih_model::ProcessId;
+
+/// One scheduling decision: step `p`, optionally delivering the
+/// `deliver`-th pending message of its arrival-ordered queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Choice {
+    /// The process that takes the step.
+    pub p: ProcessId,
+    /// Index into `p`'s pending queue (arrival order), or `None` for a
+    /// step that receives the null message.
+    pub deliver: Option<usize>,
+}
+
+impl Choice {
+    /// A step of `p` with no delivery.
+    pub fn compute(p: ProcessId) -> Self {
+        Choice { p, deliver: None }
+    }
+
+    /// A step of `p` delivering its oldest pending message.
+    pub fn deliver_oldest(p: ProcessId) -> Self {
+        Choice { p, deliver: Some(0) }
+    }
+}
+
+/// Chooses the next step of a run.
+pub trait Scheduler {
+    /// Picks the next step given the engine's view, or `None` to end the
+    /// run (e.g. everyone interesting has halted, or a script ran out).
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice>;
+}
+
+/// A fair randomized scheduler (the workhorse for positive experiments).
+///
+/// Fairness mechanisms, all deterministic in the seed:
+///
+/// * **Step fairness** — among schedulable processes (alive, not halted),
+///   any process starved for more than [`starvation_bound`] consecutive
+///   steps is scheduled immediately; otherwise the pick is uniform.
+/// * **Delivery fairness** — when the chosen process has pending messages,
+///   one is delivered with probability `deliver_prob`; a message older
+///   than [`delivery_bound`] forces delivery of the oldest. Delivery picks
+///   are skewed toward older messages.
+///
+/// [`starvation_bound`]: FairScheduler::starvation_bound
+/// [`delivery_bound`]: FairScheduler::delivery_bound
+#[derive(Clone, Debug)]
+pub struct FairScheduler {
+    rng: ChaCha8Rng,
+    deliver_prob: f64,
+    starvation_bound: u64,
+    delivery_bound: u64,
+    since_scheduled: Vec<u64>,
+}
+
+impl FairScheduler {
+    /// A fair scheduler with the given seed and default bounds.
+    pub fn new(seed: u64) -> Self {
+        FairScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            deliver_prob: 0.75,
+            starvation_bound: 64,
+            delivery_bound: 96,
+            since_scheduled: Vec::new(),
+        }
+    }
+
+    /// Sets the probability of delivering a pending message when one
+    /// exists (clamped to `[0.05, 1.0]` — a zero would break channel
+    /// reliability in runs shorter than the delivery bound).
+    pub fn with_deliver_prob(mut self, p: f64) -> Self {
+        self.deliver_prob = p.clamp(0.05, 1.0);
+        self
+    }
+
+    /// Maximum consecutive steps a schedulable process may be passed over.
+    pub fn starvation_bound(&self) -> u64 {
+        self.starvation_bound
+    }
+
+    /// Maximum age (in steps) a pending message may reach before its
+    /// delivery is forced.
+    pub fn delivery_bound(&self) -> u64 {
+        self.delivery_bound
+    }
+
+    /// Overrides the anti-starvation bounds (both must be positive).
+    pub fn with_bounds(mut self, starvation: u64, delivery: u64) -> Self {
+        assert!(starvation > 0 && delivery > 0, "bounds must be positive");
+        self.starvation_bound = starvation;
+        self.delivery_bound = delivery;
+        self
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
+        let schedulable: Vec<ProcessId> = view.schedulable().collect();
+        if schedulable.is_empty() {
+            return None;
+        }
+        if self.since_scheduled.len() < view.n {
+            self.since_scheduled.resize(view.n, 0);
+        }
+
+        // Starvation rescue first, then uniform pick.
+        let p = schedulable
+            .iter()
+            .copied()
+            .find(|p| self.since_scheduled[p.index()] >= self.starvation_bound)
+            .unwrap_or_else(|| schedulable[self.rng.gen_range(0..schedulable.len())]);
+
+        for q in &schedulable {
+            self.since_scheduled[q.index()] += 1;
+        }
+        self.since_scheduled[p.index()] = 0;
+
+        let pending = view.pending_count(p);
+        let deliver = if pending == 0 {
+            None
+        } else if view
+            .oldest_age(p)
+            .is_some_and(|age| age >= self.delivery_bound)
+        {
+            view.oldest_index(p)
+        } else if self.rng.gen_bool(self.deliver_prob) {
+            // Skew toward older messages: pick two indices, keep the lower.
+            let a = self.rng.gen_range(0..pending);
+            let b = self.rng.gen_range(0..pending);
+            Some(a.min(b))
+        } else {
+            None
+        };
+        Some(Choice { p, deliver })
+    }
+}
+
+/// A deterministic round-robin scheduler: cycles through live processes in
+/// id order, delivering the oldest pending message whenever one exists.
+/// Produces the "synchronous-looking" runs that make good baselines and
+/// fast tests.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: u32,
+}
+
+impl RoundRobinScheduler {
+    /// A round-robin scheduler starting at `p0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
+        let n = view.n as u32;
+        for off in 0..n {
+            let p = ProcessId((self.cursor + off) % n);
+            if view.is_schedulable(p) {
+                self.cursor = (p.0 + 1) % n;
+                let deliver = if view.pending_count(p) > 0 { view.oldest_index(p) } else { None };
+                return Some(Choice { p, deliver });
+            }
+        }
+        None
+    }
+}
+
+/// Replays a fixed sequence of choices, then optionally hands over to an
+/// inner scheduler. The engine *skips* scripted choices that are illegal
+/// at replay time only if `strict` is off; by default an illegal scripted
+/// choice is surfaced as an engine panic, because the adversary
+/// constructions depend on scripts being executed exactly.
+pub struct ScriptedScheduler {
+    choices: std::collections::VecDeque<Choice>,
+    then: Option<Box<dyn Scheduler>>,
+}
+
+impl std::fmt::Debug for ScriptedScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedScheduler")
+            .field("remaining", &self.choices.len())
+            .field("has_fallback", &self.then.is_some())
+            .finish()
+    }
+}
+
+impl ScriptedScheduler {
+    /// A scheduler that performs exactly `choices`, then stops.
+    pub fn new(choices: impl IntoIterator<Item = Choice>) -> Self {
+        ScriptedScheduler { choices: choices.into_iter().collect(), then: None }
+    }
+
+    /// A scheduler that performs `choices`, then delegates to `then`.
+    pub fn followed_by(
+        choices: impl IntoIterator<Item = Choice>,
+        then: impl Scheduler + 'static,
+    ) -> Self {
+        ScriptedScheduler {
+            choices: choices.into_iter().collect(),
+            then: Some(Box::new(then)),
+        }
+    }
+
+    /// Remaining scripted choices.
+    pub fn remaining(&self) -> usize {
+        self.choices.len()
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
+        match self.choices.pop_front() {
+            Some(c) => Some(c),
+            None => self.then.as_mut().and_then(|s| s.choose(view)),
+        }
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
+        (**self).choose(view)
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
+        (**self).choose(view)
+    }
+}

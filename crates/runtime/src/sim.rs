@@ -1,0 +1,315 @@
+//! The simulation engine: executes runs of the paper's model.
+//!
+//! A [`Simulation`] owns the `n` automata, the network and the failure
+//! pattern, and executes atomic steps under a [`Scheduler`]'s choices and
+//! a [`FailureDetector`] history. Given the same automata, pattern,
+//! history and choice sequence, a run is **bit-for-bit reproducible** —
+//! the engine records every executed choice as a script
+//! ([`Simulation::script`]) precisely so adversary constructions can
+//! replay prefixes (Lemmas 7, 11, 15).
+
+use crate::automaton::{Automaton, Effects, StepInput};
+use crate::network::Network;
+use crate::scheduler::{Choice, Scheduler};
+use crate::trace::Trace;
+use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};
+
+/// The scheduler's view of the engine before a step.
+#[derive(Debug)]
+pub struct SchedState<'a> {
+    /// System size.
+    pub n: usize,
+    /// The time the next step will carry.
+    pub next_time: Time,
+    /// Processes allowed to take the next step (alive and not halted).
+    pub schedulable_set: ProcessSet,
+    /// Processes that have halted (pseudocode `return`).
+    pub halted: ProcessSet,
+    pending: &'a [usize],
+    oldest_sent: &'a [Option<Time>],
+    oldest_idx: &'a [Option<usize>],
+}
+
+impl SchedState<'_> {
+    /// Iterates over schedulable processes in id order.
+    pub fn schedulable(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.schedulable_set.iter()
+    }
+
+    /// Whether `p` may take the next step.
+    pub fn is_schedulable(&self, p: ProcessId) -> bool {
+        self.schedulable_set.contains(p)
+    }
+
+    /// Number of messages pending at `p`.
+    pub fn pending_count(&self, p: ProcessId) -> usize {
+        self.pending[p.index()]
+    }
+
+    /// Age (in steps) of the oldest message pending at `p`.
+    pub fn oldest_age(&self, p: ProcessId) -> Option<u64> {
+        self.oldest_sent[p.index()].map(|s| self.next_time - s)
+    }
+
+    /// Queue index of the oldest message pending at `p`.
+    pub fn oldest_index(&self, p: ProcessId) -> Option<usize> {
+        self.oldest_idx[p.index()]
+    }
+}
+
+/// Why a [`Simulation::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// Every correct process has halted.
+    AllCorrectHalted,
+    /// The step budget was exhausted.
+    MaxSteps,
+    /// The scheduler returned `None`.
+    SchedulerExhausted,
+}
+
+/// Statistics of a finished [`Simulation::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Steps executed by this call.
+    pub steps: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+/// A run in progress (or finished): automata + network + pattern + trace.
+#[derive(Clone, Debug)]
+pub struct Simulation<A: Automaton> {
+    procs: Vec<A>,
+    net: Network<A::Msg>,
+    pattern: FailurePattern,
+    now: Time,
+    trace: Trace,
+    halted: ProcessSet,
+    script: Vec<Choice>,
+    // Scratch buffers for SchedState (reused across steps).
+    scratch_pending: Vec<usize>,
+    scratch_oldest_sent: Vec<Option<Time>>,
+    scratch_oldest_idx: Vec<Option<usize>>,
+}
+
+impl<A: Automaton> Simulation<A> {
+    /// A fresh run of the given automata under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len() != pattern.n()`.
+    pub fn new(procs: Vec<A>, pattern: FailurePattern) -> Self {
+        Self::with_emulated_initial(procs, pattern, FdOutput::Bot)
+    }
+
+    /// Like [`Simulation::new`], but sets the initial value of every
+    /// process's *emulated* failure-detector output (what the trace's
+    /// emulated history reports before the first `set_output`).
+    pub fn with_emulated_initial(
+        procs: Vec<A>,
+        pattern: FailurePattern,
+        emulated_initial: FdOutput,
+    ) -> Self {
+        assert_eq!(procs.len(), pattern.n(), "one automaton per process");
+        let n = procs.len();
+        Simulation {
+            procs,
+            net: Network::new(n),
+            pattern,
+            now: Time::ZERO,
+            trace: Trace::new(n, emulated_initial),
+            halted: ProcessSet::EMPTY,
+            script: Vec::new(),
+            scratch_pending: vec![0; n],
+            scratch_oldest_sent: vec![None; n],
+            scratch_oldest_idx: vec![None; n],
+        }
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current global time (time of the last executed step).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The failure pattern of the run.
+    pub fn pattern(&self) -> &FailurePattern {
+        &self.pattern
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the simulation, returning its trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// The network state (pending messages).
+    pub fn network(&self) -> &Network<A::Msg> {
+        &self.net
+    }
+
+    /// Immutable access to a process automaton (for state assertions in
+    /// tests and adversaries).
+    pub fn process(&self, p: ProcessId) -> &A {
+        &self.procs[p.index()]
+    }
+
+    /// Processes that have halted.
+    pub fn halted(&self) -> ProcessSet {
+        self.halted
+    }
+
+    /// Whether every correct process has halted.
+    pub fn all_correct_halted(&self) -> bool {
+        self.pattern.correct().is_subset(self.halted)
+    }
+
+    /// Whether every correct process has decided.
+    pub fn all_correct_decided(&self) -> bool {
+        self.pattern.correct().is_subset(self.trace.decided())
+    }
+
+    /// The sequence of choices executed so far — replaying it through
+    /// [`ScriptedScheduler`](crate::ScriptedScheduler) on a fresh,
+    /// identically-configured simulation reproduces this run exactly.
+    pub fn script(&self) -> &[Choice] {
+        &self.script
+    }
+
+    /// The scheduler view for the next step.
+    pub fn sched_state(&mut self) -> SchedState<'_> {
+        let next = self.now.next();
+        let mut schedulable = ProcessSet::EMPTY;
+        for i in 0..self.n() {
+            let p = ProcessId(i as u32);
+            self.scratch_pending[i] = self.net.pending_count(p);
+            self.scratch_oldest_sent[i] = self.net.oldest_sent_at(p);
+            self.scratch_oldest_idx[i] = self.net.oldest_index(p);
+            if self.pattern.is_alive(p, next) && !self.halted.contains(p) {
+                schedulable.insert(p);
+            }
+        }
+        SchedState {
+            n: self.n(),
+            next_time: next,
+            schedulable_set: schedulable,
+            halted: self.halted,
+            pending: &self.scratch_pending,
+            oldest_sent: &self.scratch_oldest_sent,
+            oldest_idx: &self.scratch_oldest_idx,
+        }
+    }
+
+    /// Executes one atomic step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice is illegal: the process is crashed at the
+    /// step's time, already halted, or the delivery index is out of
+    /// range. (Adversary scripts are meant to be exact; an illegal choice
+    /// is a construction bug, not a recoverable condition.)
+    pub fn step<D: FailureDetector + ?Sized>(&mut self, choice: Choice, fd: &D) {
+        let t = self.now.next();
+        let p = choice.p;
+        assert!(
+            self.pattern.is_alive(p, t),
+            "scheduled crashed process {p} at {t}"
+        );
+        assert!(!self.halted.contains(p), "scheduled halted process {p}");
+
+        let delivered = choice.deliver.map(|idx| {
+            assert!(
+                idx < self.net.pending_count(p),
+                "delivery index {idx} out of range at {p}"
+            );
+            self.net.deliver(p, idx)
+        });
+
+        let fd_out = fd.output(p, t);
+        self.now = t;
+        self.script.push(choice);
+        self.trace
+            .push_step(t, p, delivered.as_ref().map(|e| (e.from, e.id)), fd_out);
+
+        let mut eff = Effects::new();
+        let input = StepInput {
+            me: p,
+            n: self.n(),
+            now: t,
+            delivered,
+            fd: fd_out,
+        };
+        self.procs[p.index()].step(input, &mut eff);
+
+        for (to, payload) in eff.sends {
+            let id = self.net.send(p, to, t, payload);
+            self.trace.push_send(t, p, to, id);
+        }
+        if let Some(v) = eff.decision {
+            let fresh = self.trace.push_decide(t, p, v);
+            assert!(fresh, "{p} decided twice");
+        }
+        if let Some(out) = eff.emulated {
+            self.trace.push_emulate(t, p, out);
+        }
+        for ev in eff.op_events {
+            self.trace.push_op_event(t, p, ev);
+        }
+        if eff.halt || self.procs[p.index()].halted() {
+            self.halted.insert(p);
+        }
+    }
+
+    /// Runs under `sched` and `fd` until every correct process has
+    /// halted, the scheduler gives up, or `max_steps` further steps have
+    /// executed.
+    pub fn run<S, D>(&mut self, sched: &mut S, fd: &D, max_steps: u64) -> RunOutcome
+    where
+        S: Scheduler + ?Sized,
+        D: FailureDetector + ?Sized,
+    {
+        self.run_until(sched, fd, max_steps, |_| false)
+    }
+
+    /// Like [`Simulation::run`], but additionally stops (with
+    /// [`StopReason::AllCorrectHalted`]) once `done` returns true.
+    /// Useful for protocols whose automata never halt (emulations,
+    /// replica servers) but whose interesting work has a detectable end.
+    pub fn run_until<S, D, F>(
+        &mut self,
+        sched: &mut S,
+        fd: &D,
+        max_steps: u64,
+        mut done: F,
+    ) -> RunOutcome
+    where
+        S: Scheduler + ?Sized,
+        D: FailureDetector + ?Sized,
+        F: FnMut(&Simulation<A>) -> bool,
+    {
+        let mut steps = 0;
+        loop {
+            if self.all_correct_halted() || done(self) {
+                return RunOutcome { steps, reason: StopReason::AllCorrectHalted };
+            }
+            if steps >= max_steps {
+                return RunOutcome { steps, reason: StopReason::MaxSteps };
+            }
+            let view = self.sched_state();
+            let Some(choice) = sched.choose(&view) else {
+                return RunOutcome { steps, reason: StopReason::SchedulerExhausted };
+            };
+            self.step(choice, fd);
+            steps += 1;
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Layered automata: running an algorithm *on top of* an emulated failure
+//! detector.
+//!
+//! The paper's reductions work by emulation: an algorithm (Figures 3, 5, 6)
+//! maintains a local variable `output` using the real failure detector
+//! `D`, and a consumer algorithm then uses that variable as if it were a
+//! failure-detector module for the emulated detector `D'`. [`Stacked`]
+//! wires the two together at each process:
+//!
+//! * the **lower** automaton steps with the run's real detector output and
+//!   publishes its emulated output via [`Effects::set_output`];
+//! * the **upper** automaton steps with the lower's current emulated
+//!   output as *its* `queryFD()` result;
+//! * protocol messages are tagged [`Layered::Lower`] / [`Layered::Upper`]
+//!   and routed to their layer.
+//!
+//! Each engine step advances both layers once (message delivery goes to
+//! the layer that owns the message; the other layer receives the null
+//! message), which preserves the model's guarantee that a correct process
+//! gives infinitely many steps to *both* tasks.
+//!
+//! [`Effects::set_output`]: crate::Effects::set_output
+
+use crate::automaton::{Automaton, Effects, StepInput};
+use sih_model::FdOutput;
+
+/// A message of a two-layer protocol stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Layered<L, U> {
+    /// A message of the emulation (lower) layer.
+    Lower(L),
+    /// A message of the consumer (upper) layer.
+    Upper(U),
+}
+
+/// Which layer's emulated output the stack reports to the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReportLayer {
+    /// Report the lower layer's emulated output (default): the trace's
+    /// emulated history then records the emulation under test, even while
+    /// a consumer runs on top.
+    #[default]
+    Lower,
+    /// Report the upper layer's emulated output (for stacks whose upper
+    /// layer is itself an emulator).
+    Upper,
+}
+
+/// Two automata stacked at one process; see the module docs.
+#[derive(Clone, Debug)]
+pub struct Stacked<L: Automaton, U: Automaton> {
+    lower: L,
+    upper: U,
+    emulated: FdOutput,
+    report: ReportLayer,
+}
+
+impl<L: Automaton, U: Automaton> Stacked<L, U> {
+    /// Stacks `upper` on top of `lower`; before the lower layer's first
+    /// `set_output`, the upper layer's `queryFD()` returns
+    /// `initial_output`.
+    pub fn new(lower: L, upper: U, initial_output: FdOutput) -> Self {
+        Stacked { lower, upper, emulated: initial_output, report: ReportLayer::Lower }
+    }
+
+    /// Selects which layer's emulated output the trace records.
+    pub fn with_report(mut self, report: ReportLayer) -> Self {
+        self.report = report;
+        self
+    }
+
+    /// The lower (emulation) automaton.
+    pub fn lower(&self) -> &L {
+        &self.lower
+    }
+
+    /// The upper (consumer) automaton.
+    pub fn upper(&self) -> &U {
+        &self.upper
+    }
+
+    /// The emulated output the upper layer currently sees.
+    pub fn current_output(&self) -> FdOutput {
+        self.emulated
+    }
+}
+
+impl<L: Automaton, U: Automaton> Automaton for Stacked<L, U> {
+    type Msg = Layered<L::Msg, U::Msg>;
+
+    fn step(&mut self, input: StepInput<Self::Msg>, eff: &mut Effects<Self::Msg>) {
+        // Route the delivered message (if any) to its layer.
+        let (lower_msg, upper_msg) = match input.delivered {
+            None => (None, None),
+            Some(env) => match env.payload {
+                Layered::Lower(payload) => (
+                    Some(crate::automaton::Envelope {
+                        id: env.id,
+                        from: env.from,
+                        to: env.to,
+                        sent_at: env.sent_at,
+                        payload,
+                    }),
+                    None,
+                ),
+                Layered::Upper(payload) => (
+                    None,
+                    Some(crate::automaton::Envelope {
+                        id: env.id,
+                        from: env.from,
+                        to: env.to,
+                        sent_at: env.sent_at,
+                        payload,
+                    }),
+                ),
+            },
+        };
+
+        // Lower layer steps with the real detector output.
+        let mut lower_eff = Effects::new();
+        self.lower.step(
+            StepInput {
+                me: input.me,
+                n: input.n,
+                now: input.now,
+                delivered: lower_msg,
+                fd: input.fd,
+            },
+            &mut lower_eff,
+        );
+        if let Some(out) = lower_eff.emulated {
+            self.emulated = out;
+        }
+
+        // Upper layer steps with the emulated output.
+        let mut upper_eff = Effects::new();
+        if !self.upper.halted() {
+            self.upper.step(
+                StepInput {
+                    me: input.me,
+                    n: input.n,
+                    now: input.now,
+                    delivered: upper_msg,
+                    fd: self.emulated,
+                },
+                &mut upper_eff,
+            );
+        } else if let Some(env) = upper_msg {
+            // A message for a returned upper layer is dropped, as a halted
+            // process would drop it.
+            let _ = env;
+        }
+
+        // Merge effects.
+        for (to, m) in lower_eff.sends {
+            eff.send(to, Layered::Lower(m));
+        }
+        for (to, m) in upper_eff.sends {
+            eff.send(to, Layered::Upper(m));
+        }
+        if let Some(v) = upper_eff.decision {
+            eff.decide(v);
+        }
+        for ev in upper_eff.op_events {
+            eff.op_events.push(ev);
+        }
+        let reported = match self.report {
+            ReportLayer::Lower => lower_eff.emulated,
+            ReportLayer::Upper => upper_eff.emulated,
+        };
+        if let Some(out) = reported {
+            eff.set_output(out);
+        }
+        // The stack halts only when the upper layer does AND the lower
+        // layer is not an ongoing emulation the rest of the system might
+        // still read messages from. Emulators never halt, so in practice a
+        // stacked process halts never; consumers' decisions are observed
+        // via the trace. We still propagate an explicit upper halt if the
+        // lower layer has also halted (both layers done).
+        if (upper_eff.halt || self.upper.halted()) && self.lower.halted() {
+            eff.halt();
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.lower.halted() && self.upper.halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Envelope;
+    use sih_model::{ProcessId, Time, Value};
+
+    /// Lower layer: emits its step count as a Leader output, sends one
+    /// lower-tagged message to p1 on its first step.
+    #[derive(Clone, Debug, Default)]
+    struct CountingEmulator {
+        steps: u32,
+    }
+    impl Automaton for CountingEmulator {
+        type Msg = u8;
+        fn step(&mut self, input: StepInput<u8>, eff: &mut Effects<u8>) {
+            if self.steps == 0 {
+                eff.send(ProcessId(1), 42);
+            }
+            self.steps += 1;
+            eff.set_output(FdOutput::Leader(ProcessId(self.steps)));
+            let _ = input;
+        }
+    }
+
+    /// Upper layer: decides the leader id it sees once it sees one ≥ 2.
+    #[derive(Clone, Debug, Default)]
+    struct LeaderConsumer {
+        done: bool,
+        got_upper_msg: bool,
+    }
+    impl Automaton for LeaderConsumer {
+        type Msg = &'static str;
+        fn step(&mut self, input: StepInput<&'static str>, eff: &mut Effects<&'static str>) {
+            if input.delivered.is_some() {
+                self.got_upper_msg = true;
+            }
+            if let FdOutput::Leader(p) = input.fd {
+                if p.0 >= 2 && !self.done {
+                    self.done = true;
+                    eff.decide(Value(u64::from(p.0)));
+                }
+            }
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    fn step_stack(
+        stack: &mut Stacked<CountingEmulator, LeaderConsumer>,
+        delivered: Option<Envelope<Layered<u8, &'static str>>>,
+    ) -> Effects<Layered<u8, &'static str>> {
+        let mut eff = Effects::new();
+        stack.step(
+            StepInput {
+                me: ProcessId(0),
+                n: 2,
+                now: Time(1),
+                delivered,
+                fd: FdOutput::Bot,
+            },
+            &mut eff,
+        );
+        eff
+    }
+
+    #[test]
+    fn upper_sees_lower_output_from_same_step() {
+        let mut stack = Stacked::new(
+            CountingEmulator::default(),
+            LeaderConsumer::default(),
+            FdOutput::Bot,
+        );
+        // Step 1: lower outputs Leader(p1); upper sees it but 1 < 2.
+        let eff = step_stack(&mut stack, None);
+        assert_eq!(stack.current_output(), FdOutput::Leader(ProcessId(1)));
+        assert!(eff.decision.is_none());
+        // Lower's send is tagged Lower.
+        assert!(matches!(eff.sends[0].1, Layered::Lower(42)));
+        // Reported emulated output defaults to the lower layer's.
+        assert_eq!(eff.emulated, Some(FdOutput::Leader(ProcessId(1))));
+
+        // Step 2: lower outputs Leader(p2); upper decides 2.
+        let eff = step_stack(&mut stack, None);
+        assert_eq!(eff.decision, Some(Value(2)));
+        assert!(stack.upper().done);
+        // Stack not halted: the lower emulator never halts.
+        assert!(!stack.halted());
+    }
+
+    #[test]
+    fn messages_route_to_their_layer() {
+        let mut stack = Stacked::new(
+            CountingEmulator::default(),
+            LeaderConsumer::default(),
+            FdOutput::Bot,
+        );
+        let env = Envelope {
+            id: crate::automaton::MsgId(0),
+            from: ProcessId(1),
+            to: ProcessId(0),
+            sent_at: Time(0),
+            payload: Layered::Upper("hello"),
+        };
+        let _ = step_stack(&mut stack, Some(env));
+        assert!(stack.upper().got_upper_msg);
+    }
+
+    #[test]
+    fn initial_output_visible_before_first_emulation_step() {
+        let stack = Stacked::new(
+            CountingEmulator::default(),
+            LeaderConsumer::default(),
+            FdOutput::EMPTY_TRUST,
+        );
+        assert_eq!(stack.current_output(), FdOutput::EMPTY_TRUST);
+    }
+}

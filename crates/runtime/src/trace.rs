@@ -1,0 +1,340 @@
+//! Run traces: everything the meta-level checkers need to judge a run.
+//!
+//! A [`Trace`] records the observable events of a run — steps, sends,
+//! decisions, emulated failure-detector outputs, register-operation
+//! boundaries. The property checkers of the downstream crates (agreement,
+//! σ/Σ specifications, linearizability) are all functions of a trace plus
+//! the run's failure pattern.
+
+use crate::automaton::{MsgId, OpEvent};
+use sih_model::{
+    FdOutput, OpId, OpKind, OpRecord, ProcessId, ProcessSet, RecordedHistory, Time, Value,
+};
+use std::collections::HashMap;
+
+/// One observable event of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A process took a step.
+    Step {
+        /// Step time.
+        t: Time,
+        /// Stepping process.
+        p: ProcessId,
+        /// The message delivered in this step, if any.
+        delivered: Option<(ProcessId, MsgId)>,
+        /// The failure-detector value obtained in this step.
+        fd: FdOutput,
+    },
+    /// A message entered the network.
+    Send {
+        /// Sending step time.
+        t: Time,
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Message id.
+        id: MsgId,
+    },
+    /// A process decided.
+    Decide {
+        /// Decision time.
+        t: Time,
+        /// Deciding process.
+        p: ProcessId,
+        /// Decided value.
+        value: Value,
+    },
+    /// A process updated its emulated failure-detector output.
+    Emulate {
+        /// Update time.
+        t: Time,
+        /// Emulating process.
+        p: ProcessId,
+        /// New output value.
+        out: FdOutput,
+    },
+    /// A register operation was invoked.
+    OpInvoke {
+        /// Invocation time.
+        t: Time,
+        /// Invoking process.
+        p: ProcessId,
+        /// Operation id.
+        id: OpId,
+        /// Read or write.
+        kind: OpKind,
+    },
+    /// A register operation returned.
+    OpReturn {
+        /// Response time.
+        t: Time,
+        /// Process whose operation returned.
+        p: ProcessId,
+        /// Operation id.
+        id: OpId,
+        /// Read or write.
+        kind: OpKind,
+        /// For reads, the value read.
+        read_value: Option<Value>,
+    },
+}
+
+/// The recorded trace of one run.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    n: usize,
+    events: Vec<Event>,
+    decisions: Vec<Option<(Time, Value)>>,
+    emulated: RecordedHistory,
+    steps_taken: Vec<u64>,
+    sent: u64,
+}
+
+impl Trace {
+    /// An empty trace for `n` processes; `emulated_initial` is the output
+    /// every process's emulated detector starts at (e.g. Figure 6
+    /// processes emit their first `output` only after a step, so the
+    /// checkers need a defined initial value — conventionally `⊥`).
+    pub fn new(n: usize, emulated_initial: FdOutput) -> Self {
+        Trace {
+            n,
+            events: Vec::new(),
+            decisions: vec![None; n],
+            emulated: RecordedHistory::new(n, emulated_initial),
+            steps_taken: vec![0; n],
+            sent: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn push_step(
+        &mut self,
+        t: Time,
+        p: ProcessId,
+        delivered: Option<(ProcessId, MsgId)>,
+        fd: FdOutput,
+    ) {
+        self.steps_taken[p.index()] += 1;
+        self.events.push(Event::Step { t, p, delivered, fd });
+    }
+
+    pub(crate) fn push_send(&mut self, t: Time, from: ProcessId, to: ProcessId, id: MsgId) {
+        self.sent += 1;
+        self.events.push(Event::Send { t, from, to, id });
+    }
+
+    pub(crate) fn push_decide(&mut self, t: Time, p: ProcessId, value: Value) -> bool {
+        if self.decisions[p.index()].is_some() {
+            return false;
+        }
+        self.decisions[p.index()] = Some((t, value));
+        self.events.push(Event::Decide { t, p, value });
+        true
+    }
+
+    pub(crate) fn push_emulate(&mut self, t: Time, p: ProcessId, out: FdOutput) {
+        self.emulated.record(p, t, out);
+        self.events.push(Event::Emulate { t, p, out });
+    }
+
+    pub(crate) fn push_op_event(&mut self, t: Time, p: ProcessId, ev: OpEvent) {
+        match ev {
+            OpEvent::Invoke { id, kind } => self.events.push(Event::OpInvoke { t, p, id, kind }),
+            OpEvent::Return { id, kind, read_value } => {
+                self.events.push(Event::OpReturn { t, p, id, kind, read_value })
+            }
+        }
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The decision of `p`, if it decided.
+    pub fn decision_of(&self, p: ProcessId) -> Option<Value> {
+        self.decisions[p.index()].map(|(_, v)| v)
+    }
+
+    /// The decision time of `p`, if it decided.
+    pub fn decision_time_of(&self, p: ProcessId) -> Option<Time> {
+        self.decisions[p.index()].map(|(t, _)| t)
+    }
+
+    /// The set of processes that decided.
+    pub fn decided(&self) -> ProcessSet {
+        (0..self.n as u32)
+            .map(ProcessId)
+            .filter(|p| self.decision_of(*p).is_some())
+            .collect()
+    }
+
+    /// The distinct decided values, sorted.
+    pub fn distinct_decisions(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.decisions.iter().filter_map(|d| d.map(|(_, v)| v)).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// The recorded emulated-failure-detector history (one timeline per
+    /// process) — what the σ/Σ/anti-Ω spec checkers consume.
+    pub fn emulated_history(&self) -> &RecordedHistory {
+        &self.emulated
+    }
+
+    /// Steps taken by `p`.
+    pub fn steps_of(&self, p: ProcessId) -> u64 {
+        self.steps_taken[p.index()]
+    }
+
+    /// Total steps in the run.
+    pub fn total_steps(&self) -> u64 {
+        self.steps_taken.iter().sum()
+    }
+
+    /// Total messages sent in the run.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Assembles the register-operation records of the run by pairing
+    /// invocation and response events. Operations whose response never
+    /// arrived are returned as pending (`returned == None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains a response without a matching
+    /// invocation (an automaton bug, not a legal run).
+    pub fn op_records(&self) -> Vec<OpRecord> {
+        let mut by_id: HashMap<OpId, OpRecord> = HashMap::new();
+        let mut order: Vec<OpId> = Vec::new();
+        for ev in &self.events {
+            match *ev {
+                Event::OpInvoke { t, p, id, kind } => {
+                    let prev = by_id.insert(
+                        id,
+                        OpRecord {
+                            id,
+                            process: p,
+                            kind,
+                            invoked: t,
+                            returned: None,
+                            read_value: None,
+                        },
+                    );
+                    assert!(prev.is_none(), "duplicate op invocation {id}");
+                    order.push(id);
+                }
+                Event::OpReturn { t, id, kind, read_value, .. } => {
+                    let rec = by_id
+                        .get_mut(&id)
+                        .unwrap_or_else(|| panic!("response without invocation {id}"));
+                    assert_eq!(rec.kind, kind, "response kind mismatch for {id}");
+                    rec.returned = Some(t);
+                    rec.read_value = read_value;
+                }
+                _ => {}
+            }
+        }
+        order.into_iter().map(|id| by_id[&id]).collect()
+    }
+
+    /// The last step time in the trace (`Time::ZERO` for an empty trace).
+    pub fn end_time(&self) -> Time {
+        self.events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::Step { t, .. } => Some(*t),
+                _ => None,
+            })
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_first_write_wins() {
+        let mut tr = Trace::new(2, FdOutput::Bot);
+        assert!(tr.push_decide(Time(1), ProcessId(0), Value(5)));
+        assert!(!tr.push_decide(Time(2), ProcessId(0), Value(6)));
+        assert_eq!(tr.decision_of(ProcessId(0)), Some(Value(5)));
+        assert_eq!(tr.decision_time_of(ProcessId(0)), Some(Time(1)));
+        assert_eq!(tr.decided(), ProcessSet::singleton(ProcessId(0)));
+    }
+
+    #[test]
+    fn distinct_decisions_sorted_dedup() {
+        let mut tr = Trace::new(3, FdOutput::Bot);
+        tr.push_decide(Time(1), ProcessId(0), Value(9));
+        tr.push_decide(Time(2), ProcessId(1), Value(3));
+        tr.push_decide(Time(3), ProcessId(2), Value(9));
+        assert_eq!(tr.distinct_decisions(), vec![Value(3), Value(9)]);
+    }
+
+    #[test]
+    fn emulated_history_tracks_outputs() {
+        let mut tr = Trace::new(2, FdOutput::Bot);
+        tr.push_emulate(Time(4), ProcessId(1), FdOutput::Leader(ProcessId(0)));
+        let h = tr.emulated_history();
+        use sih_model::FailureDetector;
+        assert_eq!(h.output(ProcessId(1), Time(3)), FdOutput::Bot);
+        assert_eq!(h.output(ProcessId(1), Time(4)), FdOutput::Leader(ProcessId(0)));
+    }
+
+    #[test]
+    fn op_records_pairs_invocations_and_responses() {
+        let mut tr = Trace::new(1, FdOutput::Bot);
+        tr.push_op_event(Time(1), ProcessId(0), OpEvent::Invoke { id: OpId(0), kind: OpKind::Read });
+        tr.push_op_event(
+            Time(5),
+            ProcessId(0),
+            OpEvent::Return { id: OpId(0), kind: OpKind::Read, read_value: Some(Value(2)) },
+        );
+        tr.push_op_event(
+            Time(6),
+            ProcessId(0),
+            OpEvent::Invoke { id: OpId(1), kind: OpKind::Write(Value(7)) },
+        );
+        let recs = tr.op_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].returned, Some(Time(5)));
+        assert_eq!(recs[0].read_value, Some(Value(2)));
+        assert!(!recs[1].is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "response without invocation")]
+    fn orphan_response_panics() {
+        let mut tr = Trace::new(1, FdOutput::Bot);
+        tr.push_op_event(
+            Time(5),
+            ProcessId(0),
+            OpEvent::Return { id: OpId(9), kind: OpKind::Read, read_value: None },
+        );
+        let _ = tr.op_records();
+    }
+
+    #[test]
+    fn step_and_send_counters() {
+        let mut tr = Trace::new(2, FdOutput::Bot);
+        tr.push_step(Time(1), ProcessId(0), None, FdOutput::Bot);
+        tr.push_step(Time(2), ProcessId(0), None, FdOutput::Bot);
+        tr.push_step(Time(3), ProcessId(1), None, FdOutput::Bot);
+        tr.push_send(Time(3), ProcessId(1), ProcessId(0), MsgId(0));
+        assert_eq!(tr.steps_of(ProcessId(0)), 2);
+        assert_eq!(tr.total_steps(), 3);
+        assert_eq!(tr.messages_sent(), 1);
+        assert_eq!(tr.end_time(), Time(3));
+    }
+}

@@ -1,0 +1,86 @@
+//! The shared-memory programming model: deterministic programs that
+//! access atomic registers one operation at a time.
+//!
+//! This is the model of the celebrated set-agreement impossibility
+//! [21, 13, 3] that the paper's Theorem 12 reduces to: `n` crash-prone
+//! asynchronous processes communicating *only* through atomic read/write
+//! registers. A [`SharedAlgorithm`] is one process's program; in each of
+//! its steps it issues at most one register operation (the standard
+//! atomic-access granularity).
+
+use sih_model::Value;
+use std::fmt;
+
+/// Identifies one register of the shared memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RegisterId(pub u32);
+
+impl RegisterId {
+    /// Dense index for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// What a shared-memory program does in one step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SharedAction {
+    /// Atomically read a register; the value arrives as the `last_read`
+    /// argument of the **next** [`SharedAlgorithm::step`] call.
+    Read(RegisterId),
+    /// Atomically write a register.
+    Write(RegisterId, Value),
+    /// Decide a value and stop.
+    Decide(Value),
+    /// Do nothing this step (spin).
+    Pause,
+}
+
+/// One process's deterministic shared-memory program.
+///
+/// The engine (local simulator or the message-passing bridge) drives the
+/// program by calling [`step`] repeatedly: the return value is the next
+/// atomic action; if the *previous* action was a `Read`, its result is
+/// passed in `last_read` (`Some(contents)`, where `contents` is `None`
+/// for a never-written register).
+///
+/// [`step`]: SharedAlgorithm::step
+pub trait SharedAlgorithm {
+    /// Produces the next action. `me`/`n` identify the process and system
+    /// size; `last_read` carries the previous read's result, if the
+    /// previous action was a read.
+    fn step(&mut self, me: u32, n: usize, last_read: Option<Option<Value>>) -> SharedAction;
+
+    /// Whether the program has decided (and stopped).
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_id_basics() {
+        assert_eq!(RegisterId(3).index(), 3);
+        assert_eq!(RegisterId(3).to_string(), "R3");
+        assert!(RegisterId(1) < RegisterId(2));
+    }
+
+    #[test]
+    fn actions_are_comparable() {
+        assert_eq!(SharedAction::Pause, SharedAction::Pause);
+        assert_ne!(
+            SharedAction::Read(RegisterId(0)),
+            SharedAction::Write(RegisterId(0), Value(1))
+        );
+    }
+}

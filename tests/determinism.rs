@@ -1,0 +1,93 @@
+//! Replay determinism: the property the impossibility constructions
+//! stand on. Any run, re-executed from its recorded script with the same
+//! oracle, must be bit-for-bit identical.
+
+use sih::agreement::{distinct_proposals, fig2_processes, fig4_processes};
+use sih::detectors::{Sigma, SigmaK};
+use sih::model::{FailurePattern, ProcessId, ProcessSet};
+use sih::runtime::{Event, FairScheduler, ScriptedScheduler, Simulation};
+
+#[test]
+fn fig2_runs_replay_exactly() {
+    for seed in 0..10 {
+        let n = 5;
+        let pattern = FailurePattern::all_correct(n);
+        let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed);
+
+        let mut original = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+        original.run(&mut FairScheduler::new(seed), &sigma, 60_000);
+
+        let mut replay = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern);
+        let mut sched = ScriptedScheduler::new(original.script().to_vec());
+        replay.run(&mut sched, &sigma, u64::MAX);
+
+        assert_eq!(original.trace().events(), replay.trace().events(), "seed {seed}");
+        assert_eq!(
+            original.trace().distinct_decisions(),
+            replay.trace().distinct_decisions()
+        );
+    }
+}
+
+#[test]
+fn fig4_runs_replay_exactly() {
+    for seed in 0..5 {
+        let n = 6;
+        let active: ProcessSet = (0..4u32).map(ProcessId).collect();
+        let pattern = FailurePattern::crashed_from_start(
+            n,
+            ProcessSet::from_iter([4, 5].map(ProcessId)),
+        );
+        let det = SigmaK::new(active, &pattern, seed);
+
+        let mut original = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern.clone());
+        original.run(&mut FairScheduler::new(seed), &det, 120_000);
+
+        let mut replay = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern);
+        let mut sched = ScriptedScheduler::new(original.script().to_vec());
+        replay.run(&mut sched, &det, u64::MAX);
+
+        assert_eq!(original.trace().events(), replay.trace().events(), "seed {seed}");
+    }
+}
+
+#[test]
+fn prefix_replay_preserves_every_event() {
+    // Replaying HALF a run must reproduce exactly the first half of its
+    // events — the precise mechanism of Lemma 7's run r′.
+    let n = 4;
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 3);
+
+    let mut original = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+    original.run(&mut FairScheduler::new(3), &sigma, 60_000);
+    let script = original.script().to_vec();
+    let half = script.len() / 2;
+
+    let mut replay = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern);
+    let mut sched = ScriptedScheduler::new(script[..half].to_vec());
+    replay.run(&mut sched, &sigma, u64::MAX);
+
+    let original_events: Vec<&Event> = original
+        .trace()
+        .events()
+        .iter()
+        .take(replay.trace().events().len())
+        .collect();
+    let replay_events: Vec<&Event> = replay.trace().events().iter().collect();
+    assert_eq!(original_events, replay_events);
+}
+
+#[test]
+fn different_seeds_typically_differ() {
+    // Sanity: the scheduler seed actually matters (otherwise replay
+    // determinism would be vacuous).
+    let n = 5;
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
+    let mut a = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+    a.run(&mut FairScheduler::new(1), &sigma, 60_000);
+    let mut b = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern);
+    b.run(&mut FairScheduler::new(2), &sigma, 60_000);
+    assert_ne!(a.trace().events(), b.trace().events());
+}
