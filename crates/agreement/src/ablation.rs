@@ -130,11 +130,8 @@ pub fn fig2_ablation_violation(n: usize, seed: u64) -> Vec<Value> {
     // q1: deliver q0's Phase-1 message (never the Decision floods).
     let mut guard = 0;
     while sim.trace().decision_of(q1).is_none() {
-        let deliver = sim
-            .network()
-            .pending(q1)
-            .iter()
-            .position(|env| matches!(env.payload, Fig2Msg::Phase1(_)));
+        let deliver =
+            sim.network().pending(q1).position(|env| matches!(env.payload, Fig2Msg::Phase1(_)));
         sim.step(Choice { p: q1, deliver }, &sigma);
         guard += 1;
         assert!(guard < 10_000, "q1 must decide after receiving (1, v0)");
@@ -182,9 +179,7 @@ mod tests {
             }
             // Drive the actives, delivering only Task-2 traffic.
             let mut guard = 0;
-            while sim.trace().decision_of(q0).is_none()
-                || sim.trace().decision_of(q1).is_none()
-            {
+            while sim.trace().decision_of(q0).is_none() || sim.trace().decision_of(q1).is_none() {
                 for p in [q0, q1] {
                     if sim.trace().decision_of(p).is_some() {
                         continue;
@@ -192,7 +187,6 @@ mod tests {
                     let deliver = sim
                         .network()
                         .pending(p)
-                        .iter()
                         .position(|env| !matches!(env.payload, Fig2Msg::Decision(_)));
                     sim.step(Choice { p, deliver }, &sigma);
                 }

@@ -173,8 +173,9 @@ impl Automaton for Fig2SetAgreement {
                         self.me = None;
                     }
                     // Phase 3, lines 26–27: max with ⊥ < v.
-                    let w = std::cmp::max(self.me, self.you)
-                        .expect("validity (Theorem 4): max{Me, You} is never ⊥ under a legal σ history");
+                    let w = std::cmp::max(self.me, self.you).expect(
+                        "validity (Theorem 4): max{Me, You} is never ⊥ under a legal σ history",
+                    );
                     self.decide_and_return(w, input.n, eff);
                 }
             }
@@ -200,11 +201,7 @@ mod tests {
     use sih_model::{FailurePattern, ProcessId, Time};
     use sih_runtime::{FairScheduler, RoundRobinScheduler, Simulation};
 
-    fn run_fig2(
-        pattern: &FailurePattern,
-        sigma: &Sigma,
-        seed: u64,
-    ) -> sih_runtime::Trace {
+    fn run_fig2(pattern: &FailurePattern, sigma: &Sigma, seed: u64) -> sih_runtime::Trace {
         let n = pattern.n();
         let procs = fig2_processes(&distinct_proposals(n));
         let mut sim = Simulation::new(procs, pattern.clone());
@@ -229,10 +226,8 @@ mod tests {
     fn only_actives_correct_still_terminates() {
         // Correct ⊆ A: Task 2 must finish via σ's non-triviality.
         for seed in 0..10 {
-            let f = FailurePattern::crashed_from_start(
-                4,
-                ProcessSet::from_iter([2, 3].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
             let sigma = Sigma::new(ProcessId(0), ProcessId(1), &f, seed);
             let tr = run_fig2(&f, &sigma, seed);
             check_k_set_agreement(&tr, &f, &distinct_proposals(4), 3).unwrap();
@@ -244,10 +239,8 @@ mod tests {
         // q1 faulty from the start, q0 alone: the non-triviality +
         // completeness escape ({p} = queryFD()) unblocks both phases.
         for seed in 0..10 {
-            let f = FailurePattern::crashed_from_start(
-                3,
-                ProcessSet::from_iter([1, 2].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
             let sigma = Sigma::new(ProcessId(0), ProcessId(1), &f, seed);
             let tr = run_fig2(&f, &sigma, seed);
             check_k_set_agreement(&tr, &f, &distinct_proposals(3), 2).unwrap();
@@ -259,8 +252,8 @@ mod tests {
     fn late_crash_of_one_active_is_tolerated() {
         for seed in 0..10 {
             let f = FailurePattern::builder(4).crash_at(ProcessId(1), Time(12)).build();
-            let sigma = Sigma::new(ProcessId(0), ProcessId(1), &f, seed)
-                .with_mode(SigmaMode::Generous);
+            let sigma =
+                Sigma::new(ProcessId(0), ProcessId(1), &f, seed).with_mode(SigmaMode::Generous);
             let tr = run_fig2(&f, &sigma, seed);
             check_k_set_agreement(&tr, &f, &distinct_proposals(4), 3).unwrap();
         }
@@ -273,10 +266,7 @@ mod tests {
         // faulty non-actives decided their own — so not all n values can
         // appear. Run many seeds and require ≤ n−1 distinct decisions.
         for seed in 0..25 {
-            let f = FailurePattern::crashed_from_start(
-                3,
-                ProcessSet::singleton(ProcessId(2)),
-            );
+            let f = FailurePattern::crashed_from_start(3, ProcessSet::singleton(ProcessId(2)));
             let sigma = Sigma::new(ProcessId(0), ProcessId(1), &f, seed);
             let tr = run_fig2(&f, &sigma, seed);
             assert!(tr.distinct_decisions().len() <= 2, "seed {seed}");

@@ -217,7 +217,7 @@ pub fn fig4_processes(proposals: &[Value]) -> Vec<Fig4SetAgreement> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{check_k_set_agreement, check_k_agreement_safety, distinct_proposals};
+    use crate::spec::{check_k_agreement_safety, check_k_set_agreement, distinct_proposals};
     use sih_detectors::{SigmaK, SigmaKMode};
     use sih_model::{FailurePattern, Time};
     use sih_runtime::{FairScheduler, Simulation};
@@ -226,11 +226,7 @@ mod tests {
         (0..2 * k as u32).map(ProcessId).collect()
     }
 
-    fn run_fig4(
-        pattern: &FailurePattern,
-        det: &SigmaK,
-        seed: u64,
-    ) -> sih_runtime::Trace {
+    fn run_fig4(pattern: &FailurePattern, det: &SigmaK, seed: u64) -> sih_runtime::Trace {
         let n = pattern.n();
         let procs = fig4_processes(&distinct_proposals(n));
         let mut sim = Simulation::new(procs, pattern.clone());
@@ -258,10 +254,8 @@ mod tests {
         let n = 6;
         let k = 2;
         for seed in 0..8 {
-            let f = FailurePattern::crashed_from_start(
-                n,
-                ProcessSet::from_iter([2, 3].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(n, ProcessSet::from_iter([2, 3].map(ProcessId)));
             let d = SigmaK::new(active_2k(k), &f, seed);
             let tr = run_fig4(&f, &d, seed);
             check_k_set_agreement(&tr, &f, &distinct_proposals(n), n - k).unwrap();
@@ -273,10 +267,8 @@ mod tests {
         let n = 6;
         let k = 2;
         for seed in 0..8 {
-            let f = FailurePattern::crashed_from_start(
-                n,
-                ProcessSet::from_iter([0, 1].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(n, ProcessSet::from_iter([0, 1].map(ProcessId)));
             let d = SigmaK::new(active_2k(k), &f, seed);
             let tr = run_fig4(&f, &d, seed);
             check_k_set_agreement(&tr, &f, &distinct_proposals(n), n - k).unwrap();
@@ -338,10 +330,8 @@ mod tests {
             let f = FailurePattern::all_correct(n);
             let d = SigmaK::new(active_2k(k), &f, seed);
             let tr = run_fig4(&f, &d, seed);
-            let mut active_vals: Vec<Value> = active_2k(k)
-                .iter()
-                .filter_map(|p| tr.decision_of(p))
-                .collect();
+            let mut active_vals: Vec<Value> =
+                active_2k(k).iter().filter_map(|p| tr.decision_of(p)).collect();
             active_vals.sort_unstable();
             active_vals.dedup();
             assert!(active_vals.len() <= k, "seed {seed}: {active_vals:?}");

@@ -65,11 +65,8 @@ pub fn check_termination(
     trace: &Trace,
     pattern: &FailurePattern,
 ) -> Result<(), AgreementViolation> {
-    let missing: Vec<ProcessId> = pattern
-        .correct()
-        .iter()
-        .filter(|p| trace.decision_of(*p).is_none())
-        .collect();
+    let missing: Vec<ProcessId> =
+        pattern.correct().iter().filter(|p| trace.decision_of(*p).is_none()).collect();
     if missing.is_empty() {
         Ok(())
     } else {
@@ -107,11 +104,7 @@ mod tests {
     struct DecideOnce(Value);
     impl sih_runtime::Automaton for DecideOnce {
         type Msg = ();
-        fn step(
-            &mut self,
-            _input: sih_runtime::StepInput<()>,
-            eff: &mut sih_runtime::Effects<()>,
-        ) {
+        fn step(&mut self, _input: sih_runtime::StepInput<()>, eff: &mut sih_runtime::Effects<()>) {
             eff.decide(self.0);
             eff.halt();
         }

@@ -36,8 +36,7 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
         let pattern = FailurePattern::all_correct(n);
         let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
         b.iter(|| {
-            let mut sim =
-                Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+            let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
             let mut sched = RoundRobinScheduler::new();
             sim.run(&mut sched, &sigma, 600_000);
             black_box(sim.trace().total_steps())
@@ -68,12 +67,9 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let mut sim = Simulation::new(
-                        fig2_processes(&distinct_proposals(n)),
-                        pattern.clone(),
-                    );
-                    let mut sched =
-                        FairScheduler::new(seed).with_bounds(starve, deliver);
+                    let mut sim =
+                        Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+                    let mut sched = FairScheduler::new(seed).with_bounds(starve, deliver);
                     sim.run(&mut sched, &sigma, 600_000);
                     black_box(sim.trace().total_steps())
                 });

@@ -8,7 +8,7 @@ use std::hint::black_box;
 fn bench_hierarchy(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure1_matrix");
     group.sample_size(10);
-    let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+    let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..ClaimConfig::default() };
     for claim in Claim::ALL {
         group.bench_function(claim.title(), |b| {
             b.iter(|| {

@@ -10,8 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sih::model::{FailurePattern, ProcessId, ProcessSet, Value};
 use sih::pipeline;
 use sih::reductions::{
-    lemma15_defeat, lemma7_defeat, theorem13_demo, AntiOmegaAgreementCandidate,
-    GossipPairCandidate,
+    lemma15_defeat, lemma7_defeat, theorem13_demo, AntiOmegaAgreementCandidate, GossipPairCandidate,
 };
 use std::hint::black_box;
 

@@ -14,12 +14,14 @@ use crate::patterns::pattern_suite;
 use crate::pipeline;
 use sih_agreement::{check_k_set_agreement, distinct_proposals};
 use sih_detectors::{check_anti_omega, check_sigma, check_sigma_k};
-use sih_model::{ProcessId, ProcessSet};
+use sih_model::{FailurePattern, ProcessId, ProcessSet};
 use sih_reductions::{
-    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat,
-    theorem13_demo, AntiOmegaAgreementCandidate, GossipPairCandidate, Lemma15Verdict,
-    MirrorPairCandidate, MirrorXCandidate,
+    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat, theorem13_demo,
+    AntiOmegaAgreementCandidate, GossipPairCandidate, Lemma15Verdict, MirrorPairCandidate,
+    MirrorXCandidate,
 };
+use sih_runtime::sweep::{with_seeds, Sweep};
+use sih_runtime::TraceLevel;
 use std::fmt;
 
 /// One row of the paper's Figure 1 (plus the appendix results).
@@ -74,13 +76,9 @@ impl Claim {
             Claim::SetAgreementNotHarderThanTwoRegister => "2-register ↚ set agreement",
             Claim::Sigma2kImplementsNMinusKAgreement => "σ_2k → (n−k)-set agreement",
             Claim::XRegisterHarderThanNMinusKAgreement => "2k-register → (n−k)-set agreement",
-            Claim::NMinusKAgreementNotHarderThanX2kRegister => {
-                "2k-register ↚ (n−k)-set agreement"
-            }
+            Claim::NMinusKAgreementNotHarderThanX2kRegister => "2k-register ↚ (n−k)-set agreement",
             Claim::DecisionBudgetsAreTight => "budgets n−1 / n−k are tight",
-            Claim::RegisterNotHarderThanNMinusKMinus1 => {
-                "(2k+1)-register ↛ (n−k−1)-set agreement"
-            }
+            Claim::RegisterNotHarderThanNMinusKMinus1 => "(2k+1)-register ↛ (n−k−1)-set agreement",
             Claim::AntiOmegaInsufficientInMessagePassing => {
                 "anti-Ω ↛ set agreement (message passing)"
             }
@@ -135,11 +133,14 @@ pub struct ClaimConfig {
     pub seeds: u64,
     /// Step budget per run.
     pub max_steps: u64,
+    /// Worker threads for positive-claim sweeps (`0` = one per
+    /// available core). Verdicts are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ClaimConfig {
     fn default() -> Self {
-        ClaimConfig { n: 6, k: 2, seeds: 5, max_steps: 150_000 }
+        ClaimConfig { n: 6, k: 2, seeds: 5, max_steps: 150_000, threads: 0 }
     }
 }
 
@@ -205,6 +206,33 @@ fn pair() -> (ProcessId, ProcessId) {
     (ProcessId(0), ProcessId(1))
 }
 
+/// Fans a positive claim's `(pattern, seed)` grid across the sweep
+/// engine. `make_job` builds one worker-local job (typically holding
+/// pooled simulations); each job returns the number of runs it checked
+/// or the detail of the violation it found. The fold walks results in
+/// canonical grid order, so the verdict — including *which* violation is
+/// reported first — is identical for every thread count.
+fn positive_sweep<W, F>(
+    cfg: &ClaimConfig,
+    patterns: Vec<FailurePattern>,
+    make_job: W,
+) -> Result<usize, String>
+where
+    W: Fn() -> F + Sync,
+    F: FnMut(&FailurePattern, u64) -> Result<usize, String>,
+{
+    let grid = with_seeds(&patterns, cfg.seeds);
+    let results = Sweep::new(cfg.threads).run(grid, || {
+        let mut job = make_job();
+        move |_idx, (pattern, seed): (FailurePattern, u64)| job(&pattern, seed)
+    });
+    let mut runs = 0;
+    for result in results {
+        runs += result?;
+    }
+    Ok(runs)
+}
+
 fn active_2k(k: usize) -> ProcessSet {
     (0..2 * k as u32).map(ProcessId).collect()
 }
@@ -212,54 +240,56 @@ fn active_2k(k: usize) -> ProcessSet {
 fn check_r1(cfg: &ClaimConfig) -> ClaimOutcome {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
-    let mut runs = 0;
-    for pattern in pattern_suite(cfg.n, focus, 4, 11) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig2(&pattern, p, q, seed, cfg.max_steps);
-            if let Err(e) =
-                check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - 1)
-            {
-                return refuted(Claim::SigmaImplementsSetAgreement, e.to_string());
-            }
-            runs += 1;
+    let (n, max_steps) = (cfg.n, cfg.max_steps);
+    let swept = positive_sweep(cfg, pattern_suite(n, focus, 4, 11), || {
+        let mut pool = pipeline::Fig2Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig2_pooled(&mut pool, pattern, p, q, seed, max_steps);
+            check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - 1)
+                .map_err(|e| e.to_string())?;
+            Ok(1)
         }
-    }
-    ClaimOutcome {
-        claim: Claim::SigmaImplementsSetAgreement,
-        verdict: Verdict::Holds { runs },
-        notes: vec![format!("n={}, Figure 2 under sampled σ histories", cfg.n)],
+    });
+    match swept {
+        Err(detail) => refuted(Claim::SigmaImplementsSetAgreement, detail),
+        Ok(runs) => ClaimOutcome {
+            claim: Claim::SigmaImplementsSetAgreement,
+            verdict: Verdict::Holds { runs },
+            notes: vec![format!("n={}, Figure 2 under sampled σ histories", cfg.n)],
+        },
     }
 }
 
 fn check_r2(cfg: &ClaimConfig) -> ClaimOutcome {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
-    let mut runs = 0;
-    for pattern in pattern_suite(cfg.n, focus, 3, 13) {
-        for seed in 0..cfg.seeds {
+    let (n, max_steps) = (cfg.n, cfg.max_steps);
+    let swept = positive_sweep(cfg, pattern_suite(n, focus, 3, 13), || {
+        let mut fig3 = pipeline::Fig3Pool::with_trace_level(TraceLevel::Light);
+        let mut stack = pipeline::StackFig3Fig2Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
             // Lemma 6: the Figure 3 emulation yields a legal σ history.
-            let tr = pipeline::run_fig3(&pattern, p, q, seed, 6_000);
-            if let Err(e) = check_sigma(tr.emulated_history(), &pattern, focus) {
-                return refuted(Claim::TwoRegisterHarderThanSetAgreement, e.to_string());
-            }
+            let tr = pipeline::run_fig3_pooled(&mut fig3, pattern, p, q, seed, 6_000);
+            check_sigma(tr.emulated_history(), pattern, focus).map_err(|e| e.to_string())?;
             // End to end (Theorem 2 direction 1): Figure 2 stacked on
             // Figure 3 solves set agreement from Σ_{p,q}.
-            let tr = pipeline::run_stack_fig3_fig2(&pattern, p, q, seed, cfg.max_steps);
-            if let Err(e) =
-                check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - 1)
-            {
-                return refuted(Claim::TwoRegisterHarderThanSetAgreement, e.to_string());
-            }
-            runs += 2;
+            let tr =
+                pipeline::run_stack_fig3_fig2_pooled(&mut stack, pattern, p, q, seed, max_steps);
+            check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - 1)
+                .map_err(|e| e.to_string())?;
+            Ok(2)
         }
-    }
-    ClaimOutcome {
-        claim: Claim::TwoRegisterHarderThanSetAgreement,
-        verdict: Verdict::Holds { runs },
-        notes: vec![
-            "Figure 3 output validated against Definition 3".into(),
-            "stacked Fig3→Fig2 pipeline solves set agreement from Σ_{p,q}".into(),
-        ],
+    });
+    match swept {
+        Err(detail) => refuted(Claim::TwoRegisterHarderThanSetAgreement, detail),
+        Ok(runs) => ClaimOutcome {
+            claim: Claim::TwoRegisterHarderThanSetAgreement,
+            verdict: Verdict::Holds { runs },
+            notes: vec![
+                "Figure 3 output validated against Definition 3".into(),
+                "stacked Fig3→Fig2 pipeline solves set agreement from Σ_{p,q}".into(),
+            ],
+        },
     }
 }
 
@@ -297,50 +327,52 @@ fn check_r3(cfg: &ClaimConfig) -> ClaimOutcome {
 
 fn check_r4(cfg: &ClaimConfig) -> ClaimOutcome {
     let active = active_2k(cfg.k);
-    let mut runs = 0;
-    for pattern in pattern_suite(cfg.n, active, 4, 23) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig4(&pattern, active, seed, cfg.max_steps);
-            if let Err(e) =
-                check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - cfg.k)
-            {
-                return refuted(Claim::Sigma2kImplementsNMinusKAgreement, e.to_string());
-            }
-            runs += 1;
+    let (n, k, max_steps) = (cfg.n, cfg.k, cfg.max_steps);
+    let swept = positive_sweep(cfg, pattern_suite(n, active, 4, 23), || {
+        let mut pool = pipeline::Fig4Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig4_pooled(&mut pool, pattern, active, seed, max_steps);
+            check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - k)
+                .map_err(|e| e.to_string())?;
+            Ok(1)
         }
-    }
-    ClaimOutcome {
-        claim: Claim::Sigma2kImplementsNMinusKAgreement,
-        verdict: Verdict::Holds { runs },
-        notes: vec![format!("n={}, k={}, Figure 4 under sampled σ_2k histories", cfg.n, cfg.k)],
+    });
+    match swept {
+        Err(detail) => refuted(Claim::Sigma2kImplementsNMinusKAgreement, detail),
+        Ok(runs) => ClaimOutcome {
+            claim: Claim::Sigma2kImplementsNMinusKAgreement,
+            verdict: Verdict::Holds { runs },
+            notes: vec![format!("n={}, k={}, Figure 4 under sampled σ_2k histories", cfg.n, cfg.k)],
+        },
     }
 }
 
 fn check_r5(cfg: &ClaimConfig) -> ClaimOutcome {
     let x = active_2k(cfg.k);
-    let mut runs = 0;
-    for pattern in pattern_suite(cfg.n, x, 3, 29) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig5(&pattern, x, seed, 6_000);
-            if let Err(e) = check_sigma_k(tr.emulated_history(), &pattern, x) {
-                return refuted(Claim::XRegisterHarderThanNMinusKAgreement, e.to_string());
-            }
-            let tr = pipeline::run_stack_fig5_fig4(&pattern, x, seed, cfg.max_steps * 2);
-            if let Err(e) =
-                check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - cfg.k)
-            {
-                return refuted(Claim::XRegisterHarderThanNMinusKAgreement, e.to_string());
-            }
-            runs += 2;
+    let (n, k, max_steps) = (cfg.n, cfg.k, cfg.max_steps);
+    let swept = positive_sweep(cfg, pattern_suite(n, x, 3, 29), || {
+        let mut fig5 = pipeline::Fig5Pool::with_trace_level(TraceLevel::Light);
+        let mut stack = pipeline::StackFig5Fig4Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig5_pooled(&mut fig5, pattern, x, seed, 6_000);
+            check_sigma_k(tr.emulated_history(), pattern, x).map_err(|e| e.to_string())?;
+            let tr =
+                pipeline::run_stack_fig5_fig4_pooled(&mut stack, pattern, x, seed, max_steps * 2);
+            check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - k)
+                .map_err(|e| e.to_string())?;
+            Ok(2)
         }
-    }
-    ClaimOutcome {
-        claim: Claim::XRegisterHarderThanNMinusKAgreement,
-        verdict: Verdict::Holds { runs },
-        notes: vec![
-            "Figure 5 output validated against Definition 9".into(),
-            "stacked Fig5→Fig4 pipeline solves (n−k)-set agreement from Σ_X2k".into(),
-        ],
+    });
+    match swept {
+        Err(detail) => refuted(Claim::XRegisterHarderThanNMinusKAgreement, detail),
+        Ok(runs) => ClaimOutcome {
+            claim: Claim::XRegisterHarderThanNMinusKAgreement,
+            verdict: Verdict::Holds { runs },
+            notes: vec![
+                "Figure 5 output validated against Definition 9".into(),
+                "stacked Fig5→Fig4 pipeline solves (n−k)-set agreement from Σ_X2k".into(),
+            ],
+        },
     }
 }
 
@@ -411,9 +443,7 @@ fn check_r8(cfg: &ClaimConfig) -> ClaimOutcome {
     ClaimOutcome {
         claim: Claim::RegisterNotHarderThanNMinusKMinus1,
         verdict: Verdict::CounterexampleExhibited { defeats: vec![report.to_string()] },
-        notes: vec![
-            "B-from-A simulation: the candidate's B violates k-set agreement with Σ".into(),
-        ],
+        notes: vec!["B-from-A simulation: the candidate's B violates k-set agreement with Σ".into()],
     }
 }
 
@@ -448,23 +478,24 @@ fn check_r9(cfg: &ClaimConfig) -> ClaimOutcome {
 fn check_r10(cfg: &ClaimConfig) -> ClaimOutcome {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
-    let mut runs = 0;
-    for pattern in pattern_suite(cfg.n, focus, 4, 53) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig6(&pattern, p, q, seed, 20_000);
-            if let Err(e) = check_anti_omega(tr.emulated_history(), &pattern) {
-                return refuted(Claim::SigmaStrictlyStrongerThanAntiOmega, e.to_string());
-            }
-            runs += 1;
+    let swept = positive_sweep(cfg, pattern_suite(cfg.n, focus, 4, 53), || {
+        let mut pool = pipeline::Fig6Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig6_pooled(&mut pool, pattern, p, q, seed, 20_000);
+            check_anti_omega(tr.emulated_history(), pattern).map_err(|e| e.to_string())?;
+            Ok(1)
         }
-    }
-    ClaimOutcome {
-        claim: Claim::SigmaStrictlyStrongerThanAntiOmega,
-        verdict: Verdict::Holds { runs },
-        notes: vec![
-            "Figure 6 emulation validated against the anti-Ω specification".into(),
-            "strictness follows from Lemma 15 (σ solves set agreement, anti-Ω cannot)".into(),
-        ],
+    });
+    match swept {
+        Err(detail) => refuted(Claim::SigmaStrictlyStrongerThanAntiOmega, detail),
+        Ok(runs) => ClaimOutcome {
+            claim: Claim::SigmaStrictlyStrongerThanAntiOmega,
+            verdict: Verdict::Holds { runs },
+            notes: vec![
+                "Figure 6 emulation validated against the anti-Ω specification".into(),
+                "strictness follows from Lemma 15 (σ solves set agreement, anti-Ω cannot)".into(),
+            ],
+        },
     }
 }
 
@@ -477,18 +508,14 @@ mod tests {
     use super::*;
 
     fn small() -> ClaimConfig {
-        ClaimConfig { n: 4, k: 1, seeds: 2, max_steps: 150_000 }
+        ClaimConfig { n: 4, k: 1, seeds: 2, max_steps: 150_000, threads: 0 }
     }
 
     #[test]
     fn all_claims_confirm_at_small_size() {
         for claim in Claim::ALL {
             let outcome = check_claim(claim, &small());
-            assert!(
-                outcome.verdict.confirmed(),
-                "{claim} refuted: {:?}",
-                outcome.verdict
-            );
+            assert!(outcome.verdict.confirmed(), "{claim} refuted: {:?}", outcome.verdict);
         }
     }
 
@@ -510,7 +537,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "n ≥ 3")]
     fn invalid_config_rejected() {
-        let cfg = ClaimConfig { n: 2, k: 1, seeds: 1, max_steps: 10 };
+        let cfg = ClaimConfig { n: 2, k: 1, seeds: 1, max_steps: 10, threads: 0 };
         let _ = check_claim(Claim::SigmaImplementsSetAgreement, &cfg);
     }
 }

@@ -29,7 +29,7 @@
 //! ```
 //! use sih::claims::{check_claim, Claim, ClaimConfig};
 //!
-//! let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+//! let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..ClaimConfig::default() };
 //! let outcome = check_claim(Claim::SigmaImplementsSetAgreement, &cfg);
 //! assert!(outcome.verdict.confirmed());
 //! ```
@@ -79,12 +79,11 @@ pub mod prelude {
         check_k_set_agreement, distinct_proposals, fig2_processes, fig4_processes,
     };
     pub use sih_detectors::{
-        check_anti_omega, check_sigma, check_sigma_k, check_sigma_s, AntiOmega, Omega,
-        Perfect, Sigma, SigmaK, SigmaS,
+        check_anti_omega, check_sigma, check_sigma_k, check_sigma_s, AntiOmega, Omega, Perfect,
+        Sigma, SigmaK, SigmaS,
     };
     pub use sih_model::{
-        Environment, FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time,
-        Value,
+        Environment, FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time, Value,
     };
     pub use sih_registers::{abd_processes, check_linearizable, WorkloadSpec};
     pub use sih_runtime::{

@@ -3,62 +3,209 @@
 //!
 //! These are the building blocks the claims API, the `lab` harness, the
 //! benches and the examples all share.
+//!
+//! Every pipeline comes in two forms: a one-shot `run_*` returning an
+//! owned [`Trace`], and a `run_*_pooled` variant taking a [`SimPool`]
+//! that recycles the simulation's network queues, trace log and scratch
+//! buffers run over run — sweeps call the pooled form with one pool per
+//! worker, so the hot loop stops re-allocating per run.
 
-use sih_agreement::{distinct_proposals, fig2_processes, fig4_processes, paxos_processes};
+use sih_agreement::{
+    distinct_proposals, fig2_processes, fig4_processes, paxos_processes, Fig2SetAgreement,
+    Fig4SetAgreement, PaxosConsensus,
+};
 use sih_detectors::{Omega, Sigma, SigmaK, SigmaS};
 use sih_model::{FailurePattern, FdOutput, OpKind, OpRecord, ProcessId, ProcessSet};
-use sih_reductions::{fig3_processes, fig5_processes, fig6_processes};
-use sih_registers::abd_processes;
-use sih_runtime::{FairScheduler, Simulation, Stacked, Trace};
+use sih_reductions::{
+    fig3_processes, fig5_processes, fig6_processes, Fig3SigmaFromSigmaPair, Fig5SigmaKFromSigmaX,
+    Fig6AntiOmegaFromSigma,
+};
+use sih_registers::{abd_processes, AbdRegister};
+use sih_runtime::{FairScheduler, SimPool, Stacked, Trace};
 
-/// Runs Figure 2 (set agreement from `σ`) once; returns the trace.
-pub fn run_fig2(pattern: &FailurePattern, a0: ProcessId, a1: ProcessId, seed: u64, max_steps: u64) -> Trace {
+/// Reusable simulation slot for [`run_fig2_pooled`].
+pub type Fig2Pool = SimPool<Fig2SetAgreement>;
+/// Reusable simulation slot for [`run_fig3_pooled`].
+pub type Fig3Pool = SimPool<Fig3SigmaFromSigmaPair>;
+/// Reusable simulation slot for [`run_fig4_pooled`].
+pub type Fig4Pool = SimPool<Fig4SetAgreement>;
+/// Reusable simulation slot for [`run_fig5_pooled`].
+pub type Fig5Pool = SimPool<Fig5SigmaKFromSigmaX>;
+/// Reusable simulation slot for [`run_fig6_pooled`].
+pub type Fig6Pool = SimPool<Fig6AntiOmegaFromSigma>;
+/// Reusable simulation slot for [`run_stack_fig3_fig2_pooled`].
+pub type StackFig3Fig2Pool = SimPool<Stacked<Fig3SigmaFromSigmaPair, Fig2SetAgreement>>;
+/// Reusable simulation slot for [`run_stack_fig5_fig4_pooled`].
+pub type StackFig5Fig4Pool = SimPool<Stacked<Fig5SigmaKFromSigmaX, Fig4SetAgreement>>;
+/// Reusable simulation slot for [`run_register_workload_pooled`].
+pub type RegisterPool = SimPool<AbdRegister>;
+/// Reusable simulation slot for [`run_paxos_pooled`].
+pub type PaxosPool = SimPool<PaxosConsensus>;
+
+/// Runs Figure 2 (set agreement from `σ`) in a pooled simulation;
+/// returns the run's trace, borrowed from the pool.
+pub fn run_fig2_pooled<'a>(
+    pool: &'a mut Fig2Pool,
+    pattern: &FailurePattern,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
     let n = pattern.n();
     let sigma = Sigma::new(a0, a1, pattern, seed);
-    let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
+    let sim = pool.acquire(fig2_processes(&distinct_proposals(n)), pattern);
     let mut sched = FairScheduler::new(seed);
     sim.run(&mut sched, &sigma, max_steps);
-    sim.into_trace()
+    sim.trace()
+}
+
+/// Runs Figure 2 (set agreement from `σ`) once; returns the trace.
+pub fn run_fig2(
+    pattern: &FailurePattern,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> Trace {
+    let mut pool = Fig2Pool::new();
+    run_fig2_pooled(&mut pool, pattern, a0, a1, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs Figure 4 (`(n−k)`-set agreement from `σ_2k`) in a pooled
+/// simulation.
+pub fn run_fig4_pooled<'a>(
+    pool: &'a mut Fig4Pool,
+    pattern: &FailurePattern,
+    active: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
+    let n = pattern.n();
+    let det = SigmaK::new(active, pattern, seed);
+    let sim = pool.acquire(fig4_processes(&distinct_proposals(n)), pattern);
+    let mut sched = FairScheduler::new(seed);
+    sim.run(&mut sched, &det, max_steps);
+    sim.trace()
 }
 
 /// Runs Figure 4 (`(n−k)`-set agreement from `σ_2k`) once.
 pub fn run_fig4(pattern: &FailurePattern, active: ProcessSet, seed: u64, max_steps: u64) -> Trace {
+    let mut pool = Fig4Pool::new();
+    run_fig4_pooled(&mut pool, pattern, active, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs Figure 3 (emulating `σ` from `Σ_{p,q}`) in a pooled simulation;
+/// the trace's emulated history is the produced `σ` history.
+pub fn run_fig3_pooled<'a>(
+    pool: &'a mut Fig3Pool,
+    pattern: &FailurePattern,
+    p: ProcessId,
+    q: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
     let n = pattern.n();
-    let det = SigmaK::new(active, pattern, seed);
-    let mut sim = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern.clone());
+    let s = ProcessSet::from_iter([p, q]);
+    let det = SigmaS::new(s, pattern, seed);
+    let sim = pool.acquire(fig3_processes(n, p, q), pattern);
     let mut sched = FairScheduler::new(seed);
     sim.run(&mut sched, &det, max_steps);
-    sim.into_trace()
+    sim.trace()
 }
 
 /// Runs Figure 3 (emulating `σ` from `Σ_{p,q}`) once; the trace's
 /// emulated history is the produced `σ` history.
-pub fn run_fig3(pattern: &FailurePattern, p: ProcessId, q: ProcessId, seed: u64, max_steps: u64) -> Trace {
-    let n = pattern.n();
-    let s = ProcessSet::from_iter([p, q]);
-    let det = SigmaS::new(s, pattern, seed);
-    let mut sim = Simulation::new(fig3_processes(n, p, q), pattern.clone());
+pub fn run_fig3(
+    pattern: &FailurePattern,
+    p: ProcessId,
+    q: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> Trace {
+    let mut pool = Fig3Pool::new();
+    run_fig3_pooled(&mut pool, pattern, p, q, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs Figure 5 (emulating `σ_|X|` from `Σ_X`) in a pooled simulation.
+pub fn run_fig5_pooled<'a>(
+    pool: &'a mut Fig5Pool,
+    pattern: &FailurePattern,
+    x: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
+    let det = SigmaS::new(x, pattern, seed);
+    let sim = pool.acquire(fig5_processes(pattern.n(), x), pattern);
     let mut sched = FairScheduler::new(seed);
     sim.run(&mut sched, &det, max_steps);
-    sim.into_trace()
+    sim.trace()
 }
 
 /// Runs Figure 5 (emulating `σ_|X|` from `Σ_X`) once.
 pub fn run_fig5(pattern: &FailurePattern, x: ProcessSet, seed: u64, max_steps: u64) -> Trace {
-    let det = SigmaS::new(x, pattern, seed);
-    let mut sim = Simulation::new(fig5_processes(pattern.n(), x), pattern.clone());
+    let mut pool = Fig5Pool::new();
+    run_fig5_pooled(&mut pool, pattern, x, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs Figure 6 (emulating `anti-Ω` from `σ`) in a pooled simulation.
+pub fn run_fig6_pooled<'a>(
+    pool: &'a mut Fig6Pool,
+    pattern: &FailurePattern,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
+    let sigma = Sigma::new(a0, a1, pattern, seed);
+    let sim = pool.acquire(fig6_processes(pattern.n()), pattern);
     let mut sched = FairScheduler::new(seed);
-    sim.run(&mut sched, &det, max_steps);
-    sim.into_trace()
+    sim.run(&mut sched, &sigma, max_steps);
+    sim.trace()
 }
 
 /// Runs Figure 6 (emulating `anti-Ω` from `σ`) once.
-pub fn run_fig6(pattern: &FailurePattern, a0: ProcessId, a1: ProcessId, seed: u64, max_steps: u64) -> Trace {
-    let sigma = Sigma::new(a0, a1, pattern, seed);
-    let mut sim = Simulation::new(fig6_processes(pattern.n()), pattern.clone());
+pub fn run_fig6(
+    pattern: &FailurePattern,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> Trace {
+    let mut pool = Fig6Pool::new();
+    run_fig6_pooled(&mut pool, pattern, a0, a1, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs the full positive pipeline of Theorem 2 (**Figure 2 stacked on
+/// Figure 3**) in a pooled simulation.
+pub fn run_stack_fig3_fig2_pooled<'a>(
+    pool: &'a mut StackFig3Fig2Pool,
+    pattern: &FailurePattern,
+    p: ProcessId,
+    q: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
+    let n = pattern.n();
+    let s = ProcessSet::from_iter([p, q]);
+    let det = SigmaS::new(s, pattern, seed);
+    let proposals = distinct_proposals(n);
+    let procs: Vec<_> = fig3_processes(n, p, q)
+        .into_iter()
+        .zip(fig2_processes(&proposals))
+        .map(|(lower, upper)| Stacked::new(lower, upper, FdOutput::Bot))
+        .collect();
+    let sim = pool.acquire(procs, pattern);
     let mut sched = FairScheduler::new(seed);
-    sim.run(&mut sched, &sigma, max_steps);
-    sim.into_trace()
+    sim.run_until(&mut sched, &det, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    sim.trace()
 }
 
 /// Runs the full positive pipeline of Theorem 2: **Figure 2 stacked on
@@ -73,21 +220,34 @@ pub fn run_stack_fig3_fig2(
     seed: u64,
     max_steps: u64,
 ) -> Trace {
+    let mut pool = StackFig3Fig2Pool::new();
+    run_stack_fig3_fig2_pooled(&mut pool, pattern, p, q, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs the Theorem 8 positive pipeline (**Figure 4 stacked on Figure
+/// 5**) in a pooled simulation.
+pub fn run_stack_fig5_fig4_pooled<'a>(
+    pool: &'a mut StackFig5Fig4Pool,
+    pattern: &FailurePattern,
+    x: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
     let n = pattern.n();
-    let s = ProcessSet::from_iter([p, q]);
-    let det = SigmaS::new(s, pattern, seed);
+    let det = SigmaS::new(x, pattern, seed);
     let proposals = distinct_proposals(n);
-    let procs: Vec<_> = fig3_processes(n, p, q)
+    let procs: Vec<_> = fig5_processes(n, x)
         .into_iter()
-        .zip(fig2_processes(&proposals))
+        .zip(fig4_processes(&proposals))
         .map(|(lower, upper)| Stacked::new(lower, upper, FdOutput::Bot))
         .collect();
-    let mut sim = Simulation::new(procs, pattern.clone());
+    let sim = pool.acquire(procs, pattern);
     let mut sched = FairScheduler::new(seed);
     sim.run_until(&mut sched, &det, max_steps, |s| {
         s.pattern().correct().is_subset(s.trace().decided())
     });
-    sim.into_trace()
+    sim.trace()
 }
 
 /// The Theorem 8 positive pipeline: **Figure 4 stacked on Figure 5** —
@@ -98,20 +258,30 @@ pub fn run_stack_fig5_fig4(
     seed: u64,
     max_steps: u64,
 ) -> Trace {
+    let mut pool = StackFig5Fig4Pool::new();
+    run_stack_fig5_fig4_pooled(&mut pool, pattern, x, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
+}
+
+/// Runs an ABD `S`-register workload in a pooled simulation; returns the
+/// trace (borrowed) — call [`Trace::op_records`] for the operation
+/// records.
+pub fn run_register_workload_pooled<'a>(
+    pool: &'a mut RegisterPool,
+    pattern: &FailurePattern,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
     let n = pattern.n();
-    let det = SigmaS::new(x, pattern, seed);
-    let proposals = distinct_proposals(n);
-    let procs: Vec<_> = fig5_processes(n, x)
-        .into_iter()
-        .zip(fig4_processes(&proposals))
-        .map(|(lower, upper)| Stacked::new(lower, upper, FdOutput::Bot))
-        .collect();
-    let mut sim = Simulation::new(procs, pattern.clone());
+    let det = SigmaS::new(s, pattern, seed);
+    let sim = pool.acquire(abd_processes(s, n, scripts), pattern);
     let mut sched = FairScheduler::new(seed);
-    sim.run_until(&mut sched, &det, max_steps, |s| {
-        s.pattern().correct().is_subset(s.trace().decided())
+    sim.run_until(&mut sched, &det, max_steps, |sim| {
+        sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
     });
-    sim.into_trace()
+    sim.trace()
 }
 
 /// Runs an ABD `S`-register workload; returns the trace and the operation
@@ -123,26 +293,34 @@ pub fn run_register_workload(
     seed: u64,
     max_steps: u64,
 ) -> (Trace, Vec<OpRecord>) {
-    let n = pattern.n();
-    let det = SigmaS::new(s, pattern, seed);
-    let mut sim = Simulation::new(abd_processes(s, n, scripts), pattern.clone());
-    let mut sched = FairScheduler::new(seed);
-    sim.run_until(&mut sched, &det, max_steps, |sim| {
-        sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
-    });
-    let trace = sim.into_trace();
+    let mut pool = RegisterPool::new();
+    run_register_workload_pooled(&mut pool, pattern, s, scripts, seed, max_steps);
+    let trace = pool.take_trace().expect("pool just ran");
     let ops = trace.op_records();
     (trace, ops)
 }
 
-/// Runs the Paxos consensus baseline (`Ω` + majority) once.
-pub fn run_paxos(pattern: &FailurePattern, seed: u64, max_steps: u64) -> Trace {
+/// Runs the Paxos consensus baseline (`Ω` + majority) in a pooled
+/// simulation.
+pub fn run_paxos_pooled<'a>(
+    pool: &'a mut PaxosPool,
+    pattern: &FailurePattern,
+    seed: u64,
+    max_steps: u64,
+) -> &'a Trace {
     let n = pattern.n();
     let omega = Omega::new(pattern, seed);
-    let mut sim = Simulation::new(paxos_processes(&distinct_proposals(n)), pattern.clone());
+    let sim = pool.acquire(paxos_processes(&distinct_proposals(n)), pattern);
     let mut sched = FairScheduler::new(seed);
     sim.run(&mut sched, &omega, max_steps);
-    sim.into_trace()
+    sim.trace()
+}
+
+/// Runs the Paxos consensus baseline (`Ω` + majority) once.
+pub fn run_paxos(pattern: &FailurePattern, seed: u64, max_steps: u64) -> Trace {
+    let mut pool = PaxosPool::new();
+    run_paxos_pooled(&mut pool, pattern, seed, max_steps);
+    pool.take_trace().expect("pool just ran")
 }
 
 #[cfg(test)]
@@ -150,8 +328,9 @@ mod tests {
     use super::*;
     use sih_agreement::check_k_set_agreement;
     use sih_detectors::{check_anti_omega, check_sigma, check_sigma_k};
-    use sih_registers::check_linearizable;
     use sih_model::Value;
+    use sih_registers::check_linearizable;
+    use sih_runtime::TraceLevel;
 
     #[test]
     fn stack_fig3_fig2_solves_set_agreement_end_to_end() {
@@ -163,12 +342,8 @@ mod tests {
             let tr = run_stack_fig3_fig2(&f, ProcessId(0), ProcessId(1), seed, 200_000);
             check_k_set_agreement(&tr, &f, &distinct_proposals(5), 4).unwrap();
             // And the lower layer's emulated history is a legal σ history.
-            check_sigma(
-                tr.emulated_history(),
-                &f,
-                ProcessSet::from_iter([0, 1].map(ProcessId)),
-            )
-            .unwrap();
+            check_sigma(tr.emulated_history(), &f, ProcessSet::from_iter([0, 1].map(ProcessId)))
+                .unwrap();
         }
     }
 
@@ -222,5 +397,42 @@ mod tests {
         let f = FailurePattern::all_correct(4);
         let tr = run_paxos(&f, 2, 200_000);
         check_k_set_agreement(&tr, &f, &distinct_proposals(4), 1).unwrap();
+    }
+
+    /// The pooled path is observationally identical to the one-shot
+    /// path: same decisions, counters, end time and emulated history,
+    /// run after run, even while the pool recycles its buffers.
+    #[test]
+    fn pooled_runs_match_one_shot_runs() {
+        let mut pool = Fig2Pool::new();
+        for seed in 0..8 {
+            let f = if seed % 2 == 0 {
+                FailurePattern::all_correct(4)
+            } else {
+                FailurePattern::crashed_from_start(4, ProcessSet::singleton(ProcessId(3)))
+            };
+            let fresh = run_fig2(&f, ProcessId(0), ProcessId(1), seed, 100_000);
+            let pooled = run_fig2_pooled(&mut pool, &f, ProcessId(0), ProcessId(1), seed, 100_000);
+            assert_eq!(pooled.events(), fresh.events(), "seed {seed}");
+            assert_eq!(pooled.total_steps(), fresh.total_steps());
+            assert_eq!(pooled.messages_sent(), fresh.messages_sent());
+            assert_eq!(pooled.end_time(), fresh.end_time());
+            assert_eq!(pooled.distinct_decisions(), fresh.distinct_decisions());
+        }
+    }
+
+    /// A light-level pooled sweep still feeds the checkers correctly.
+    #[test]
+    fn light_trace_pooled_sweep_checks_clean() {
+        let mut pool = Fig2Pool::with_trace_level(TraceLevel::Light);
+        for seed in 0..4 {
+            let f = FailurePattern::all_correct(4);
+            let tr = run_fig2_pooled(&mut pool, &f, ProcessId(0), ProcessId(1), seed, 100_000);
+            assert!(tr.events().iter().all(|e| !matches!(
+                e,
+                sih_runtime::Event::Step { .. } | sih_runtime::Event::Send { .. }
+            )));
+            check_k_set_agreement(tr, &f, &distinct_proposals(4), 3).unwrap();
+        }
     }
 }

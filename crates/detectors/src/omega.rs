@@ -36,12 +36,7 @@ impl Omega {
     /// process.
     pub fn new(pattern: &FailurePattern, seed: u64) -> Self {
         let leader = pattern.correct().min().expect("at least one correct process");
-        Omega {
-            pattern: pattern.clone(),
-            leader,
-            stab: pattern.last_crash_time().next(),
-            seed,
-        }
+        Omega { pattern: pattern.clone(), leader, stab: pattern.last_crash_time().next(), seed }
     }
 
     /// Delays stabilization to `stab`.

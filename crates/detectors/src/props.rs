@@ -57,9 +57,7 @@ pub fn sample_history(
     n: usize,
     horizon: sih_model::Time,
 ) -> RecordedHistory {
-    let initials = (0..n as u32)
-        .map(|i| det.output(ProcessId(i), sih_model::Time::ZERO))
-        .collect();
+    let initials = (0..n as u32).map(|i| det.output(ProcessId(i), sih_model::Time::ZERO)).collect();
     let mut h = RecordedHistory::with_initials(initials).with_label(det.name());
     for i in 0..n as u32 {
         let p = ProcessId(i);
@@ -75,10 +73,7 @@ fn real_observations(
     h: &RecordedHistory,
     p: ProcessId,
 ) -> impl Iterator<Item = (sih_model::Time, FdOutput)> + '_ {
-    h.timeline(p)
-        .observations()
-        .into_iter()
-        .skip_while(|&(_, o)| o == FdOutput::Bot)
+    h.timeline(p).observations().into_iter().skip_while(|&(_, o)| o == FdOutput::Bot)
 }
 
 /// Checks the `Σ_S` specification (§2.2): well-formedness (this
@@ -123,8 +118,7 @@ pub fn check_sigma_s(
         .iter()
         .filter(|p| p.index() < h.n())
         .flat_map(|p| {
-            real_observations(h, p)
-                .filter_map(move |(t, o)| o.trust().map(|set| (p, t, set)))
+            real_observations(h, p).filter_map(move |(t, o)| o.trust().map(|set| (p, t, set)))
         })
         .collect();
     for (p, t, a) in &lists {
@@ -193,9 +187,8 @@ pub fn check_sigma(
         .iter()
         .filter(|p| p.index() < h.n())
         .flat_map(|p| {
-            real_observations(h, p).filter_map(move |(t, o)| {
-                o.trust().filter(|s| !s.is_empty()).map(|s| (p, t, s))
-            })
+            real_observations(h, p)
+                .filter_map(move |(t, o)| o.trust().filter(|s| !s.is_empty()).map(|s| (p, t, s)))
         })
         .collect();
     for (p, t, a) in &lists {
@@ -313,8 +306,7 @@ pub fn check_sigma_k(
     if correct.is_subset(low) || correct.is_subset(high) {
         for p in correct {
             let fin = h.timeline(p).final_output();
-            let forced_ok =
-                matches!(fin, FdOutput::TrustActive { trust, .. } if !trust.is_empty());
+            let forced_ok = matches!(fin, FdOutput::TrustActive { trust, .. } if !trust.is_empty());
             if !forced_ok {
                 return Err(Violation::new(
                     "non-triviality",
@@ -348,10 +340,7 @@ pub fn check_anti_omega(h: &RecordedHistory, pattern: &FailurePattern) -> Result
         .filter(|p| p.index() < h.n())
         .filter_map(|p| h.timeline(p).final_output().leader())
         .collect();
-    let escaped = pattern
-        .correct()
-        .iter()
-        .find(|c| !finals.contains(c));
+    let escaped = pattern.correct().iter().find(|c| !finals.contains(c));
     match escaped {
         Some(_) => Ok(()),
         None => Err(Violation::new(
@@ -389,10 +378,8 @@ mod tests {
     #[test]
     fn sampled_sigma_passes_its_checker() {
         for seed in 0..8 {
-            let f = FailurePattern::crashed_from_start(
-                4,
-                ProcessSet::from_iter([2, 3].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
             let a = ProcessSet::from_iter([0, 1].map(ProcessId));
             for mode in [SigmaMode::Reticent, SigmaMode::Generous] {
                 let d = Sigma::new(ProcessId(0), ProcessId(1), &f, seed).with_mode(mode);
@@ -462,10 +449,7 @@ mod tests {
     #[test]
     fn sigma_checker_catches_non_triviality_violation() {
         // Correct ⊆ A but p0's output stays ∅ forever.
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([1, 2].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
         let a = ProcessSet::from_iter([0, 1].map(ProcessId));
         let mut h = RecordedHistory::new(3, FdOutput::Bot);
         h.record(ProcessId(0), Time(1), FdOutput::EMPTY_TRUST);
@@ -477,10 +461,7 @@ mod tests {
     fn sigma_checker_accepts_bot_initialization_prefix() {
         // Emulated variables are ⊥ before the first step; that prefix is
         // not a well-formedness violation.
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([1, 2].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
         let a = ProcessSet::from_iter([0, 1].map(ProcessId));
         let mut h = RecordedHistory::new(3, FdOutput::Bot);
         h.record(ProcessId(0), Time(5), FdOutput::Trust(ProcessSet::singleton(ProcessId(0))));

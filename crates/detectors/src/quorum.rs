@@ -14,8 +14,8 @@
 //! This is the constructive half of "`Σ_S` is implementable wherever a
 //! majority is correct" — the substrate Theorem 12's argument runs on.
 
-use sih_runtime::{Automaton, Effects, StepInput};
 use sih_model::{FdOutput, ProcessSet};
+use sih_runtime::{Automaton, Effects, StepInput};
 
 /// Protocol messages of the quorum `Σ` emulation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

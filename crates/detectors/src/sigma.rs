@@ -244,10 +244,7 @@ mod tests {
     fn single_correct_active_eventually_self_only() {
         // q0 = p0 the only correct process: eventually H(p0, ·) = {p0},
         // which is what unblocks Task 2 of Figure 2.
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([1, 2].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
         let d = Sigma::new(ProcessId(0), ProcessId(1), &f, 4);
         for dt in 0..50 {
             let t = d.stabilization_time() + dt;
@@ -270,10 +267,7 @@ mod tests {
 
     #[test]
     fn both_actives_faulty_outputs_empty() {
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([0, 1].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([0, 1].map(ProcessId)));
         let d = Sigma::new(ProcessId(0), ProcessId(1), &f, 5);
         for t in 0..50 {
             assert_eq!(d.output(ProcessId(0), Time(t)), FdOutput::EMPTY_TRUST);
@@ -292,10 +286,7 @@ mod tests {
         // With stabilization pushed out, pre-stab outputs may include the
         // whole pair even when one active is faulty; post-stab they are
         // confined to the correct actives.
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([1, 2].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
         let d = Sigma::new(ProcessId(0), ProcessId(1), &f, 2).with_stabilization(Time(200));
         let mut saw_pair_pre_stab = false;
         for t in 0..200u64 {
@@ -317,22 +308,16 @@ mod tests {
         // Fact 5 of the paper: never do both actives see {self}. With
         // the pivot construction this holds at every time for every seed.
         for seed in 0..20 {
-            let f = FailurePattern::crashed_from_start(
-                4,
-                ProcessSet::from_iter([2, 3].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
             let d = Sigma::new(ProcessId(0), ProcessId(1), &f, seed);
             let ever_self = |p: ProcessId| {
-                (0..150u64).any(|t| {
-                    d.output(p, Time(t)) == FdOutput::Trust(ProcessSet::singleton(p))
-                })
+                (0..150u64)
+                    .any(|t| d.output(p, Time(t)) == FdOutput::Trust(ProcessSet::singleton(p)))
             };
             // Across ALL times, not just simultaneously (Fact 5 quantifies
             // over two independent times).
-            assert!(
-                !(ever_self(ProcessId(0)) && ever_self(ProcessId(1))),
-                "seed {seed}"
-            );
+            assert!(!(ever_self(ProcessId(0)) && ever_self(ProcessId(1))), "seed {seed}");
         }
     }
 }

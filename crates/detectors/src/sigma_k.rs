@@ -221,10 +221,8 @@ mod tests {
     #[test]
     fn intersection_of_nonempty_x_components() {
         for seed in 0..5 {
-            let f = FailurePattern::crashed_from_start(
-                6,
-                ProcessSet::from_iter([4, 5].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(6, ProcessSet::from_iter([4, 5].map(ProcessId)));
             let d = SigmaK::new(active4(), &f, seed).with_mode(SigmaKMode::Generous);
             let mut xs = Vec::new();
             for p in d.active() {
@@ -301,9 +299,9 @@ mod tests {
         let f = FailurePattern::all_correct(4);
         let d = SigmaK::new(ProcessSet::full(4), &f, 3);
         assert!(!d.nontrivial()); // correct set straddles both halves
-        // The stable output is (∅, Π): the active component is revealed but
-        // carries no failure information — exactly what Lemma 11's n = 2k
-        // case exploits.
+                                  // The stable output is (∅, Π): the active component is revealed but
+                                  // carries no failure information — exactly what Lemma 11's n = 2k
+                                  // case exploits.
         let t = d.stabilization_time() + 10;
         assert_eq!(
             d.output(ProcessId(0), t),

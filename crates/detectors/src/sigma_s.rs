@@ -50,13 +50,7 @@ impl SigmaS {
     pub fn new(s: ProcessSet, pattern: &FailurePattern, seed: u64) -> Self {
         assert!(!s.is_empty(), "S must be nonempty");
         let pivot = pattern.correct().min().expect("at least one correct process");
-        SigmaS {
-            s,
-            pattern: pattern.clone(),
-            pivot,
-            stab: pattern.last_crash_time().next(),
-            seed,
-        }
+        SigmaS { s, pattern: pattern.clone(), pivot, stab: pattern.last_crash_time().next(), seed }
     }
 
     /// Delays stabilization to `stab` (must not precede the last crash;
@@ -88,11 +82,7 @@ impl FailureDetector for SigmaS {
             // is Π.
             return FdOutput::Trust(self.pattern.all());
         }
-        let base = if t >= self.stab {
-            self.pattern.correct()
-        } else {
-            self.pattern.all()
-        };
+        let base = if t >= self.stab { self.pattern.correct() } else { self.pattern.all() };
         let mut rng = query_rng(self.seed, p, t);
         let mut list = random_subset(&mut rng, base);
         list.insert(self.pivot);

@@ -1,16 +1,25 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--json PATH]
+//! lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M]
+//!     [--threads T] [--json PATH]
 //! ```
+//!
+//! `--threads 0` (the default) uses one worker per available core; every
+//! thread count produces identical results, so `--threads` only changes
+//! wall clock. JSON records include `wall_ms` and `runs_per_sec` so perf
+//! trajectories can be tracked across revisions.
 
 use sih_lab::{render_figure1, run_experiment, ExperimentReport, LabConfig, EXPERIMENT_IDS};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--json PATH]");
+        eprintln!(
+            "usage: lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--threads T] [--json PATH]"
+        );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         return ExitCode::FAILURE;
     }
@@ -28,6 +37,9 @@ fn main() -> ExitCode {
             "--k" => cfg.k = value(&mut it).parse().expect("--k takes an integer"),
             "--seeds" => cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer"),
             "--steps" => cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer"),
+            "--threads" => {
+                cfg.threads = value(&mut it).parse().expect("--threads takes an integer")
+            }
             "--json" => json_path = Some(value(&mut it)),
             other => {
                 eprintln!("unknown flag {other}");
@@ -36,33 +48,30 @@ fn main() -> ExitCode {
         }
     }
 
-    let reports: Vec<ExperimentReport> = match command.as_str() {
+    let timed_run = |id: &str| -> (ExperimentReport, Duration) {
+        let t0 = Instant::now();
+        let r = run_experiment(id, &cfg);
+        let wall = t0.elapsed();
+        print!("{r}");
+        (r, wall)
+    };
+
+    let reports: Vec<(ExperimentReport, Duration)> = match command.as_str() {
         "figure1" => {
             print!("{}", render_figure1(&cfg));
             return ExitCode::SUCCESS;
         }
-        "all" => EXPERIMENT_IDS
-            .iter()
-            .map(|id| {
-                let r = run_experiment(id, &cfg);
-                print!("{r}");
-                r
-            })
-            .collect(),
-        id if EXPERIMENT_IDS.contains(&id) => {
-            let r = run_experiment(id, &cfg);
-            print!("{r}");
-            vec![r]
-        }
+        "all" => EXPERIMENT_IDS.iter().map(|id| timed_run(id)).collect(),
+        id if EXPERIMENT_IDS.contains(&id) => vec![timed_run(id)],
         other => {
             eprintln!("unknown command {other}; expected e1..e15, figure1 or all");
             return ExitCode::FAILURE;
         }
     };
 
-    let all_ok = reports.iter().all(|r| r.ok);
+    let all_ok = reports.iter().all(|(r, _)| r.ok);
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        let json = ExperimentReport::batch_to_json_pretty(&reports);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {} report(s) to {path}", reports.len());
     }

@@ -5,7 +5,6 @@
 use crate::report::{ExperimentReport, RunStats};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use sih::claims::{check_claim, Claim, ClaimConfig, Verdict};
 use sih::patterns::{pattern_suite, random_majority_pattern};
 use sih::pipeline;
@@ -13,15 +12,16 @@ use sih_agreement::{check_k_set_agreement, distinct_proposals};
 use sih_detectors::{check_anti_omega, check_sigma, check_sigma_k, check_sigma_s, QuorumSigma};
 use sih_model::{FailurePattern, NoDetector, ProcessId, ProcessSet, Value};
 use sih_reductions::{
-    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat,
-    theorem13_demo, AntiOmegaAgreementCandidate, GossipPairCandidate, Lemma15Verdict,
-    MirrorPairCandidate, MirrorXCandidate,
+    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat, theorem13_demo,
+    AntiOmegaAgreementCandidate, GossipPairCandidate, Lemma15Verdict, MirrorPairCandidate,
+    MirrorXCandidate,
 };
 use sih_registers::{check_linearizable, WorkloadSpec};
-use sih_runtime::{FairScheduler, Simulation};
+use sih_runtime::sweep::{with_seeds, Sweep};
+use sih_runtime::{FairScheduler, SimPool, Simulation, TraceLevel};
 
 /// Lab configuration (a serializable [`ClaimConfig`] superset).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LabConfig {
     /// System size `n`.
     pub n: usize,
@@ -31,24 +31,26 @@ pub struct LabConfig {
     pub seeds: u64,
     /// Step budget per run.
     pub max_steps: u64,
+    /// Worker threads for sweeps (`0` = one per available core).
+    /// Results are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for LabConfig {
     fn default() -> Self {
-        LabConfig { n: 6, k: 2, seeds: 5, max_steps: 200_000 }
+        LabConfig { n: 6, k: 2, seeds: 5, max_steps: 200_000, threads: 0 }
     }
 }
 
 impl From<LabConfig> for ClaimConfig {
     fn from(c: LabConfig) -> ClaimConfig {
-        ClaimConfig { n: c.n, k: c.k, seeds: c.seeds, max_steps: c.max_steps }
+        ClaimConfig { n: c.n, k: c.k, seeds: c.seeds, max_steps: c.max_steps, threads: c.threads }
     }
 }
 
 /// All experiment ids, in DESIGN.md order.
 pub const EXPERIMENT_IDS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs one experiment by id (`"e1"` … `"e14"`).
@@ -81,21 +83,56 @@ fn pair() -> (ProcessId, ProcessId) {
     (ProcessId(0), ProcessId(1))
 }
 
+/// One simulated run's contribution to a [`RunStats`] fold:
+/// `(steps, messages, violated)`.
+type RunSample = (u64, u64, bool);
+
+/// Fans a `(pattern, seed)` grid across the sweep engine and returns the
+/// per-run samples flattened in canonical grid order. Callers fold the
+/// samples into [`RunStats`] serially — the running means are
+/// order-sensitive, so the fold must not depend on which worker finished
+/// first.
+fn sweep_runs<W, F>(
+    threads: usize,
+    seeds: u64,
+    patterns: Vec<FailurePattern>,
+    make_job: W,
+) -> Vec<RunSample>
+where
+    W: Fn() -> F + Sync,
+    F: FnMut(&FailurePattern, u64) -> Vec<RunSample>,
+{
+    let grid = with_seeds(&patterns, seeds);
+    Sweep::new(threads)
+        .run(grid, || {
+            let mut job = make_job();
+            move |_idx, (pattern, seed): (FailurePattern, u64)| job(&pattern, seed)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 fn e1_fig2(cfg: &LabConfig) -> ExperimentReport {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
     let mut stats = RunStats::default();
     let mut details = Vec::new();
+    let max_steps = cfg.max_steps;
     for n in [3usize, 4, cfg.n.max(5)] {
-        let mut sub = RunStats::default();
-        for pattern in pattern_suite(n, focus, 3, 101) {
-            for seed in 0..cfg.seeds {
-                let tr = pipeline::run_fig2(&pattern, p, q, seed, cfg.max_steps);
+        let samples = sweep_runs(cfg.threads, cfg.seeds, pattern_suite(n, focus, 3, 101), || {
+            let mut pool = pipeline::Fig2Pool::with_trace_level(TraceLevel::Light);
+            move |pattern: &FailurePattern, seed| {
+                let tr = pipeline::run_fig2_pooled(&mut pool, pattern, p, q, seed, max_steps);
                 let violated =
-                    check_k_set_agreement(&tr, &pattern, &distinct_proposals(n), n - 1).is_err();
-                sub.record(tr.total_steps(), tr.messages_sent(), violated);
-                stats.record(tr.total_steps(), tr.messages_sent(), violated);
+                    check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - 1).is_err();
+                vec![(tr.total_steps(), tr.messages_sent(), violated)]
             }
+        });
+        let mut sub = RunStats::default();
+        for (steps, messages, violated) in samples {
+            sub.record(steps, messages, violated);
+            stats.record(steps, messages, violated);
         }
         details.push(format!("n={n}: {sub}"));
     }
@@ -114,16 +151,22 @@ fn e2_fig3(cfg: &LabConfig) -> ExperimentReport {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
     let mut stats = RunStats::default();
-    for pattern in pattern_suite(cfg.n, focus, 4, 103) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig3(&pattern, p, q, seed, 6_000);
-            let v1 = check_sigma(tr.emulated_history(), &pattern, focus).is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), v1);
-            let tr = pipeline::run_stack_fig3_fig2(&pattern, p, q, seed, cfg.max_steps);
-            let v2 = check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - 1)
-                .is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), v2);
+    let (n, max_steps) = (cfg.n, cfg.max_steps);
+    let samples = sweep_runs(cfg.threads, cfg.seeds, pattern_suite(n, focus, 4, 103), || {
+        let mut fig3 = pipeline::Fig3Pool::with_trace_level(TraceLevel::Light);
+        let mut stack = pipeline::StackFig3Fig2Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig3_pooled(&mut fig3, pattern, p, q, seed, 6_000);
+            let v1 = check_sigma(tr.emulated_history(), pattern, focus).is_err();
+            let s1 = (tr.total_steps(), tr.messages_sent(), v1);
+            let tr =
+                pipeline::run_stack_fig3_fig2_pooled(&mut stack, pattern, p, q, seed, max_steps);
+            let v2 = check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - 1).is_err();
+            vec![s1, (tr.total_steps(), tr.messages_sent(), v2)]
         }
+    });
+    for (steps, messages, violated) in samples {
+        stats.record(steps, messages, violated);
     }
     ExperimentReport {
         id: "e2".into(),
@@ -173,18 +216,23 @@ fn e3_lemma7(cfg: &LabConfig) -> ExperimentReport {
 fn e4_fig4(cfg: &LabConfig) -> ExperimentReport {
     let mut stats = RunStats::default();
     let mut details = Vec::new();
+    let (n, max_steps) = (cfg.n, cfg.max_steps);
     for k in 1..=cfg.n / 2 {
         let active: ProcessSet = (0..2 * k as u32).map(ProcessId).collect();
-        let mut sub = RunStats::default();
-        for pattern in pattern_suite(cfg.n, active, 3, 107 + k as u64) {
-            for seed in 0..cfg.seeds {
-                let tr = pipeline::run_fig4(&pattern, active, seed, cfg.max_steps);
+        let suite = pattern_suite(n, active, 3, 107 + k as u64);
+        let samples = sweep_runs(cfg.threads, cfg.seeds, suite, || {
+            let mut pool = pipeline::Fig4Pool::with_trace_level(TraceLevel::Light);
+            move |pattern: &FailurePattern, seed| {
+                let tr = pipeline::run_fig4_pooled(&mut pool, pattern, active, seed, max_steps);
                 let violated =
-                    check_k_set_agreement(&tr, &pattern, &distinct_proposals(cfg.n), cfg.n - k)
-                        .is_err();
-                sub.record(tr.total_steps(), tr.messages_sent(), violated);
-                stats.record(tr.total_steps(), tr.messages_sent(), violated);
+                    check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - k).is_err();
+                vec![(tr.total_steps(), tr.messages_sent(), violated)]
             }
+        });
+        let mut sub = RunStats::default();
+        for (steps, messages, violated) in samples {
+            sub.record(steps, messages, violated);
+            stats.record(steps, messages, violated);
         }
         details.push(format!("k={k}: {sub}"));
     }
@@ -202,28 +250,31 @@ fn e4_fig4(cfg: &LabConfig) -> ExperimentReport {
 fn e5_fig5(cfg: &LabConfig) -> ExperimentReport {
     let x: ProcessSet = (0..2 * cfg.k as u32).map(ProcessId).collect();
     let mut stats = RunStats::default();
-    for pattern in pattern_suite(cfg.n, x, 4, 109) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig5(&pattern, x, seed, 6_000);
-            let v1 = check_sigma_k(tr.emulated_history(), &pattern, x).is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), v1);
-            let tr = pipeline::run_stack_fig5_fig4(&pattern, x, seed, cfg.max_steps * 2);
-            let v2 = check_k_set_agreement(
-                &tr,
-                &pattern,
-                &distinct_proposals(cfg.n),
-                cfg.n - cfg.k,
-            )
-            .is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), v2);
+    let (n, k, max_steps) = (cfg.n, cfg.k, cfg.max_steps);
+    let samples = sweep_runs(cfg.threads, cfg.seeds, pattern_suite(n, x, 4, 109), || {
+        let mut fig5 = pipeline::Fig5Pool::with_trace_level(TraceLevel::Light);
+        let mut stack = pipeline::StackFig5Fig4Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig5_pooled(&mut fig5, pattern, x, seed, 6_000);
+            let v1 = check_sigma_k(tr.emulated_history(), pattern, x).is_err();
+            let s1 = (tr.total_steps(), tr.messages_sent(), v1);
+            let tr =
+                pipeline::run_stack_fig5_fig4_pooled(&mut stack, pattern, x, seed, max_steps * 2);
+            let v2 = check_k_set_agreement(tr, pattern, &distinct_proposals(n), n - k).is_err();
+            vec![s1, (tr.total_steps(), tr.messages_sent(), v2)]
         }
+    });
+    for (steps, messages, violated) in samples {
+        stats.record(steps, messages, violated);
     }
     ExperimentReport {
         id: "e5".into(),
         title: "Σ_X ⪰ σ_|X| (2k-register harder than (n−k)-set agreement)".into(),
         paper_ref: "Figure 5, Lemma 10".into(),
         ok: stats.violations == 0,
-        outcome: "Fig 5 emulation legal per Definition 9; stacked Fig5→Fig4 solves (n−k)-set agreement".into(),
+        outcome:
+            "Fig 5 emulation legal per Definition 9; stacked Fig5→Fig4 solves (n−k)-set agreement"
+                .into(),
         details: vec![],
         stats: Some(stats),
     }
@@ -265,7 +316,11 @@ fn e7_tightness(cfg: &LabConfig) -> ExperimentReport {
     for n in [3usize, 4, cfg.n.max(5)] {
         let r = fig2_tightness(n, 41);
         ok &= r.is_exact();
-        details.push(format!("Fig 2, n={n}: forced {} distinct (budget {})", r.distinct.len(), n - 1));
+        details.push(format!(
+            "Fig 2, n={n}: forced {} distinct (budget {})",
+            r.distinct.len(),
+            n - 1
+        ));
     }
     for k in 1..=cfg.n / 2 {
         let r = fig4_tightness(cfg.n, k, 43);
@@ -311,12 +366,16 @@ fn e9_fig6(cfg: &LabConfig) -> ExperimentReport {
     let (p, q) = pair();
     let focus = ProcessSet::from_iter([p, q]);
     let mut stats = RunStats::default();
-    for pattern in pattern_suite(cfg.n, focus, 4, 113) {
-        for seed in 0..cfg.seeds {
-            let tr = pipeline::run_fig6(&pattern, p, q, seed, 25_000);
-            let violated = check_anti_omega(tr.emulated_history(), &pattern).is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), violated);
+    let samples = sweep_runs(cfg.threads, cfg.seeds, pattern_suite(cfg.n, focus, 4, 113), || {
+        let mut pool = pipeline::Fig6Pool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let tr = pipeline::run_fig6_pooled(&mut pool, pattern, p, q, seed, 25_000);
+            let violated = check_anti_omega(tr.emulated_history(), pattern).is_err();
+            vec![(tr.total_steps(), tr.messages_sent(), violated)]
         }
+    });
+    for (steps, messages, violated) in samples {
+        stats.record(steps, messages, violated);
     }
     // Lemma 15 gives the strictness half.
     let report = lemma15_defeat(
@@ -344,17 +403,22 @@ fn e10_quorum(cfg: &LabConfig) -> ExperimentReport {
     for _ in 0..4 {
         patterns.push(random_majority_pattern(cfg.n, &mut rng));
     }
-    for pattern in patterns {
-        for seed in 0..cfg.seeds {
-            let procs = (0..cfg.n).map(|_| QuorumSigma::full(cfg.n)).collect();
-            let mut sim = Simulation::new(procs, pattern.clone());
+    let n = cfg.n;
+    let samples = sweep_runs(cfg.threads, cfg.seeds, patterns, || {
+        let mut pool = SimPool::with_trace_level(TraceLevel::Light);
+        move |pattern: &FailurePattern, seed| {
+            let procs = (0..n).map(|_| QuorumSigma::full(n)).collect();
+            let sim = pool.acquire(procs, pattern);
             let mut sched = FairScheduler::new(seed);
             sim.run(&mut sched, &NoDetector, 10_000);
-            let tr = sim.into_trace();
+            let tr = sim.trace();
             let violated =
-                check_sigma_s(tr.emulated_history(), &pattern, ProcessSet::full(cfg.n)).is_err();
-            stats.record(tr.total_steps(), tr.messages_sent(), violated);
+                check_sigma_s(tr.emulated_history(), pattern, ProcessSet::full(n)).is_err();
+            vec![(tr.total_steps(), tr.messages_sent(), violated)]
         }
+    });
+    for (steps, messages, violated) in samples {
+        stats.record(steps, messages, violated);
     }
     ExperimentReport {
         id: "e10".into(),
@@ -371,17 +435,34 @@ fn e11_abd(cfg: &LabConfig) -> ExperimentReport {
     let mut stats = RunStats::default();
     let mut details = Vec::new();
     let mut rng = ChaCha8Rng::seed_from_u64(131);
+    let max_steps = cfg.max_steps;
     for s_size in [2usize, 3.min(cfg.n)] {
         let s: ProcessSet = (0..s_size as u32).map(ProcessId).collect();
+        // Each seed pairs with its own freshly drawn pattern; drawing
+        // happens up front so the rng sequence is identical to the old
+        // serial loop (and independent of the thread count).
+        let items: Vec<(FailurePattern, u64)> =
+            (0..cfg.seeds).map(|seed| (random_majority_pattern(cfg.n, &mut rng), seed)).collect();
+        let samples = Sweep::new(cfg.threads).run(items, || {
+            let mut pool = pipeline::RegisterPool::with_trace_level(TraceLevel::Light);
+            move |_idx, (pattern, seed): (FailurePattern, u64)| {
+                let spec = WorkloadSpec { ops_per_process: 4, read_ratio: 0.5, seed };
+                let tr = pipeline::run_register_workload_pooled(
+                    &mut pool,
+                    &pattern,
+                    s,
+                    spec.scripts(s),
+                    seed,
+                    max_steps,
+                );
+                let violated = check_linearizable(&tr.op_records(), None).is_err();
+                (tr.total_steps(), tr.messages_sent(), violated)
+            }
+        });
         let mut sub = RunStats::default();
-        for seed in 0..cfg.seeds {
-            let pattern = random_majority_pattern(cfg.n, &mut rng);
-            let spec = WorkloadSpec { ops_per_process: 4, read_ratio: 0.5, seed };
-            let (tr, ops) =
-                pipeline::run_register_workload(&pattern, s, spec.scripts(s), seed, cfg.max_steps);
-            let violated = check_linearizable(&ops, None).is_err();
-            sub.record(tr.total_steps(), tr.messages_sent(), violated);
-            stats.record(tr.total_steps(), tr.messages_sent(), violated);
+        for (steps, messages, violated) in samples {
+            sub.record(steps, messages, violated);
+            stats.record(steps, messages, violated);
         }
         details.push(format!("|S|={s_size}: {sub}"));
     }
@@ -436,8 +517,7 @@ fn e13_sharedmem(cfg: &LabConfig) -> ExperimentReport {
         let mut sub_ok = true;
         for seed in 0..cfg.seeds {
             let pattern = FailurePattern::all_correct(n);
-            let mut sim =
-                LocalSharedSim::new(CollectMin::processes(&proposals, f), n, pattern);
+            let mut sim = LocalSharedSim::new(CollectMin::processes(&proposals, f), n, pattern);
             let done = sim.run_fair(seed, 200_000);
             let violated = !done || sim.distinct_decisions().len() > f + 1;
             sub_ok &= !violated;
@@ -460,8 +540,7 @@ fn e13_sharedmem(cfg: &LabConfig) -> ExperimentReport {
         sim.run_until(&mut sched, &det, cfg.max_steps * 3, |s| {
             s.pattern().correct().iter().all(|p| s.trace().decision_of(p).is_some())
         });
-        let done =
-            pattern.correct().iter().all(|p| sim.trace().decision_of(p).is_some());
+        let done = pattern.correct().iter().all(|p| sim.trace().decision_of(p).is_some());
         let violated = !done || sim.trace().distinct_decisions().len() > f + 1;
         stats.record(sim.trace().total_steps(), sim.trace().messages_sent(), violated);
     }
@@ -472,8 +551,7 @@ fn e13_sharedmem(cfg: &LabConfig) -> ExperimentReport {
         title: "shared-memory substrate + the register-emulation port".into(),
         paper_ref: "Theorem 12 setting ([21,13,3] world)".into(),
         ok: stats.violations == 0,
-        outcome: "CollectMin solves (f+1)-set agreement locally and over emulated registers"
-            .into(),
+        outcome: "CollectMin solves (f+1)-set agreement locally and over emulated registers".into(),
         details,
         stats: Some(stats),
     }
@@ -484,34 +562,41 @@ fn e15_extraction(cfg: &LabConfig) -> ExperimentReport {
     let mut stats = RunStats::default();
     let mut rng = ChaCha8Rng::seed_from_u64(137);
     let s: ProcessSet = (0..2u32).map(ProcessId).collect();
-    for seed in 0..cfg.seeds.max(3) {
-        let pattern = random_majority_pattern(cfg.n, &mut rng);
-        let det = sih_detectors::SigmaS::new(s, &pattern, seed);
-        let scripts: Vec<Vec<sih_model::OpKind>> = (0..2)
-            .map(|i| {
-                (0..6)
-                    .map(|j| {
-                        if (i + j) % 2 == 0 {
-                            sih_model::OpKind::Write(Value((i * 10 + j) as u64))
-                        } else {
-                            sih_model::OpKind::Read
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        let procs = extracting(sih_registers::abd_processes(s, cfg.n, scripts));
-        let mut sim = Simulation::new(procs, pattern.clone());
-        let mut sched = FairScheduler::new(seed);
-        sim.run_until(&mut sched, &det, cfg.max_steps * 2, |sim| {
-            sim.pattern()
-                .correct()
-                .iter()
-                .all(|p| sim.process(p).inner().script_finished())
-        });
-        let tr = sim.into_trace();
-        let violated = check_sigma_s(tr.emulated_history(), &pattern, s).is_err();
-        stats.record(tr.total_steps(), tr.messages_sent(), violated);
+    let (n, max_steps) = (cfg.n, cfg.max_steps);
+    // Patterns are drawn up front (one per seed) so the rng sequence
+    // matches the old serial loop regardless of thread count.
+    let items: Vec<(FailurePattern, u64)> =
+        (0..cfg.seeds.max(3)).map(|seed| (random_majority_pattern(n, &mut rng), seed)).collect();
+    let samples = Sweep::new(cfg.threads).run(items, || {
+        let mut pool = SimPool::with_trace_level(TraceLevel::Light);
+        move |_idx, (pattern, seed): (FailurePattern, u64)| {
+            let det = sih_detectors::SigmaS::new(s, &pattern, seed);
+            let scripts: Vec<Vec<sih_model::OpKind>> = (0..2)
+                .map(|i| {
+                    (0..6)
+                        .map(|j| {
+                            if (i + j) % 2 == 0 {
+                                sih_model::OpKind::Write(Value((i * 10 + j) as u64))
+                            } else {
+                                sih_model::OpKind::Read
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let procs = extracting(sih_registers::abd_processes(s, n, scripts));
+            let sim = pool.acquire(procs, &pattern);
+            let mut sched = FairScheduler::new(seed);
+            sim.run_until(&mut sched, &det, max_steps * 2, |sim| {
+                sim.pattern().correct().iter().all(|p| sim.process(p).inner().script_finished())
+            });
+            let tr = sim.trace();
+            let violated = check_sigma_s(tr.emulated_history(), &pattern, s).is_err();
+            (tr.total_steps(), tr.messages_sent(), violated)
+        }
+    });
+    for (steps, messages, violated) in samples {
+        stats.record(steps, messages, violated);
     }
     ExperimentReport {
         id: "e15".into(),
@@ -545,7 +630,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> LabConfig {
-        LabConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 }
+        LabConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..LabConfig::default() }
     }
 
     #[test]
@@ -573,7 +658,7 @@ mod tests {
 
     #[test]
     fn lab_config_converts_to_claim_config() {
-        let lab = LabConfig { n: 5, k: 2, seeds: 3, max_steps: 9 };
+        let lab = LabConfig { n: 5, k: 2, seeds: 3, max_steps: 9, threads: 1 };
         let claim: ClaimConfig = lab.into();
         assert_eq!(claim.n, 5);
         assert_eq!(claim.k, 2);

@@ -25,10 +25,8 @@ fn unknown_command_fails() {
 
 #[test]
 fn single_experiment_succeeds_and_prints_report() {
-    let out = lab()
-        .args(["e7", "--n", "4", "--k", "1", "--seeds", "1"])
-        .output()
-        .expect("binary runs");
+    let out =
+        lab().args(["e7", "--n", "4", "--k", "1", "--seeds", "1"]).output().expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("[E7]"), "{text}");
@@ -40,16 +38,39 @@ fn json_flag_writes_reports() {
     let dir = std::env::temp_dir().join(format!("lab-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("reports.json");
-    let out = lab()
-        .args(["e14", "--seeds", "2", "--json"])
-        .arg(&path)
-        .output()
-        .expect("binary runs");
+    let out =
+        lab().args(["e14", "--seeds", "2", "--json"]).arg(&path).output().expect("binary runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&path).unwrap();
-    let reports: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let reports = sih_lab::json::parse(&json).unwrap();
     assert_eq!(reports[0]["id"], "e14");
     assert_eq!(reports[0]["ok"], true);
+    assert!(reports[0]["wall_ms"].as_f64().unwrap() >= 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threads_flag_does_not_change_results() {
+    let dir = std::env::temp_dir().join(format!("lab-cli-threads-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut bodies = Vec::new();
+    for threads in ["1", "2"] {
+        let path = dir.join(format!("reports-{threads}.json"));
+        let out = lab()
+            .args(["e1", "--n", "4", "--seeds", "2", "--threads", threads, "--json"])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let reports =
+            sih_lab::ExperimentReport::batch_from_json(&std::fs::read_to_string(&path).unwrap())
+                .unwrap();
+        assert_eq!(reports.len(), 1);
+        // Compare everything except the (wall-clock) timing fields,
+        // which batch_from_json already ignores.
+        bodies.push(format!("{:?}", reports[0]));
+    }
+    assert_eq!(bodies[0], bodies[1]);
     std::fs::remove_dir_all(&dir).ok();
 }
 

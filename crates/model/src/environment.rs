@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn any_correct_accepts_everything_with_a_correct_process() {
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([0, 1].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([0, 1].map(ProcessId)));
         assert!(Environment::AnyCorrect.contains(&f));
     }
 
@@ -90,10 +87,8 @@ mod tests {
     #[test]
     fn majority_boundary() {
         // 2 of 4 correct is not a majority; 3 of 4 is.
-        let half = FailurePattern::crashed_from_start(
-            4,
-            ProcessSet::from_iter([0, 1].map(ProcessId)),
-        );
+        let half =
+            FailurePattern::crashed_from_start(4, ProcessSet::from_iter([0, 1].map(ProcessId)));
         assert!(!Environment::MajorityCorrect.contains(&half));
         let maj = FailurePattern::crashed_from_start(4, ProcessSet::singleton(ProcessId(0)));
         assert!(Environment::MajorityCorrect.contains(&maj));
@@ -102,10 +97,7 @@ mod tests {
     #[test]
     fn correct_subset_environment() {
         let pair = ProcessSet::from_iter([0, 1].map(ProcessId));
-        let f = FailurePattern::crashed_from_start(
-            4,
-            ProcessSet::from_iter([2, 3].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
         assert!(Environment::CorrectSubsetOf(pair).contains(&f));
         let g = FailurePattern::all_correct(4);
         assert!(!Environment::CorrectSubsetOf(pair).contains(&g));

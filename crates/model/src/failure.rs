@@ -43,9 +43,7 @@ impl FailurePattern {
     pub fn builder(n: usize) -> FailurePatternBuilder {
         assert!(n > 0, "a system has at least one process");
         assert!(n <= ProcessSet::MAX_PROCESSES, "at most 64 processes supported");
-        FailurePatternBuilder {
-            pattern: FailurePattern { n, crash_at: vec![None; n] },
-        }
+        FailurePatternBuilder { pattern: FailurePattern { n, crash_at: vec![None; n] } }
     }
 
     /// The failure-free pattern over `n` processes.
@@ -77,10 +75,7 @@ impl FailurePattern {
 
     /// `Correct(F)`: processes that never crash.
     pub fn correct(&self) -> ProcessSet {
-        (0..self.n as u32)
-            .map(ProcessId)
-            .filter(|p| self.is_correct(*p))
-            .collect()
+        (0..self.n as u32).map(ProcessId).filter(|p| self.is_correct(*p)).collect()
     }
 
     /// The faulty processes `Π \ Correct(F)`.
@@ -114,10 +109,7 @@ impl FailurePattern {
 
     /// `F(t)`: the set of processes crashed by time `t`.
     pub fn crashed_by(&self, t: Time) -> ProcessSet {
-        (0..self.n as u32)
-            .map(ProcessId)
-            .filter(|p| !self.is_alive(*p, t))
-            .collect()
+        (0..self.n as u32).map(ProcessId).filter(|p| !self.is_alive(*p, t)).collect()
     }
 
     /// The set of processes alive at time `t` (complement of `F(t)`).
@@ -296,9 +288,7 @@ mod tests {
     fn last_crash_time_ignores_from_start_sentinel_for_stabilization() {
         // From-start crashes have no finite crash step; stabilization only
         // cares that after last_crash_time the alive set equals Correct.
-        let f = FailurePattern::builder(3)
-            .crash_at(ProcessId(0), Time(9))
-            .build();
+        let f = FailurePattern::builder(3).crash_at(ProcessId(0), Time(9)).build();
         assert_eq!(f.last_crash_time(), Time(9));
         assert_eq!(f.alive_at(f.last_crash_time().next()), f.correct());
     }
@@ -311,9 +301,7 @@ mod tests {
 
     #[test]
     fn build_unchecked_allows_all_faulty() {
-        let f = FailurePattern::builder(1)
-            .crash_from_start(ProcessId(0))
-            .build_unchecked();
+        let f = FailurePattern::builder(1).crash_from_start(ProcessId(0)).build_unchecked();
         assert!(!f.has_correct_process());
     }
 

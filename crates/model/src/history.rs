@@ -38,6 +38,13 @@ impl OutputTimeline {
         OutputTimeline { initial, changes: Vec::new() }
     }
 
+    /// Empties the timeline back to `initial` forever, keeping the
+    /// change-list allocation (for run-over-run reuse).
+    pub fn reset(&mut self, initial: FdOutput) {
+        self.initial = initial;
+        self.changes.clear();
+    }
+
     /// Records that the output becomes `out` at time `t` (and stays so
     /// until the next recorded change).
     ///
@@ -141,6 +148,18 @@ impl RecordedHistory {
         self
     }
 
+    /// Empties the history back to `n` all-`initial` timelines, keeping
+    /// per-timeline allocations where sizes allow (run-over-run reuse).
+    pub fn reset(&mut self, n: usize, initial: FdOutput) {
+        self.timelines.truncate(n);
+        for tl in &mut self.timelines {
+            tl.reset(initial);
+        }
+        while self.timelines.len() < n {
+            self.timelines.push(OutputTimeline::new(initial));
+        }
+    }
+
     /// Number of processes the history covers.
     pub fn n(&self) -> usize {
         self.timelines.len()
@@ -162,10 +181,7 @@ impl RecordedHistory {
 
     /// Iterates over `(process, timeline)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &OutputTimeline)> {
-        self.timelines
-            .iter()
-            .enumerate()
-            .map(|(i, tl)| (ProcessId(i as u32), tl))
+        self.timelines.iter().enumerate().map(|(i, tl)| (ProcessId(i as u32), tl))
     }
 }
 
@@ -175,11 +191,7 @@ impl FailureDetector for RecordedHistory {
     }
 
     fn stabilization_time(&self) -> Time {
-        self.timelines
-            .iter()
-            .map(OutputTimeline::last_change)
-            .max()
-            .unwrap_or(Time::ZERO)
+        self.timelines.iter().map(OutputTimeline::last_change).max().unwrap_or(Time::ZERO)
     }
 
     fn name(&self) -> String {

@@ -8,12 +8,8 @@ use crate::{FailurePattern, FdOutput, OutputTimeline, ProcessId, ProcessSet, Tim
 use proptest::prelude::*;
 
 fn arb_set() -> impl Strategy<Value = ProcessSet> {
-    any::<u64>().prop_map(|bits| {
-        (0..16u32)
-            .filter(|i| bits & (1 << i) != 0)
-            .map(ProcessId)
-            .collect()
-    })
+    any::<u64>()
+        .prop_map(|bits| (0..16u32).filter(|i| bits & (1 << i) != 0).map(ProcessId).collect())
 }
 
 proptest! {

@@ -32,7 +32,13 @@ use sih_runtime::{Automaton, FairScheduler, ScriptedScheduler, Simulation};
 /// Panics if `|X|` is odd or the configuration admits no construction:
 /// `n = |X|` needs `|X| ≥ 4` (two disjoint straddling pairs), `n > |X|`
 /// needs `|X| ≥ 2` and `n ≥ 3`.
-pub fn lemma11_defeat<A, F>(mk: &F, n: usize, x: ProcessSet, seed: u64, deadline_steps: u64) -> Defeat
+pub fn lemma11_defeat<A, F>(
+    mk: &F,
+    n: usize,
+    x: ProcessSet,
+    seed: u64,
+    deadline_steps: u64,
+) -> Defeat
 where
     A: Automaton,
     F: Fn() -> Vec<A>,
@@ -100,11 +106,7 @@ where
     }
     let pattern_r2 = b2.build();
     let mut fd2 = sigma_k_silent_history(n, x).with_label("σ_2k(r′): ({q},A) after t");
-    fd2.record(
-        q,
-        t.next(),
-        FdOutput::TrustActive { trust: ProcessSet::singleton(q), active: x },
-    );
+    fd2.record(q, t.next(), FdOutput::TrustActive { trust: ProcessSet::singleton(q), active: x });
 
     let mut sim_r2 = Simulation::new(mk(), pattern_r2);
     let mut sched_r2 =
@@ -263,11 +265,7 @@ mod tests {
     }
     impl Automaton for AnnounceCandidate {
         type Msg = ();
-        fn step(
-            &mut self,
-            input: sih_runtime::StepInput<()>,
-            eff: &mut sih_runtime::Effects<()>,
-        ) {
+        fn step(&mut self, input: sih_runtime::StepInput<()>, eff: &mut sih_runtime::Effects<()>) {
             if !self.sent {
                 self.sent = true;
                 eff.send_others(input.n, input.me, ());
@@ -321,11 +319,7 @@ mod tests {
     }
     impl Automaton for SelfishCandidate {
         type Msg = ();
-        fn step(
-            &mut self,
-            input: sih_runtime::StepInput<()>,
-            eff: &mut sih_runtime::Effects<()>,
-        ) {
+        fn step(&mut self, input: sih_runtime::StepInput<()>, eff: &mut sih_runtime::Effects<()>) {
             if self.x.contains(input.me) {
                 eff.set_output(FdOutput::Trust(ProcessSet::singleton(input.me)));
             } else {
@@ -338,13 +332,8 @@ mod tests {
     fn full_system_intersection_violation_materializes_for_selfish() {
         let n = 4;
         let x = ProcessSet::full(4);
-        let defeat = lemma11_defeat(
-            &|| (0..n).map(|_| SelfishCandidate { x }).collect(),
-            n,
-            x,
-            2,
-            20_000,
-        );
+        let defeat =
+            lemma11_defeat(&|| (0..n).map(|_| SelfishCandidate { x }).collect(), n, x, 2, 20_000);
         match defeat {
             Defeat::Intersection { first, second, .. } => {
                 assert_eq!(first.1, ProcessSet::singleton(ProcessId(0)));
@@ -370,9 +359,7 @@ mod tests {
 
         // Run r′: correct = {p1}, p0 and p4 crash at t = 10.
         let t = Time(10);
-        let mut b2 = FailurePattern::builder(n)
-            .crash_at(ProcessId(0), t)
-            .crash_at(ProcessId(4), t);
+        let mut b2 = FailurePattern::builder(n).crash_at(ProcessId(0), t).crash_at(ProcessId(4), t);
         for i in [2u32, 3, 5] {
             b2 = b2.crash_from_start(ProcessId(i));
         }
@@ -391,10 +378,7 @@ mod tests {
         let n = 4;
         let x = ProcessSet::full(n);
         // Correct = {p0, p2}: straddles the halves {0,1} / {2,3}.
-        let f = FailurePattern::crashed_from_start(
-            n,
-            ProcessSet::from_iter([1, 3].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(n, ProcessSet::from_iter([1, 3].map(ProcessId)));
         check_sigma_k(&sigma_k_silent_history(n, x), &f, x).unwrap();
     }
 
@@ -402,12 +386,7 @@ mod tests {
     #[should_panic(expected = "2k processes")]
     fn odd_x_rejected() {
         let x = ProcessSet::from_iter([0, 1, 2].map(ProcessId));
-        let _ = lemma11_defeat(
-            &|| (0..4).map(|_| MirrorXCandidate::new(x)).collect(),
-            4,
-            x,
-            0,
-            100,
-        );
+        let _ =
+            lemma11_defeat(&|| (0..4).map(|_| MirrorXCandidate::new(x)).collect(), 4, x, 0, 100);
     }
 }

@@ -85,9 +85,7 @@ impl fmt::Display for Lemma15Report {
 /// `p_0` forever after the last segment — is never queried by the finite
 /// glued run, so it needs no explicit representation.)
 fn chain_history(n: usize) -> RecordedHistory {
-    let initials = (0..n as u32)
-        .map(|i| FdOutput::Leader(ProcessId((i + 1) % n as u32)))
-        .collect();
+    let initials = (0..n as u32).map(|i| FdOutput::Leader(ProcessId((i + 1) % n as u32))).collect();
     RecordedHistory::with_initials(initials).with_label("anti-Ω chain history")
 }
 
@@ -255,11 +253,9 @@ mod tests {
 
     #[test]
     fn stubborn_candidate_fails_termination() {
-        let report = lemma15_defeat(&|props: &[Value]| vec![StubbornCandidate; props.len()], 3, 500);
-        assert_eq!(
-            report.verdict,
-            Lemma15Verdict::SoloTermination { process: ProcessId(0) }
-        );
+        let report =
+            lemma15_defeat(&|props: &[Value]| vec![StubbornCandidate; props.len()], 3, 500);
+        assert_eq!(report.verdict, Lemma15Verdict::SoloTermination { process: ProcessId(0) });
     }
 }
 

@@ -116,34 +116,19 @@ where
 
     // ---- The violation, inside r′ alone ----
     let h = sim_r2.trace().emulated_history();
-    let out_p = h
-        .timeline(p)
-        .at(t)
-        .trust()
-        .expect("replayed prefix preserves p's confined output");
+    let out_p = h.timeline(p).at(t).trust().expect("replayed prefix preserves p's confined output");
     let out_q = h.timeline(q).at(t2).trust().expect("just confined");
     assert!(
         !out_p.intersects(out_q),
         "construction invariant: {out_p} ⊆ {{a,p}} and {out_q} ⊆ {{q}} are disjoint"
     );
-    Defeat::Intersection {
-        t_first: t,
-        t_second: t2,
-        first: (p, out_p),
-        second: (q, out_q),
-    }
+    Defeat::Intersection { t_first: t, t_second: t2, first: (p, out_p), second: (q, out_q) }
 }
 
 /// The `σ` history outputting `∅` at the active pair and `⊥` elsewhere.
 fn sigma_silent_history(n: usize, pair: ProcessSet) -> RecordedHistory {
     let initials = (0..n as u32)
-        .map(|i| {
-            if pair.contains(ProcessId(i)) {
-                FdOutput::EMPTY_TRUST
-            } else {
-                FdOutput::Bot
-            }
-        })
+        .map(|i| if pair.contains(ProcessId(i)) { FdOutput::EMPTY_TRUST } else { FdOutput::Bot })
         .collect();
     RecordedHistory::with_initials(initials)
 }
@@ -249,15 +234,7 @@ mod tests {
         // still produce a defeat — σ's silent history gives them nothing
         // to echo, so their output never confines (∅ forever).
         let (p, q, a) = pqa();
-        let defeat = lemma7_defeat(
-            &|| fig3_processes(N, p, q),
-            N,
-            p,
-            q,
-            a,
-            1,
-            10_000,
-        );
+        let defeat = lemma7_defeat(&|| fig3_processes(N, p, q), N, p, q, a, 1, 10_000);
         match defeat {
             Defeat::EmptyOutput { run: "r", process } => assert_eq!(process, p),
             other => panic!("expected empty-output defeat, got {other}"),

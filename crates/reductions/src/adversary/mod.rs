@@ -100,9 +100,8 @@ pub(crate) fn await_confined<A>(
 where
     A: sih_runtime::Automaton,
 {
-    let confined = |out: FdOutput| {
-        out.trust().is_some_and(|s| !s.is_empty() && s.is_subset(target))
-    };
+    let confined =
+        |out: FdOutput| out.trust().is_some_and(|s| !s.is_empty() && s.is_subset(target));
     sim.run_until(sched, &fd, deadline_steps, |s| {
         confined(s.trace().emulated_history().timeline(watch).final_output())
     });

@@ -54,10 +54,7 @@ impl<A: Automaton> Theorem13Transform<A> {
     }
 
     fn to_small(&self, big: ProcessId) -> Option<ProcessId> {
-        self.members
-            .iter()
-            .position(|&m| m == big)
-            .map(|i| ProcessId(i as u32))
+        self.members.iter().position(|&m| m == big).map(|i| ProcessId(i as u32))
     }
 
     fn set_to_big(&self, s: ProcessSet) -> ProcessSet {
@@ -227,9 +224,7 @@ mod tests {
     fn star_history_is_a_legal_sigma_history() {
         let m = 5;
         let initials = (0..m as u32)
-            .map(|i| {
-                FdOutput::Trust(ProcessSet::from_iter([ProcessId(0), ProcessId(i)]))
-            })
+            .map(|i| FdOutput::Trust(ProcessSet::from_iter([ProcessId(0), ProcessId(i)])))
             .collect();
         let star = RecordedHistory::with_initials(initials);
         let f = FailurePattern::all_correct(m);

@@ -72,7 +72,6 @@ pub fn fig2_tightness(n: usize, seed: u64) -> TightnessReport {
             let deliver = sim
                 .network()
                 .pending(p)
-                .iter()
                 .position(|env| !matches!(env.payload, Fig2Msg::Decision(_)));
             sim.step(Choice { p, deliver }, &sigma);
         }
@@ -80,8 +79,7 @@ pub fn fig2_tightness(n: usize, seed: u64) -> TightnessReport {
         assert!(guard < 10_000, "actives must decide under this schedule");
     }
 
-    let report =
-        TightnessReport { distinct: sim.trace().distinct_decisions(), bound: n - 1 };
+    let report = TightnessReport { distinct: sim.trace().distinct_decisions(), bound: n - 1 };
     assert!(report.is_exact(), "the schedule forces exactly n−1 values: {report:?}");
     report
 }
@@ -169,8 +167,7 @@ mod tests {
         let r = fig2_tightness(5, 1);
         // Non-actives contribute v2, v3, v4; the actives add exactly one
         // of {v0, v1}.
-        let extras: Vec<&Value> =
-            r.distinct.iter().filter(|v| v.0 < 2).collect();
+        let extras: Vec<&Value> = r.distinct.iter().filter(|v| v.0 < 2).collect();
         assert_eq!(extras.len(), 1, "{:?}", r.distinct);
     }
 

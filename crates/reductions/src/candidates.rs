@@ -341,7 +341,11 @@ impl QuorumMinXCandidate {
 impl Automaton for QuorumMinXCandidate {
     type Msg = (ProcessId, Value);
 
-    fn step(&mut self, input: StepInput<(ProcessId, Value)>, eff: &mut Effects<(ProcessId, Value)>) {
+    fn step(
+        &mut self,
+        input: StepInput<(ProcessId, Value)>,
+        eff: &mut Effects<(ProcessId, Value)>,
+    ) {
         if self.done {
             return;
         }
@@ -366,10 +370,8 @@ impl Automaton for QuorumMinXCandidate {
             // trusted set.
             let wait_set = trusted.intersection(self.x);
             if !wait_set.is_empty() {
-                let vals: Vec<Value> = wait_set
-                    .iter()
-                    .filter_map(|p| self.received[p.index()])
-                    .collect();
+                let vals: Vec<Value> =
+                    wait_set.iter().filter_map(|p| self.received[p.index()]).collect();
                 if vals.len() == wait_set.len() {
                     self.done = true;
                     let w = vals.into_iter().min().expect("nonempty");
@@ -417,15 +419,9 @@ mod tests {
         // Solo run: only p0 correct; a legal anti-Ω history for that
         // pattern must eventually stop naming p0, so the patience counter
         // fires on some other id.
-        let f = FailurePattern::crashed_from_start(
-            3,
-            ProcessSet::from_iter([1, 2].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(3, ProcessSet::from_iter([1, 2].map(ProcessId)));
         let d = AntiOmega::new(&f, 3);
-        let procs = AntiOmegaAgreementCandidate::processes(
-            &[Value(10), Value(20), Value(30)],
-            4,
-        );
+        let procs = AntiOmegaAgreementCandidate::processes(&[Value(10), Value(20), Value(30)], 4);
         let mut sim = Simulation::new(procs, f.clone());
         let mut sched = FairScheduler::new(1);
         sim.run(&mut sched, &d, 10_000);

@@ -97,10 +97,8 @@ mod tests {
     fn emulated_output_satisfies_sigma_when_only_pair_correct() {
         // The non-triviality case: Correct ⊆ {p, q}.
         for seed in 0..10 {
-            let f = FailurePattern::crashed_from_start(
-                4,
-                ProcessSet::from_iter([2, 3].map(ProcessId)),
-            );
+            let f =
+                FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
             let tr = run_fig3(&f, seed, 4_000);
             check_sigma(tr.emulated_history(), &f, ProcessSet::from_iter([0, 1].map(ProcessId)))
                 .unwrap();
@@ -133,10 +131,7 @@ mod tests {
     fn oversized_trust_sets_become_empty() {
         // Σ_{p,q} lists may contain processes outside the pair (e.g. Π
         // before stabilization); Figure 3 maps those to ∅.
-        let f = FailurePattern::crashed_from_start(
-            4,
-            ProcessSet::from_iter([2, 3].map(ProcessId)),
-        );
+        let f = FailurePattern::crashed_from_start(4, ProcessSet::from_iter([2, 3].map(ProcessId)));
         // Delay stabilization so early lists include outsiders.
         let s = ProcessSet::from_iter([0, 1].map(ProcessId));
         let det = SigmaS::new(s, &f, 5).with_stabilization(Time(500));

@@ -145,11 +145,8 @@ impl Automaton for Fig6AntiOmegaFromSigma {
                     // Lines 21–23.
                     let min = self.active.min().expect("σ marks two processes active");
                     self.emit(FdOutput::Leader(min), eff);
-                    self.stage = if input.me == min {
-                        Stage::MinPolling
-                    } else {
-                        Stage::AwaitChange
-                    };
+                    self.stage =
+                        if input.me == min { Stage::MinPolling } else { Stage::AwaitChange };
                 }
             }
             Stage::MinPolling => {
@@ -296,8 +293,8 @@ mod tests {
             check_anti_omega(tr.emulated_history(), &f).unwrap();
             let out0 = tr.emulated_history().timeline(ProcessId(0)).final_output();
             let out1 = tr.emulated_history().timeline(ProcessId(1)).final_output();
-            let crossed = out0 == FdOutput::Leader(ProcessId(1))
-                && out1 == FdOutput::Leader(ProcessId(0));
+            let crossed =
+                out0 == FdOutput::Leader(ProcessId(1)) && out1 == FdOutput::Leader(ProcessId(0));
             assert!(!crossed, "seed {seed}: crossed outputs {out0}/{out1}");
         }
     }

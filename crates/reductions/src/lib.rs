@@ -49,17 +49,16 @@ mod fig5;
 mod fig6;
 mod footnote;
 
+pub use ablation::{AblatedFig6Msg, Fig6WithoutChange};
 pub use adversary::{
-    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat,
-    theorem13_demo, Defeat, Lemma15Report, Lemma15Verdict, Theorem13Report, Theorem13Transform,
-    TightnessReport,
+    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat, theorem13_demo,
+    Defeat, Lemma15Report, Lemma15Verdict, Theorem13Report, Theorem13Transform, TightnessReport,
 };
 pub use candidates::{
     AntiOmegaAgreementCandidate, GossipMsg, GossipPairCandidate, MirrorPairCandidate,
     MirrorXCandidate, QuorumMinXCandidate, SelfQuietCandidate,
 };
-pub use ablation::{AblatedFig6Msg, Fig6WithoutChange};
 pub use fig3::{fig3_processes, Fig3SigmaFromSigmaPair};
-pub use footnote::{partition_remark_demo, two_process_equivalence, EquivalenceReport};
 pub use fig5::{fig5_processes, Fig5SigmaKFromSigmaX};
 pub use fig6::{fig6_processes, Fig6AntiOmegaFromSigma, Fig6Msg};
+pub use footnote::{partition_remark_demo, two_process_equivalence, EquivalenceReport};

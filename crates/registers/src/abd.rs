@@ -253,10 +253,7 @@ pub fn abd_processes(s: ProcessSet, n: usize, scripts: Vec<Vec<OpKind>>) -> Vec<
     for (member, script) in s.iter().zip(scripts) {
         by_pid[member.index()] = script;
     }
-    by_pid
-        .into_iter()
-        .map(|script| AbdRegister::new(s, n, script))
-        .collect()
+    by_pid.into_iter().map(|script| AbdRegister::new(s, n, script)).collect()
 }
 
 #[cfg(test)]
@@ -281,10 +278,7 @@ mod tests {
         // Stop once every correct client has drained its script (replicas
         // never halt on their own).
         sim.run_until(&mut sched, &sigma, 150_000, |sim| {
-            sim.pattern()
-                .correct()
-                .iter()
-                .all(|p| sim.process(p).script_finished())
+            sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
         });
         sim.into_trace()
     }
@@ -296,20 +290,15 @@ mod tests {
         let tr = run_abd(
             &f,
             s,
-            vec![
-                vec![OpKind::Write(Value(7)), OpKind::Read],
-                vec![OpKind::Read, OpKind::Read],
-            ],
+            vec![vec![OpKind::Write(Value(7)), OpKind::Read], vec![OpKind::Read, OpKind::Read]],
             3,
         );
         let ops = tr.op_records();
         assert_eq!(ops.iter().filter(|o| o.is_complete()).count(), 4);
         check_linearizable(&ops, None).unwrap();
         // p0's own read must observe its own earlier write.
-        let own_read = ops
-            .iter()
-            .find(|o| o.process == ProcessId(0) && o.kind == OpKind::Read)
-            .unwrap();
+        let own_read =
+            ops.iter().find(|o| o.process == ProcessId(0) && o.kind == OpKind::Read).unwrap();
         assert_eq!(own_read.read_value, Some(Value(7)));
     }
 
@@ -373,10 +362,7 @@ mod tests {
         // p1 crashed early: some of its ops may be pending, but the
         // history must still be linearizable.
         check_linearizable(&ops, None).unwrap();
-        let p0_done = ops
-            .iter()
-            .filter(|o| o.process == ProcessId(0) && o.is_complete())
-            .count();
+        let p0_done = ops.iter().filter(|o| o.process == ProcessId(0) && o.is_complete()).count();
         assert_eq!(p0_done, 2, "the correct client finishes");
     }
 

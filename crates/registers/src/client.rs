@@ -93,17 +93,9 @@ mod tests {
     #[test]
     fn extreme_ratios() {
         let all_reads = WorkloadSpec { ops_per_process: 4, read_ratio: 1.0, seed: 0 };
-        assert!(all_reads
-            .scripts(s3())
-            .iter()
-            .flatten()
-            .all(|op| *op == OpKind::Read));
+        assert!(all_reads.scripts(s3()).iter().flatten().all(|op| *op == OpKind::Read));
         let all_writes = WorkloadSpec { ops_per_process: 4, read_ratio: 0.0, seed: 0 };
-        assert!(all_writes
-            .scripts(s3())
-            .iter()
-            .flatten()
-            .all(|op| matches!(op, OpKind::Write(_))));
+        assert!(all_writes.scripts(s3()).iter().flatten().all(|op| matches!(op, OpKind::Write(_))));
     }
 
     #[test]

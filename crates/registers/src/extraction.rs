@@ -38,12 +38,7 @@ pub struct SigmaExtractor<A: Automaton> {
 impl<A: Automaton> SigmaExtractor<A> {
     /// Wraps `inner`.
     pub fn new(inner: A) -> Self {
-        SigmaExtractor {
-            inner,
-            heard: ProcessSet::EMPTY,
-            in_op: false,
-            emitted_initial: false,
-        }
+        SigmaExtractor { inner, heard: ProcessSet::EMPTY, in_op: false, emitted_initial: false }
     }
 
     /// The wrapped automaton.
@@ -156,10 +151,7 @@ mod tests {
         let mut sim = Simulation::new(procs, pattern.clone());
         let mut sched = FairScheduler::new(seed);
         sim.run_until(&mut sched, det, 500_000, |sim| {
-            sim.pattern()
-                .correct()
-                .iter()
-                .all(|p| sim.process(p).inner().script_finished())
+            sim.pattern().correct().iter().all(|p| sim.process(p).inner().script_finished())
         });
         sim.into_trace()
     }
@@ -180,9 +172,7 @@ mod tests {
     #[test]
     fn extracted_history_satisfies_sigma_with_crashes() {
         for seed in 0..5 {
-            let f = FailurePattern::builder(5)
-                .crash_at(ProcessId(4), Time(30))
-                .build();
+            let f = FailurePattern::builder(5).crash_at(ProcessId(4), Time(30)).build();
             let s = ProcessSet::from_iter([0, 1, 2].map(ProcessId));
             let det = SigmaS::new(s, &f, seed);
             let tr = run_extraction(&f, s, &det, seed);

@@ -53,11 +53,8 @@ pub fn check_linearizable(
     initial: Option<Value>,
 ) -> Result<(), LinearizabilityViolation> {
     assert!(ops.len() <= MAX_OPS, "history too large for the checker");
-    let completed_mask: u128 = ops
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| o.is_complete())
-        .fold(0, |m, (i, _)| m | (1 << i));
+    let completed_mask: u128 =
+        ops.iter().enumerate().filter(|(_, o)| o.is_complete()).fold(0, |m, (i, _)| m | (1 << i));
 
     let mut visited: HashSet<SearchState> = HashSet::new();
     let start = SearchState { linearized: 0, value: initial };
@@ -78,9 +75,9 @@ pub fn check_linearizable(
 /// Whether operation `i` may be linearized next: no *unlinearized* other
 /// operation returned strictly before `i`'s invocation.
 fn is_minimal(ops: &[OpRecord], linearized: u128, i: usize) -> bool {
-    ops.iter().enumerate().all(|(j, o)| {
-        j == i || linearized & (1 << j) != 0 || !o.precedes(&ops[i])
-    })
+    ops.iter()
+        .enumerate()
+        .all(|(j, o)| j == i || linearized & (1 << j) != 0 || !o.precedes(&ops[i]))
 }
 
 fn dfs(
@@ -132,10 +129,8 @@ pub fn check_linearizable_brute_force(
     initial: Option<Value>,
 ) -> Result<(), LinearizabilityViolation> {
     assert!(ops.len() <= 8, "brute force is factorial; keep histories tiny");
-    let completed: Vec<usize> =
-        (0..ops.len()).filter(|&i| ops[i].is_complete()).collect();
-    let pending: Vec<usize> =
-        (0..ops.len()).filter(|&i| !ops[i].is_complete()).collect();
+    let completed: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].is_complete()).collect();
+    let pending: Vec<usize> = (0..ops.len()).filter(|&i| !ops[i].is_complete()).collect();
 
     // Every subset of pendings...
     for subset_bits in 0..(1u32 << pending.len()) {
@@ -152,9 +147,7 @@ pub fn check_linearizable_brute_force(
             return Ok(());
         }
     }
-    Err(LinearizabilityViolation {
-        detail: "brute force found no linearization".to_owned(),
-    })
+    Err(LinearizabilityViolation { detail: "brute force found no linearization".to_owned() })
 }
 
 /// Heap's-algorithm permutation visitor with early exit.
@@ -395,10 +388,7 @@ mod differential {
     fn arb_op(id: u64) -> impl Strategy<Value = OpRecord> {
         (
             0u32..3,
-            prop_oneof![
-                Just(OpKind::Read),
-                (1u64..4).prop_map(|v| OpKind::Write(Value(v))),
-            ],
+            prop_oneof![Just(OpKind::Read), (1u64..4).prop_map(|v| OpKind::Write(Value(v))),],
             0u64..12,
             proptest::option::of(1u64..14),
             proptest::option::of(1u64..4),

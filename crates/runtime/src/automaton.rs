@@ -295,10 +295,7 @@ mod tests {
         eff.op_return(OpId(0), OpKind::Read, Some(Value(3)));
         assert_eq!(eff.op_events.len(), 2);
         assert!(matches!(eff.op_events[0], OpEvent::Invoke { .. }));
-        assert!(matches!(
-            eff.op_events[1],
-            OpEvent::Return { read_value: Some(Value(3)), .. }
-        ));
+        assert!(matches!(eff.op_events[1], OpEvent::Return { read_value: Some(Value(3)), .. }));
     }
 
     #[test]

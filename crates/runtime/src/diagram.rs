@@ -63,12 +63,7 @@ pub fn render_diagram(trace: &Trace, pattern: &FailurePattern) -> String {
 
     // Uniform column width so the lanes stay aligned even with
     // multi-character decision markers.
-    let width = lanes
-        .iter()
-        .flatten()
-        .map(|g| g.chars().count())
-        .max()
-        .unwrap_or(1);
+    let width = lanes.iter().flatten().map(|g| g.chars().count()).max().unwrap_or(1);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -147,9 +142,7 @@ mod tests {
     }
 
     fn sample_run() -> (Trace, FailurePattern) {
-        let pattern = FailurePattern::builder(3)
-            .crash_at(ProcessId(2), Time(2))
-            .build();
+        let pattern = FailurePattern::builder(3).crash_at(ProcessId(2), Time(2)).build();
         let mut sim = Simulation::new(vec![DecideSecond::default(); 3], pattern.clone());
         let mut sched = RoundRobinScheduler::new();
         sim.run(&mut sched, &NoDetector, 50);

@@ -64,6 +64,7 @@ mod network;
 mod scheduler;
 mod sim;
 mod stack;
+pub mod sweep;
 mod trace;
 
 pub use automaton::{Automaton, Effects, Envelope, MsgId, OpEvent, StepInput};
@@ -71,6 +72,6 @@ pub use diagram::{column_time, render_diagram, render_summary, MAX_COLUMNS};
 pub use explore::{explore, ExploreResult};
 pub use network::Network;
 pub use scheduler::{Choice, FairScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler};
-pub use sim::{RunOutcome, SchedState, Simulation, StopReason};
+pub use sim::{RunOutcome, SchedState, SimPool, Simulation, StopReason};
 pub use stack::{Layered, ReportLayer, Stacked};
-pub use trace::{Event, Trace};
+pub use trace::{Event, Trace, TraceLevel};

@@ -134,10 +134,7 @@ impl Scheduler for FairScheduler {
         let pending = view.pending_count(p);
         let deliver = if pending == 0 {
             None
-        } else if view
-            .oldest_age(p)
-            .is_some_and(|age| age >= self.delivery_bound)
-        {
+        } else if view.oldest_age(p).is_some_and(|age| age >= self.delivery_bound) {
             view.oldest_index(p)
         } else if self.rng.gen_bool(self.deliver_prob) {
             // Skew toward older messages: pick two indices, keep the lower.
@@ -212,10 +209,7 @@ impl ScriptedScheduler {
         choices: impl IntoIterator<Item = Choice>,
         then: impl Scheduler + 'static,
     ) -> Self {
-        ScriptedScheduler {
-            choices: choices.into_iter().collect(),
-            then: Some(Box::new(then)),
-        }
+        ScriptedScheduler { choices: choices.into_iter().collect(), then: Some(Box::new(then)) }
     }
 
     /// Remaining scripted choices.

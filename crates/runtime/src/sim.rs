@@ -11,7 +11,7 @@
 use crate::automaton::{Automaton, Effects, StepInput};
 use crate::network::Network;
 use crate::scheduler::{Choice, Scheduler};
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceLevel};
 use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};
 
 /// The scheduler's view of the engine before a step.
@@ -127,6 +127,61 @@ impl<A: Automaton> Simulation<A> {
         }
     }
 
+    /// Sets how much the trace records (builder form). See [`TraceLevel`].
+    #[must_use]
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.set_trace_level(level);
+        self
+    }
+
+    /// Sets how much the trace records. Call before the first step;
+    /// events already recorded are kept.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace.set_level(level);
+    }
+
+    /// Rewinds to a fresh run of `procs` under `pattern`, reusing the
+    /// network-queue, trace and scratch allocations of the previous run
+    /// (the trace's [`TraceLevel`] is kept). Equivalent to replacing
+    /// `self` with [`Simulation::new`], minus the per-run allocations —
+    /// sweep pipelines call this once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len() != pattern.n()`.
+    pub fn reset(&mut self, procs: Vec<A>, pattern: &FailurePattern) {
+        self.reset_with_emulated_initial(procs, pattern, FdOutput::Bot);
+    }
+
+    /// Like [`Simulation::reset`], with the initial emulated
+    /// failure-detector output of [`Simulation::with_emulated_initial`].
+    pub fn reset_with_emulated_initial(
+        &mut self,
+        procs: Vec<A>,
+        pattern: &FailurePattern,
+        emulated_initial: FdOutput,
+    ) {
+        assert_eq!(procs.len(), pattern.n(), "one automaton per process");
+        let n = procs.len();
+        self.procs = procs;
+        self.pattern.clone_from(pattern);
+        self.now = Time::ZERO;
+        self.halted = ProcessSet::EMPTY;
+        self.script.clear();
+        if self.net.n() == n {
+            self.net.reset();
+        } else {
+            self.net = Network::new(n);
+        }
+        self.trace.reset(n, emulated_initial);
+        self.scratch_pending.clear();
+        self.scratch_pending.resize(n, 0);
+        self.scratch_oldest_sent.clear();
+        self.scratch_oldest_sent.resize(n, None);
+        self.scratch_oldest_idx.clear();
+        self.scratch_oldest_idx.resize(n, None);
+    }
+
     /// System size.
     pub fn n(&self) -> usize {
         self.procs.len()
@@ -220,34 +275,21 @@ impl<A: Automaton> Simulation<A> {
     pub fn step<D: FailureDetector + ?Sized>(&mut self, choice: Choice, fd: &D) {
         let t = self.now.next();
         let p = choice.p;
-        assert!(
-            self.pattern.is_alive(p, t),
-            "scheduled crashed process {p} at {t}"
-        );
+        assert!(self.pattern.is_alive(p, t), "scheduled crashed process {p} at {t}");
         assert!(!self.halted.contains(p), "scheduled halted process {p}");
 
         let delivered = choice.deliver.map(|idx| {
-            assert!(
-                idx < self.net.pending_count(p),
-                "delivery index {idx} out of range at {p}"
-            );
+            assert!(idx < self.net.pending_count(p), "delivery index {idx} out of range at {p}");
             self.net.deliver(p, idx)
         });
 
         let fd_out = fd.output(p, t);
         self.now = t;
         self.script.push(choice);
-        self.trace
-            .push_step(t, p, delivered.as_ref().map(|e| (e.from, e.id)), fd_out);
+        self.trace.push_step(t, p, delivered.as_ref().map(|e| (e.from, e.id)), fd_out);
 
         let mut eff = Effects::new();
-        let input = StepInput {
-            me: p,
-            n: self.n(),
-            now: t,
-            delivered,
-            fd: fd_out,
-        };
+        let input = StepInput { me: p, n: self.n(), now: t, delivered, fd: fd_out };
         self.procs[p.index()].step(input, &mut eff);
 
         for (to, payload) in eff.sends {
@@ -311,5 +353,64 @@ impl<A: Automaton> Simulation<A> {
             self.step(choice, fd);
             steps += 1;
         }
+    }
+}
+
+/// A reusable [`Simulation`] slot for sweep pipelines.
+///
+/// The first [`SimPool::acquire`] builds a simulation; every later one
+/// rewinds it in place with [`Simulation::reset`], so network queues,
+/// the trace event log and the scheduler scratch buffers are recycled
+/// run over run instead of re-allocated. One pool per sweep worker.
+#[derive(Debug, Default)]
+pub struct SimPool<A: Automaton> {
+    slot: Option<Simulation<A>>,
+    level: TraceLevel,
+}
+
+impl<A: Automaton> SimPool<A> {
+    /// An empty pool recording at [`TraceLevel::Full`].
+    pub fn new() -> Self {
+        SimPool { slot: None, level: TraceLevel::Full }
+    }
+
+    /// An empty pool recording at `level`.
+    pub fn with_trace_level(level: TraceLevel) -> Self {
+        SimPool { slot: None, level }
+    }
+
+    /// A simulation ready to run `procs` under `pattern`, recycled from
+    /// the previous run where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len() != pattern.n()`.
+    pub fn acquire(&mut self, procs: Vec<A>, pattern: &FailurePattern) -> &mut Simulation<A> {
+        self.acquire_with_emulated_initial(procs, pattern, FdOutput::Bot)
+    }
+
+    /// [`SimPool::acquire`] with an explicit initial emulated output.
+    pub fn acquire_with_emulated_initial(
+        &mut self,
+        procs: Vec<A>,
+        pattern: &FailurePattern,
+        emulated_initial: FdOutput,
+    ) -> &mut Simulation<A> {
+        match &mut self.slot {
+            Some(sim) => sim.reset_with_emulated_initial(procs, pattern, emulated_initial),
+            slot @ None => {
+                *slot = Some(
+                    Simulation::with_emulated_initial(procs, pattern.clone(), emulated_initial)
+                        .with_trace_level(self.level),
+                );
+            }
+        }
+        self.slot.as_mut().expect("slot just filled")
+    }
+
+    /// Takes the pooled simulation's trace, leaving the pool empty (for
+    /// one-shot wrappers that must return an owned [`Trace`]).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.slot.take().map(Simulation::into_trace)
     }
 }

@@ -241,13 +241,7 @@ mod tests {
     ) -> Effects<Layered<u8, &'static str>> {
         let mut eff = Effects::new();
         stack.step(
-            StepInput {
-                me: ProcessId(0),
-                n: 2,
-                now: Time(1),
-                delivered,
-                fd: FdOutput::Bot,
-            },
+            StepInput { me: ProcessId(0), n: 2, now: Time(1), delivered, fd: FdOutput::Bot },
             &mut eff,
         );
         eff
@@ -255,11 +249,8 @@ mod tests {
 
     #[test]
     fn upper_sees_lower_output_from_same_step() {
-        let mut stack = Stacked::new(
-            CountingEmulator::default(),
-            LeaderConsumer::default(),
-            FdOutput::Bot,
-        );
+        let mut stack =
+            Stacked::new(CountingEmulator::default(), LeaderConsumer::default(), FdOutput::Bot);
         // Step 1: lower outputs Leader(p1); upper sees it but 1 < 2.
         let eff = step_stack(&mut stack, None);
         assert_eq!(stack.current_output(), FdOutput::Leader(ProcessId(1)));
@@ -279,11 +270,8 @@ mod tests {
 
     #[test]
     fn messages_route_to_their_layer() {
-        let mut stack = Stacked::new(
-            CountingEmulator::default(),
-            LeaderConsumer::default(),
-            FdOutput::Bot,
-        );
+        let mut stack =
+            Stacked::new(CountingEmulator::default(), LeaderConsumer::default(), FdOutput::Bot);
         let env = Envelope {
             id: crate::automaton::MsgId(0),
             from: ProcessId(1),

@@ -1,0 +1,244 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every claim and experiment of this reproduction is verified by
+//! sweeping seeded runs over grids of failure patterns, system sizes and
+//! scheduler seeds. The runs are mutually independent, so they fan out
+//! across OS threads — but verification demands that the *output never
+//! depends on the thread count*. The engine guarantees that:
+//!
+//! 1. **Canonical order.** The work grid is materialized up front as an
+//!    indexed `Vec`; item `i` is the same job no matter who executes it.
+//! 2. **Independent jobs.** Each job is a pure function of its index,
+//!    its item and *worker-local* state that [`Simulation::reset`]
+//!    rewinds to an identical fresh state before every run (covered by
+//!    the pipeline tests) — so which worker runs a job cannot change its
+//!    result.
+//! 3. **Order-independent reduction.** Workers collect `(index, result)`
+//!    pairs; after the join the pairs are sorted by index, yielding the
+//!    exact `Vec` a serial loop would produce. Any fold the caller runs
+//!    over that `Vec` (including order-sensitive floating-point means)
+//!    is therefore bitwise identical for 1, 2 or N threads.
+//!
+//! Parallelism uses `std::thread::scope` behind the `parallel` feature
+//! (default on); with the feature off — or `threads == 1` — the engine
+//! degenerates to the plain serial loop, which is also the reference
+//! the determinism tests compare against.
+//!
+//! [`Simulation::reset`]: crate::Simulation::reset
+//!
+//! # Example
+//!
+//! ```
+//! use sih_runtime::sweep::{with_seeds, Sweep};
+//!
+//! let grid = with_seeds(&["a", "b"], 3); // ("a",0) ("a",1) ("a",2) ("b",0) …
+//! let results = Sweep::new(0).run(grid, || |idx: usize, (tag, seed): (&str, u64)| {
+//!     format!("{idx}:{tag}{seed}")
+//! });
+//! assert_eq!(results.len(), 6);
+//! assert_eq!(results[4], "4:b1");
+//! ```
+
+#[cfg(feature = "parallel")]
+use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(feature = "parallel")]
+use std::sync::Mutex;
+
+/// A deterministic sweep over an indexed grid of independent jobs.
+///
+/// `threads == 0` means one worker per available core; any thread count
+/// (including 1) produces the identical result `Vec`.
+#[derive(Clone, Copy, Debug)]
+pub struct Sweep {
+    threads: usize,
+}
+
+impl Sweep {
+    /// A sweep with the given worker count (`0` = one per core).
+    pub fn new(threads: usize) -> Self {
+        Sweep { threads }
+    }
+
+    /// The worker count a run of `jobs` jobs will actually use.
+    pub fn effective_threads(&self, jobs: usize) -> usize {
+        if !cfg!(feature = "parallel") {
+            return 1;
+        }
+        let hw = || std::thread::available_parallelism().map_or(1, usize::from);
+        let t = if self.threads == 0 { hw() } else { self.threads };
+        t.clamp(1, jobs.max(1))
+    }
+
+    /// Maps `worker(index, item)` over the grid, fanning across threads.
+    ///
+    /// `make_worker` is called once per worker thread to build its
+    /// worker-local closure — the place to allocate reusable state such
+    /// as a [`SimPool`](crate::SimPool). The returned `Vec` holds the
+    /// results in grid order, bitwise identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic of any worker (a panicking job is a
+    /// harness bug, not data).
+    pub fn run<Item, R, W, F>(&self, items: Vec<Item>, make_worker: W) -> Vec<R>
+    where
+        Item: Send,
+        R: Send,
+        W: Fn() -> F + Sync,
+        F: FnMut(usize, Item) -> R,
+    {
+        let threads = self.effective_threads(items.len());
+        if threads <= 1 {
+            let mut worker = make_worker();
+            return items.into_iter().enumerate().map(|(i, item)| worker(i, item)).collect();
+        }
+        #[cfg(feature = "parallel")]
+        {
+            run_parallel(items, threads, &make_worker)
+        }
+        #[cfg(not(feature = "parallel"))]
+        unreachable!("effective_threads is 1 without the parallel feature")
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_parallel<Item, R, W, F>(items: Vec<Item>, threads: usize, make_worker: &W) -> Vec<R>
+where
+    Item: Send,
+    R: Send,
+    W: Fn() -> F + Sync,
+    F: FnMut(usize, Item) -> R,
+{
+    let total = items.len();
+    // Each slot is claimed by exactly one worker via the cursor; the
+    // mutexes are uncontended and only make the hand-off safe.
+    let slots: Vec<Mutex<Option<Item>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(total));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut worker = make_worker();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= total {
+                            break;
+                        }
+                        let item = slots[idx]
+                            .lock()
+                            .expect("slot lock")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        local.push((idx, worker(idx, item)));
+                    }
+                    if !local.is_empty() {
+                        collected.lock().expect("result lock").extend(local);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                // Re-raise the worker's own panic message instead of the
+                // scope's generic "a scoped thread panicked".
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut indexed = collected.into_inner().expect("workers joined");
+    debug_assert_eq!(indexed.len(), total, "every job produced exactly one result");
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The canonical `items × seeds` grid: item-major, seeds `0..seeds`
+/// innermost — the exact order of the serial
+/// `for item { for seed { … } }` loops the engine replaces.
+pub fn with_seeds<A: Clone>(items: &[A], seeds: u64) -> Vec<(A, u64)> {
+    items.iter().flat_map(|item| (0..seeds).map(move |s| (item.clone(), s))).collect()
+}
+
+/// The canonical cartesian product `a × b`, `a`-major.
+pub fn cross<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    a.iter().flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone()))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize as TestCounter, Ordering as TestOrdering};
+
+    #[test]
+    fn grid_helpers_enumerate_in_canonical_order() {
+        assert_eq!(with_seeds(&['x', 'y'], 2), vec![('x', 0), ('x', 1), ('y', 0), ('y', 1)]);
+        assert_eq!(cross(&[1, 2], &["a", "b"]), vec![(1, "a"), (1, "b"), (2, "a"), (2, "b")]);
+        assert!(with_seeds(&['x'], 0).is_empty());
+        assert!(cross(&[] as &[u8], &[1]).is_empty());
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        // A job whose result depends on index and item only.
+        let reference: Vec<u64> =
+            (0..200u64).map(|i| i.wrapping_mul(0x9E37).rotate_left(7)).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = Sweep::new(threads)
+                .run((0..200u64).collect(), || |_, x: u64| x.wrapping_mul(0x9E37).rotate_left(7));
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn worker_local_state_is_per_thread() {
+        // Each worker gets its own accumulator; the number of distinct
+        // workers never exceeds the requested thread count, and every
+        // job runs exactly once.
+        let spawned = TestCounter::new(0);
+        let ran = TestCounter::new(0);
+        let results = Sweep::new(4).run((0..100).collect::<Vec<i32>>(), || {
+            spawned.fetch_add(1, TestOrdering::Relaxed);
+            |idx: usize, item: i32| {
+                ran.fetch_add(1, TestOrdering::Relaxed);
+                (idx as i32) - item
+            }
+        });
+        assert_eq!(ran.load(TestOrdering::Relaxed), 100);
+        assert!(spawned.load(TestOrdering::Relaxed) <= 4);
+        assert!(results.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_results() {
+        let out: Vec<u8> = Sweep::new(0).run(Vec::<u8>::new(), || |_, x: u8| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_hardware_and_still_matches_serial() {
+        let serial: Vec<String> = (0..37).map(|i| format!("{}", i * 3)).collect();
+        let auto =
+            Sweep::new(0).run((0..37).collect::<Vec<i64>>(), || |_, x: i64| format!("{}", x * 3));
+        assert_eq!(auto, serial);
+        assert!(Sweep::new(0).effective_threads(1000) >= 1);
+        // Worker count is clamped to the job count — unless the
+        // `parallel` feature is off, which forces 1.
+        let expected = if cfg!(feature = "parallel") { 2 } else { 1 };
+        assert_eq!(Sweep::new(5).effective_threads(2), expected);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    #[should_panic(expected = "job 13 exploded")]
+    fn worker_panics_propagate() {
+        let _ = Sweep::new(3).run((0..40usize).collect(), || {
+            |idx: usize, _item: usize| {
+                assert!(idx != 13, "job 13 exploded");
+                idx
+            }
+        });
+    }
+}

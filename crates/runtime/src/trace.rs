@@ -81,15 +81,35 @@ pub enum Event {
     },
 }
 
+/// How much of a run a [`Trace`] records.
+///
+/// Large sweeps execute millions of steps whose per-event records no
+/// checker ever reads; [`TraceLevel::Light`] skips them while keeping
+/// everything the property checkers consume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceLevel {
+    /// Record every event (steps, sends, decisions, emulations, ops).
+    #[default]
+    Full,
+    /// Record only decisions, emulated-detector outputs and register-op
+    /// boundaries — the inputs of the agreement/σ/linearizability
+    /// checkers. Per-step `Step`/`Send` events are skipped (aggregate
+    /// counters and `end_time` remain exact). Space-timing diagrams
+    /// ([`crate::diagram`]) need a `Full` trace.
+    Light,
+}
+
 /// The recorded trace of one run.
 #[derive(Clone, Debug)]
 pub struct Trace {
     n: usize,
+    level: TraceLevel,
     events: Vec<Event>,
     decisions: Vec<Option<(Time, Value)>>,
     emulated: RecordedHistory,
     steps_taken: Vec<u64>,
     sent: u64,
+    last_step_time: Time,
 }
 
 impl Trace {
@@ -100,17 +120,43 @@ impl Trace {
     pub fn new(n: usize, emulated_initial: FdOutput) -> Self {
         Trace {
             n,
+            level: TraceLevel::Full,
             events: Vec::new(),
             decisions: vec![None; n],
             emulated: RecordedHistory::new(n, emulated_initial),
             steps_taken: vec![0; n],
             sent: 0,
+            last_step_time: Time::ZERO,
         }
     }
 
     /// Number of processes.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    pub(crate) fn set_level(&mut self, level: TraceLevel) {
+        self.level = level;
+    }
+
+    /// Empties the trace for a fresh run of `n` processes, keeping the
+    /// recording level and (where sizes allow) the event and per-process
+    /// allocations.
+    pub(crate) fn reset(&mut self, n: usize, emulated_initial: FdOutput) {
+        self.n = n;
+        self.events.clear();
+        self.decisions.clear();
+        self.decisions.resize(n, None);
+        self.emulated.reset(n, emulated_initial);
+        self.steps_taken.clear();
+        self.steps_taken.resize(n, 0);
+        self.sent = 0;
+        self.last_step_time = Time::ZERO;
     }
 
     pub(crate) fn push_step(
@@ -121,12 +167,17 @@ impl Trace {
         fd: FdOutput,
     ) {
         self.steps_taken[p.index()] += 1;
-        self.events.push(Event::Step { t, p, delivered, fd });
+        self.last_step_time = t;
+        if self.level == TraceLevel::Full {
+            self.events.push(Event::Step { t, p, delivered, fd });
+        }
     }
 
     pub(crate) fn push_send(&mut self, t: Time, from: ProcessId, to: ProcessId, id: MsgId) {
         self.sent += 1;
-        self.events.push(Event::Send { t, from, to, id });
+        if self.level == TraceLevel::Full {
+            self.events.push(Event::Send { t, from, to, id });
+        }
     }
 
     pub(crate) fn push_decide(&mut self, t: Time, p: ProcessId, value: Value) -> bool {
@@ -169,15 +220,13 @@ impl Trace {
 
     /// The set of processes that decided.
     pub fn decided(&self) -> ProcessSet {
-        (0..self.n as u32)
-            .map(ProcessId)
-            .filter(|p| self.decision_of(*p).is_some())
-            .collect()
+        (0..self.n as u32).map(ProcessId).filter(|p| self.decision_of(*p).is_some()).collect()
     }
 
     /// The distinct decided values, sorted.
     pub fn distinct_decisions(&self) -> Vec<Value> {
-        let mut vals: Vec<Value> = self.decisions.iter().filter_map(|d| d.map(|(_, v)| v)).collect();
+        let mut vals: Vec<Value> =
+            self.decisions.iter().filter_map(|d| d.map(|(_, v)| v)).collect();
         vals.sort_unstable();
         vals.dedup();
         vals
@@ -247,15 +296,10 @@ impl Trace {
     }
 
     /// The last step time in the trace (`Time::ZERO` for an empty trace).
+    /// O(1): tracked directly rather than scanned from the event log, so
+    /// it is exact at every [`TraceLevel`].
     pub fn end_time(&self) -> Time {
-        self.events
-            .iter()
-            .rev()
-            .find_map(|e| match e {
-                Event::Step { t, .. } => Some(*t),
-                _ => None,
-            })
-            .unwrap_or(Time::ZERO)
+        self.last_step_time
     }
 }
 
@@ -295,7 +339,11 @@ mod tests {
     #[test]
     fn op_records_pairs_invocations_and_responses() {
         let mut tr = Trace::new(1, FdOutput::Bot);
-        tr.push_op_event(Time(1), ProcessId(0), OpEvent::Invoke { id: OpId(0), kind: OpKind::Read });
+        tr.push_op_event(
+            Time(1),
+            ProcessId(0),
+            OpEvent::Invoke { id: OpId(0), kind: OpKind::Read },
+        );
         tr.push_op_event(
             Time(5),
             ProcessId(0),
@@ -323,6 +371,47 @@ mod tests {
             OpEvent::Return { id: OpId(9), kind: OpKind::Read, read_value: None },
         );
         let _ = tr.op_records();
+    }
+
+    #[test]
+    fn light_level_skips_step_and_send_events_but_keeps_checker_inputs() {
+        let mut tr = Trace::new(2, FdOutput::Bot);
+        tr.set_level(TraceLevel::Light);
+        tr.push_step(Time(1), ProcessId(0), None, FdOutput::Bot);
+        tr.push_send(Time(1), ProcessId(0), ProcessId(1), MsgId(0));
+        tr.push_decide(Time(2), ProcessId(0), Value(7));
+        tr.push_emulate(Time(2), ProcessId(1), FdOutput::Leader(ProcessId(0)));
+        tr.push_op_event(
+            Time(3),
+            ProcessId(1),
+            OpEvent::Invoke { id: OpId(0), kind: OpKind::Read },
+        );
+        // Aggregates and checker inputs are exact…
+        assert_eq!(tr.total_steps(), 1);
+        assert_eq!(tr.messages_sent(), 1);
+        assert_eq!(tr.end_time(), Time(1));
+        assert_eq!(tr.decision_of(ProcessId(0)), Some(Value(7)));
+        assert_eq!(tr.op_records().len(), 1);
+        // …but the per-step event torrent is gone.
+        assert!(tr.events().iter().all(|e| !matches!(e, Event::Step { .. } | Event::Send { .. })));
+        assert_eq!(tr.events().len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_while_keeping_level() {
+        let mut tr = Trace::new(2, FdOutput::Bot);
+        tr.set_level(TraceLevel::Light);
+        tr.push_step(Time(1), ProcessId(1), None, FdOutput::Bot);
+        tr.push_decide(Time(1), ProcessId(1), Value(3));
+        tr.reset(3, FdOutput::Bot);
+        assert_eq!(tr.n(), 3);
+        assert_eq!(tr.level(), TraceLevel::Light);
+        assert_eq!(tr.total_steps(), 0);
+        assert_eq!(tr.messages_sent(), 0);
+        assert_eq!(tr.end_time(), Time::ZERO);
+        assert!(tr.events().is_empty());
+        assert_eq!(tr.decision_of(ProcessId(1)), None);
+        assert_eq!(tr.decided(), ProcessSet::EMPTY);
     }
 
     #[test]

@@ -200,11 +200,9 @@ impl<A: SharedAlgorithm> Automaton for SharedOverAbd<A> {
                             _ => unreachable!(),
                         };
                         let (ts, v, read_result) = match op.action {
-                            SharedAction::Write(_, w) => (
-                                Ts { num: best.0.num + 1, pid: input.me.0 },
-                                Some(w),
-                                None,
-                            ),
+                            SharedAction::Write(_, w) => {
+                                (Ts { num: best.0.num + 1, pid: input.me.0 }, Some(w), None)
+                            }
                             SharedAction::Read(_) => (best.0, best.1, Some(best.1)),
                             _ => unreachable!(),
                         };
@@ -257,10 +255,7 @@ pub fn bridged_processes<A: SharedAlgorithm>(
     registers: usize,
 ) -> Vec<SharedOverAbd<A>> {
     let n = programs.len();
-    programs
-        .into_iter()
-        .map(|p| SharedOverAbd::new(p, registers, n))
-        .collect()
+    programs.into_iter().map(|p| SharedOverAbd::new(p, registers, n)).collect()
 }
 
 #[cfg(test)]
@@ -290,11 +285,8 @@ mod tests {
         sim.run_until(&mut sched, &det, max_steps, |s| {
             s.pattern().correct().iter().all(|p| s.trace().decision_of(p).is_some())
         });
-        let all_decided = sim
-            .pattern()
-            .correct()
-            .iter()
-            .all(|p| sim.trace().decision_of(p).is_some());
+        let all_decided =
+            sim.pattern().correct().iter().all(|p| sim.trace().decision_of(p).is_some());
         (sim.trace().distinct_decisions(), all_decided)
     }
 
@@ -316,9 +308,7 @@ mod tests {
     fn collect_min_ports_with_a_minority_crash() {
         for seed in 0..5 {
             let f = 1;
-            let pattern = FailurePattern::builder(5)
-                .crash_at(ProcessId(4), Time(40))
-                .build();
+            let pattern = FailurePattern::builder(5).crash_at(ProcessId(4), Time(40)).build();
             assert!(pattern.has_correct_majority());
             let (distinct, done) = run_bridged_collect_min(&pattern, f, seed, 600_000);
             assert!(done, "seed {seed}");

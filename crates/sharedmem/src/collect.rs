@@ -50,14 +50,7 @@ impl CollectMin {
     /// Panics if `f ≥ n`.
     pub fn new(v: Value, n: usize, f: usize) -> Self {
         assert!(f < n, "resilience must leave at least one process");
-        CollectMin {
-            v,
-            f,
-            phase: Phase::Announce,
-            cursor: 0,
-            seen: vec![None; n],
-            done: false,
-        }
+        CollectMin { v, f, phase: Phase::Announce, cursor: 0, seen: vec![None; n], done: false }
     }
 
     /// Builds the `n` processes for the given proposals.
@@ -126,10 +119,7 @@ mod tests {
                     let mut sim = LocalSharedSim::new(procs, n, pattern);
                     assert!(sim.run_fair(seed, 100_000), "n={n} f={f} seed={seed}");
                     let distinct = sim.distinct_decisions();
-                    assert!(
-                        distinct.len() <= f + 1,
-                        "n={n} f={f} seed={seed}: {distinct:?}"
-                    );
+                    assert!(distinct.len() <= f + 1, "n={n} f={f} seed={seed}: {distinct:?}");
                 }
             }
         }
@@ -173,10 +163,8 @@ mod tests {
         // resilience boundary in action.
         let n = 4;
         let f = 1;
-        let pattern = FailurePattern::crashed_from_start(
-            n,
-            ProcessSet::from_iter([2, 3].map(ProcessId)),
-        );
+        let pattern =
+            FailurePattern::crashed_from_start(n, ProcessSet::from_iter([2, 3].map(ProcessId)));
         let procs = CollectMin::processes(&proposals(n), f);
         let mut sim = LocalSharedSim::new(procs, n, pattern);
         assert!(!sim.run_fair(3, 50_000), "must spin forever");

@@ -114,12 +114,7 @@ impl<A: SharedAlgorithm> LocalSharedSim<A> {
             }
             let p = alive[rng.gen_range(0..alive.len())];
             self.step(p);
-            if self
-                .pattern
-                .correct()
-                .iter()
-                .all(|p| self.decisions[p.index()].is_some())
-            {
+            if self.pattern.correct().iter().all(|p| self.decisions[p.index()].is_some()) {
                 return true;
             }
         }
@@ -188,9 +183,7 @@ mod tests {
 
     #[test]
     fn crashed_processes_cannot_step() {
-        let pattern = FailurePattern::builder(2)
-            .crash_at(ProcessId(1), Time(1))
-            .build();
+        let pattern = FailurePattern::builder(2).crash_at(ProcessId(1), Time(1)).build();
         let procs = vec![WriteReadDecide::new(Value(1)), WriteReadDecide::new(Value(2))];
         let mut sim = LocalSharedSim::new(procs, 2, pattern);
         sim.step(ProcessId(1)); // allowed: alive at t=1
@@ -203,8 +196,11 @@ mod tests {
     #[test]
     fn run_fair_drives_everyone_to_decision() {
         let pattern = FailurePattern::all_correct(3);
-        let procs =
-            vec![WriteReadDecide::new(Value(1)), WriteReadDecide::new(Value(2)), WriteReadDecide::new(Value(3))];
+        let procs = vec![
+            WriteReadDecide::new(Value(1)),
+            WriteReadDecide::new(Value(2)),
+            WriteReadDecide::new(Value(3)),
+        ];
         let mut sim = LocalSharedSim::new(procs, 3, pattern);
         assert!(sim.run_fair(7, 10_000));
         assert!(sim.distinct_decisions().len() <= 2, "everyone adopts R0's value or their own");

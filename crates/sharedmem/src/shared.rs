@@ -78,9 +78,6 @@ mod tests {
     #[test]
     fn actions_are_comparable() {
         assert_eq!(SharedAction::Pause, SharedAction::Pause);
-        assert_ne!(
-            SharedAction::Read(RegisterId(0)),
-            SharedAction::Write(RegisterId(0), Value(1))
-        );
+        assert_ne!(SharedAction::Read(RegisterId(0)), SharedAction::Write(RegisterId(0), Value(1)));
     }
 }

@@ -65,9 +65,7 @@ impl Automaton for FirstResponder {
 
 fn main() {
     let n = 5;
-    let pattern = FailurePattern::builder(n)
-        .crash_at(ProcessId(0), Time(60))
-        .build();
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(0), Time(60)).build();
     let detector = PerfectDetector { pattern: pattern.clone() };
 
     let mut sim = Simulation::new(vec![FirstResponder::default(); n], pattern.clone());

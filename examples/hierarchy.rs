@@ -12,7 +12,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().map_or(5, |a| a.parse().expect("n must be an integer"));
     let k: usize = args.next().map_or(2, |a| a.parse().expect("k must be an integer"));
-    let cfg = ClaimConfig { n, k, seeds: 2, max_steps: 200_000 };
+    let cfg = ClaimConfig { n, k, seeds: 2, max_steps: 200_000, ..ClaimConfig::default() };
 
     println!("Figure 1 — results of 'Sharing is Harder than Agreeing' (n = {n}, k = {k})\n");
     println!("{:<44} {:<30} verdict", "claim", "paper artifact");

@@ -15,8 +15,8 @@
 
 use sih::model::{ProcessId, ProcessSet, Value};
 use sih::reductions::{
-    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat,
-    theorem13_demo, AntiOmegaAgreementCandidate, MirrorPairCandidate, MirrorXCandidate,
+    fig2_tightness, fig4_tightness, lemma11_defeat, lemma15_defeat, lemma7_defeat, theorem13_demo,
+    AntiOmegaAgreementCandidate, MirrorPairCandidate, MirrorXCandidate,
 };
 
 fn main() {

@@ -28,10 +28,7 @@ fn main() {
     let proposals = distinct_proposals(n);
     let mut sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
     let outcome = sim.run(&mut FairScheduler::new(42), &sigma, 100_000);
-    println!(
-        "run finished after {} steps ({:?})",
-        outcome.steps, outcome.reason
-    );
+    println!("run finished after {} steps ({:?})", outcome.steps, outcome.reason);
 
     for i in 0..n as u32 {
         let p = ProcessId(i);

@@ -23,11 +23,7 @@ fn main() {
     // ── world 1: registers as physical devices ────────────────────────
     println!("── shared memory (physical registers) ──");
     let pattern = FailurePattern::builder(n).crash_at(ProcessId(4), Time(10)).build();
-    let mut local = LocalSharedSim::new(
-        CollectMin::processes(&proposals, f),
-        n,
-        pattern.clone(),
-    );
+    let mut local = LocalSharedSim::new(CollectMin::processes(&proposals, f), n, pattern.clone());
     assert!(local.run_fair(7, 200_000), "all correct processes decide");
     println!(
         "collect-min (f = {f}): {} distinct decisions (bound {}), {} steps",

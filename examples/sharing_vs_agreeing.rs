@@ -14,9 +14,9 @@
 //! cargo run --example sharing_vs_agreeing
 //! ```
 
+use sih::model::OpKind;
 use sih::prelude::*;
 use sih::reductions::{lemma7_defeat, GossipPairCandidate};
-use sih::model::OpKind;
 
 fn main() {
     let n = 4;

@@ -10,9 +10,7 @@ use sih::runtime::{render_diagram, render_summary};
 
 fn main() {
     let n = 4;
-    let pattern = FailurePattern::builder(n)
-        .crash_at(ProcessId(1), Time(9))
-        .build();
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), Time(9)).build();
     let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 11);
     let mut sim = Simulation::new(fig2_processes(&distinct_proposals(n)), pattern.clone());
     sim.run(&mut FairScheduler::new(11), &sigma, 50_000);

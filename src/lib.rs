@@ -9,7 +9,7 @@
 //! ```
 //! use sharing_is_harder::claims::{check_claim, Claim, ClaimConfig};
 //!
-//! let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+//! let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..ClaimConfig::default() };
 //! assert!(check_claim(Claim::DecisionBudgetsAreTight, &cfg).verdict.confirmed());
 //! ```
 

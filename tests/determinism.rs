@@ -22,10 +22,7 @@ fn fig2_runs_replay_exactly() {
         replay.run(&mut sched, &sigma, u64::MAX);
 
         assert_eq!(original.trace().events(), replay.trace().events(), "seed {seed}");
-        assert_eq!(
-            original.trace().distinct_decisions(),
-            replay.trace().distinct_decisions()
-        );
+        assert_eq!(original.trace().distinct_decisions(), replay.trace().distinct_decisions());
     }
 }
 
@@ -34,10 +31,8 @@ fn fig4_runs_replay_exactly() {
     for seed in 0..5 {
         let n = 6;
         let active: ProcessSet = (0..4u32).map(ProcessId).collect();
-        let pattern = FailurePattern::crashed_from_start(
-            n,
-            ProcessSet::from_iter([4, 5].map(ProcessId)),
-        );
+        let pattern =
+            FailurePattern::crashed_from_start(n, ProcessSet::from_iter([4, 5].map(ProcessId)));
         let det = SigmaK::new(active, &pattern, seed);
 
         let mut original = Simulation::new(fig4_processes(&distinct_proposals(n)), pattern.clone());
@@ -68,12 +63,8 @@ fn prefix_replay_preserves_every_event() {
     let mut sched = ScriptedScheduler::new(script[..half].to_vec());
     replay.run(&mut sched, &sigma, u64::MAX);
 
-    let original_events: Vec<&Event> = original
-        .trace()
-        .events()
-        .iter()
-        .take(replay.trace().events().len())
-        .collect();
+    let original_events: Vec<&Event> =
+        original.trace().events().iter().take(replay.trace().events().len()).collect();
     let replay_events: Vec<&Event> = replay.trace().events().iter().collect();
     assert_eq!(original_events, replay_events);
 }

@@ -44,7 +44,7 @@ fn theorem8_positive_direction_end_to_end() {
 
 #[test]
 fn figure1_all_claims_confirm() {
-    let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+    let cfg = ClaimConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..ClaimConfig::default() };
     for claim in Claim::ALL {
         let outcome = check_claim(claim, &cfg);
         assert!(outcome.verdict.confirmed(), "{claim}: {:?}", outcome.verdict);
@@ -53,7 +53,7 @@ fn figure1_all_claims_confirm() {
 
 #[test]
 fn lab_experiments_smoke() {
-    let cfg = LabConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000 };
+    let cfg = LabConfig { n: 4, k: 1, seeds: 1, max_steps: 150_000, ..LabConfig::default() };
     for id in ["e1", "e3", "e7", "e10", "e11"] {
         let report = run_experiment(id, &cfg);
         assert!(report.ok, "{id}: {report}");

@@ -1,7 +1,9 @@
 //! Bounded exhaustive exploration: safety of the paper's algorithms over
 //! **every** schedule of small systems, not just sampled ones.
 
-use sih::agreement::{check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes};
+use sih::agreement::{
+    check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes,
+};
 use sih::detectors::{Sigma, SigmaK};
 use sih::model::{FailurePattern, ProcessId, ProcessSet};
 use sih::runtime::{explore, Simulation};
@@ -27,9 +29,7 @@ fn fig2_safety_over_all_schedules_n3() {
 fn fig2_safety_over_all_schedules_with_active_crash() {
     // p1 (an active) crashes at step 4: all schedules up to depth 9.
     let n = 3;
-    let pattern = FailurePattern::builder(n)
-        .crash_at(ProcessId(1), sih::model::Time(4))
-        .build();
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), sih::model::Time(4)).build();
     let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
     let proposals = distinct_proposals(n);
     let sim = Simulation::new(fig2_processes(&proposals), pattern);

@@ -12,9 +12,8 @@ fn fig2_survives_every_single_crash_time() {
     let n = 4;
     for victim in 0..n as u32 {
         for crash_t in 1..=12u64 {
-            let pattern = FailurePattern::builder(n)
-                .crash_at(ProcessId(victim), Time(crash_t))
-                .build();
+            let pattern =
+                FailurePattern::builder(n).crash_at(ProcessId(victim), Time(crash_t)).build();
             let tr = pipeline::run_fig2(&pattern, ProcessId(0), ProcessId(1), crash_t, 150_000);
             check_k_set_agreement(&tr, &pattern, &distinct_proposals(n), n - 1)
                 .unwrap_or_else(|e| panic!("victim p{victim} at t{crash_t}: {e}"));
@@ -32,8 +31,7 @@ fn fig2_survives_every_double_crash() {
                     .crash_at(ProcessId(v1), Time(crash_t))
                     .crash_at(ProcessId(v2), Time(crash_t + 3))
                     .build();
-                let tr =
-                    pipeline::run_fig2(&pattern, ProcessId(0), ProcessId(1), crash_t, 150_000);
+                let tr = pipeline::run_fig2(&pattern, ProcessId(0), ProcessId(1), crash_t, 150_000);
                 check_k_set_agreement(&tr, &pattern, &distinct_proposals(n), n - 1)
                     .unwrap_or_else(|e| panic!("p{v1},p{v2} at t{crash_t}: {e}"));
             }
@@ -48,9 +46,8 @@ fn fig4_survives_every_single_crash_time() {
     let active: ProcessSet = (0..4u32).map(ProcessId).collect();
     for victim in 0..n as u32 {
         for crash_t in [1u64, 4, 9, 20] {
-            let pattern = FailurePattern::builder(n)
-                .crash_at(ProcessId(victim), Time(crash_t))
-                .build();
+            let pattern =
+                FailurePattern::builder(n).crash_at(ProcessId(victim), Time(crash_t)).build();
             let tr = pipeline::run_fig4(&pattern, active, crash_t, 250_000);
             check_k_set_agreement(&tr, &pattern, &distinct_proposals(n), n - k)
                 .unwrap_or_else(|e| panic!("victim p{victim} at t{crash_t}: {e}"));
@@ -64,11 +61,9 @@ fn fig3_emulation_survives_every_single_crash_time() {
     let pair = ProcessSet::from_iter([0, 1].map(ProcessId));
     for victim in 0..n as u32 {
         for crash_t in [1u64, 6, 14] {
-            let pattern = FailurePattern::builder(n)
-                .crash_at(ProcessId(victim), Time(crash_t))
-                .build();
-            let tr =
-                pipeline::run_fig3(&pattern, ProcessId(0), ProcessId(1), crash_t, 6_000);
+            let pattern =
+                FailurePattern::builder(n).crash_at(ProcessId(victim), Time(crash_t)).build();
+            let tr = pipeline::run_fig3(&pattern, ProcessId(0), ProcessId(1), crash_t, 6_000);
             check_sigma(tr.emulated_history(), &pattern, pair)
                 .unwrap_or_else(|e| panic!("victim p{victim} at t{crash_t}: {e}"));
         }
@@ -80,11 +75,9 @@ fn fig6_emulation_survives_every_single_crash_time() {
     let n = 4;
     for victim in 0..n as u32 {
         for crash_t in [1u64, 6, 14] {
-            let pattern = FailurePattern::builder(n)
-                .crash_at(ProcessId(victim), Time(crash_t))
-                .build();
-            let tr =
-                pipeline::run_fig6(&pattern, ProcessId(0), ProcessId(1), crash_t, 25_000);
+            let pattern =
+                FailurePattern::builder(n).crash_at(ProcessId(victim), Time(crash_t)).build();
+            let tr = pipeline::run_fig6(&pattern, ProcessId(0), ProcessId(1), crash_t, 25_000);
             check_anti_omega(tr.emulated_history(), &pattern)
                 .unwrap_or_else(|e| panic!("victim p{victim} at t{crash_t}: {e}"));
         }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use sih::agreement::{check_k_agreement_safety, check_k_set_agreement, distinct_proposals};
 use sih::detectors::{
-    check_anti_omega, check_sigma, check_sigma_k, check_sigma_s, sample_history, AntiOmega,
-    Sigma, SigmaK, SigmaMode, SigmaS,
+    check_anti_omega, check_sigma, check_sigma_k, check_sigma_s, sample_history, AntiOmega, Sigma,
+    SigmaK, SigmaMode, SigmaS,
 };
 use sih::model::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
 use sih::pipeline;

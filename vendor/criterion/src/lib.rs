@@ -1,0 +1,324 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Benches in this workspace use the group-based API
+//! (`benchmark_group` / `bench_function` / `bench_with_input` /
+//! `Bencher::iter`). This crate implements that surface with
+//! median-of-samples wall-clock timing and plain-text reporting.
+//!
+//! Mode selection mirrors upstream: when the binary is invoked with
+//! `--bench` (what `cargo bench` passes), every benchmark is measured
+//! and reported; otherwise (e.g. `cargo test` building bench targets)
+//! each benchmark body runs **once** as a smoke test, keeping test runs
+//! fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to each `criterion_group!` target.
+pub struct Criterion {
+    measure: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    /// Benches a standalone function (no group).
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let group_less = String::new();
+        run_one(self.measure, self.sample_size, &group_less, &id, None, f);
+    }
+}
+
+/// A named benchmark within a group, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id distinguished only by its parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self, group: &str) -> String {
+        let mut out = String::new();
+        if !group.is_empty() {
+            out.push_str(group);
+        }
+        if !self.name.is_empty() {
+            if !out.is_empty() {
+                out.push('/');
+            }
+            out.push_str(&self.name);
+        }
+        if let Some(p) = &self.parameter {
+            if !out.is_empty() {
+                out.push('/');
+            }
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration (reported as `Kelem/s`).
+    Elements(u64),
+    /// Bytes per iteration (reported as `MiB/s`).
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            self.criterion.measure,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            &self.name,
+            &id,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benches `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream flushes reports here; text mode needs no
+    /// action, the method exists for drop-in compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the measured routine.
+pub struct Bencher {
+    /// `None` while calibrating/smoke-testing; `Some` when measuring.
+    sample_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records the mean duration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.sample_ns = Some(total.as_nanos() as f64 / self.iters as f64);
+    }
+}
+
+fn run_one(
+    measure: bool,
+    sample_size: usize,
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let label = id.label(group);
+    if !measure {
+        // Test mode: run the body once so bugs surface, skip timing.
+        let mut b = Bencher { sample_ns: None, iters: 1 };
+        f(&mut b);
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes ≥ ~2ms (or the routine is clearly slow enough already).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { sample_ns: None, iters };
+        let start = Instant::now();
+        f(&mut b);
+        let took = start.elapsed();
+        if took >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(
+            2.max((Duration::from_millis(4).as_nanos() as u64) / (took.as_nanos().max(1) as u64))
+                .min(64),
+        );
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { sample_ns: None, iters };
+        f(&mut b);
+        samples.push(b.sample_ns.expect("bench body must call Bencher::iter"));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+
+    let mut line = format!("{label:<52} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+    if let Some(t) = throughput {
+        let rate = match t {
+            Throughput::Elements(n) => format!("{:>12}/s", fmt_count(n as f64 * 1e9 / median)),
+            Throughput::Bytes(n) => {
+                format!("{:.2} MiB/s", n as f64 * 1e9 / median / (1024.0 * 1024.0))
+            }
+        };
+        line.push_str(&format!("  thrpt: {rate}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2} Melem", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} Kelem", x / 1e3)
+    } else {
+        format!("{x:.1} elem")
+    }
+}
+
+/// Declares a group-runner function invoking each bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label("g"), "g/f/3");
+        assert_eq!(BenchmarkId::from_parameter("n=4").label("g"), "g/n=4");
+        assert_eq!(BenchmarkId::from("solo").label(""), "solo");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = Criterion { measure: false, sample_size: 5 };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("once", |b| {
+                runs += 1;
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_samples() {
+        let mut c = Criterion { measure: true, sample_size: 3 };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("adds", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_count(2_500_000.0).contains("Melem"));
+    }
+}

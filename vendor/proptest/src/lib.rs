@@ -1,0 +1,693 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests use a well-defined slice of proptest:
+//! range/tuple/vec strategies, `prop_map` / `prop_flat_map` /
+//! `prop_filter_map`, `Just`, `any`, `prop_oneof!`, `option::of`,
+//! `collection::vec`, the `proptest!` macro with an optional
+//! `proptest_config`, and the `prop_assert*` family. This crate
+//! implements exactly that, deterministically (cases are derived from the
+//! test's name, so failures reproduce on every run) and **without
+//! shrinking** — a failing case reports its inputs verbatim instead.
+
+#![forbid(unsafe_code)]
+// The shim mirrors upstream proptest's public names and method
+// signatures; lints about that naming don't apply.
+#![allow(clippy::should_implement_trait)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Runner configuration; only `cases` is consulted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Rejected (discarded) cases tolerated before the property errors,
+    /// as in upstream's `max_global_rejects`.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property failed (assertion or checker error).
+    Fail(String),
+    /// The case asked to be discarded (counts against the reject budget).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// A generator of values for property tests.
+///
+/// `gen` returns `None` when a filter rejected the draw; the runner
+/// retries with fresh entropy (up to a budget).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: fmt::Debug;
+
+    /// Draws one value, or `None` on filter rejection.
+    fn gen(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with `self`, then with the strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Maps through `f`, discarding draws where `f` returns `None`.
+    fn prop_filter_map<O, F>(self, _reason: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keeps only draws satisfying `f`.
+    fn prop_filter<F>(self, _reason: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!` arms of
+    /// differing types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe strategy facade backing [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn gen_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.gen(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.gen_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.gen(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let first = self.inner.gen(rng)?;
+        (self.f)(first).gen(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.gen(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.gen(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Uniform choice among boxed alternatives — the engine of `prop_oneof!`.
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alts` is empty.
+    pub fn new(alts: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+        Union(alts)
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn gen(&self, rng: &mut TestRng) -> Option<V> {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].gen(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return Some(lo + rng.next() as $t);
+                }
+                Some(lo + rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty strategy range");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn gen(&self, rng: &mut TestRng) -> Option<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        Some(lo + rng.unit_f64_inclusive() * (hi - lo))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.gen(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// A `Vec` of strategies generates element-wise (used by
+/// `prop_flat_map` constructions that build one strategy per slot).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn gen(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        self.iter().map(|s| s.gen(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// The canonical strategy.
+    fn arbitrary() -> ArbitraryStrategy<Self>;
+}
+
+/// The strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T: fmt::Debug> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> Option<T> {
+        Some((self.0)(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> ArbitraryStrategy<$t> {
+                ArbitraryStrategy(|rng| rng.next() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> ArbitraryStrategy<bool> {
+        ArbitraryStrategy(|rng| rng.next() & 1 == 1)
+    }
+}
+
+/// Any value of `T` (for types with an [`Arbitrary`] impl).
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    T::arbitrary()
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::*;
+
+    /// `None` or `Some` of the inner strategy, each with probability ½.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.next() & 1 == 0 {
+                Some(None)
+            } else {
+                self.0.gen(rng).map(Some)
+            }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Acceptable size arguments for [`vec`]: an exact count or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// A vector of values of `inner` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(inner: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { inner, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        inner: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.inner.gen(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Runs property test bodies; see the `proptest!` macro.
+#[doc(hidden)]
+pub fn __run_cases<A: fmt::Debug>(
+    test_name: &str,
+    cfg: &ProptestConfig,
+    gen_args: impl Fn(&mut TestRng) -> Option<A>,
+    run: impl Fn(&A) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::for_test(test_name);
+    let mut done = 0u32;
+    let mut rejects: u64 = 0;
+    let max_rejects = cfg.max_global_rejects as u64 + 64 * cfg.cases as u64;
+    while done < cfg.cases {
+        let Some(args) = gen_args(&mut rng) else {
+            rejects += 1;
+            assert!(
+                rejects <= max_rejects,
+                "{test_name}: too many filter rejections ({rejects}); strategy too narrow"
+            );
+            continue;
+        };
+        match run(&args) {
+            Ok(()) => done += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(rejects <= max_rejects, "{test_name}: too many rejections ({rejects})");
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed after {done} passing case(s): {msg}\n\
+                     inputs: {args:#?}"
+                );
+            }
+        }
+    }
+}
+
+/// Declares property tests. Supports the subset of upstream syntax this
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_with_config! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_with_config! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_config {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::__run_cases(
+                stringify!($name),
+                &cfg,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::gen(&($strat), __rng)?;)+
+                    Some(($($arg,)+))
+                },
+                |&($(ref $arg,)+)| {
+                    // Property bodies read their inputs; pass owned
+                    // copies where the body needs them by value.
+                    $(let $arg = ::std::clone::Clone::clone($arg);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Asserts within a property body, failing the case (with its inputs
+/// reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies (which may be of different concrete
+/// types, as long as they generate the same `Value`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("t1");
+        for _ in 0..200 {
+            let v = (0u64..10, 1usize..=3).gen(&mut rng).unwrap();
+            assert!(v.0 < 10 && (1..=3).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn filter_map_rejects() {
+        let mut rng = crate::test_runner::TestRng::for_test("t2");
+        let s = (0u64..10).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut evens = 0;
+        for _ in 0..100 {
+            if let Some(v) = s.gen(&mut rng) {
+                assert_eq!(v % 2, 0);
+                evens += 1;
+            }
+        }
+        assert!(evens > 10);
+    }
+
+    #[test]
+    fn oneof_and_just_cover_all_arms() {
+        let mut rng = crate::test_runner::TestRng::for_test("t3");
+        let s = prop_oneof![Just(1u64), 5u64..8, Just(100u64)];
+        let mut seen_just = false;
+        let mut seen_range = false;
+        for _ in 0..200 {
+            match s.gen(&mut rng).unwrap() {
+                1 | 100 => seen_just = true,
+                v if (5..8).contains(&v) => seen_range = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(seen_just && seen_range);
+    }
+
+    #[test]
+    fn collection_vec_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_test("t4");
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..5, 2..6).gen(&mut rng).unwrap();
+            assert!((2..6).contains(&v.len()));
+            let w = crate::collection::vec(0u32..5, 4usize).gen(&mut rng).unwrap();
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_arguments(x in 0u64..50, opt in crate::option::of(0u32..4)) {
+            prop_assert!(x < 50);
+            if let Some(o) = opt {
+                prop_assert!(o < 4);
+            }
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_vecs(v in crate::collection::vec(any::<u8>(), 0..=5)) {
+            prop_assert!(v.len() <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest 'always_fails' failed")]
+    fn failures_report_inputs() {
+        crate::__run_cases(
+            "always_fails",
+            &ProptestConfig { cases: 5, ..ProptestConfig::default() },
+            |rng| (0u64..10).gen(rng),
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+}
