@@ -1,0 +1,101 @@
+//! Lint hygiene: every crate must carry the agreed crate-level lints.
+//!
+//! * `#![forbid(unsafe_code)]` — everywhere, vendored shims included.
+//!   The simulator's determinism argument assumes no aliasing tricks.
+//! * `#![warn(missing_docs)]` — on the workspace's own crates (vendor
+//!   shims mirror external APIs and are exempt).
+//!
+//! The companion `clippy::unwrap_used` deny-list for the runtime/model
+//! crates is enforced two ways: the token-level `unwrap-nontest` rule in
+//! [`crate::scan`] (runs offline, test-aware) and the CI clippy job's
+//! `-D clippy::unwrap_used` flags on those crates' library targets.
+
+use crate::report::Finding;
+use std::path::Path;
+
+/// Checks crate-level lint attributes for every crate under `crates/`
+/// and `vendor/`, plus the root package's `src/lib.rs`.
+pub fn check_hygiene(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (dir, require_docs) in [("crates", true), ("vendor", false)] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        let mut crates: Vec<_> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").exists())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            let name =
+                krate.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            check_lib(
+                &krate.join("src/lib.rs"),
+                &format!("{dir}/{name}"),
+                require_docs,
+                &mut findings,
+            );
+        }
+    }
+    check_lib(&root.join("src/lib.rs"), "root package", true, &mut findings);
+    findings
+}
+
+fn check_lib(lib: &Path, label: &str, require_docs: bool, findings: &mut Vec<Finding>) {
+    let rel = |p: &Path| p.to_string_lossy().into_owned();
+    let Ok(text) = std::fs::read_to_string(lib) else {
+        findings.push(Finding {
+            rule: "missing-lib-rs",
+            file: rel(lib),
+            line: 0,
+            message: format!("{label}: src/lib.rs missing or unreadable"),
+        });
+        return;
+    };
+    if !text.contains("#![forbid(unsafe_code)]") {
+        findings.push(Finding {
+            rule: "missing-forbid-unsafe",
+            file: rel(lib),
+            line: 0,
+            message: format!("{label}: crate must carry #![forbid(unsafe_code)]"),
+        });
+    }
+    if require_docs && !text.contains("#![warn(missing_docs)]") {
+        findings.push(Finding {
+            rule: "missing-docs-warn",
+            file: rel(lib),
+            line: 0,
+            message: format!("{label}: crate must carry #![warn(missing_docs)]"),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_workspace_is_hygienic() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = check_hygiene(&root);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn missing_attributes_are_reported() {
+        let dir = std::env::temp_dir().join(format!("sih-hygiene-{}", std::process::id()));
+        let krate = dir.join("crates/bad/src");
+        std::fs::create_dir_all(&krate).expect("invariant: temp dir is writable");
+        std::fs::write(dir.join("crates/bad/Cargo.toml"), "[package]\nname = \"bad\"\n")
+            .expect("invariant: temp dir is writable");
+        std::fs::write(krate.join("lib.rs"), "//! Bad crate.\n")
+            .expect("invariant: temp dir is writable");
+        let findings = check_hygiene(&dir);
+        assert!(findings.iter().any(|f| f.rule == "missing-forbid-unsafe"));
+        assert!(findings.iter().any(|f| f.rule == "missing-docs-warn"));
+        // Root package src/lib.rs absent in the fixture → reported too.
+        assert!(findings.iter().any(|f| f.rule == "missing-lib-rs"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

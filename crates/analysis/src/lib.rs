@@ -1,0 +1,141 @@
+//! `sih-analysis` — the workspace's self-contained static-analysis pass.
+//!
+//! Run as `cargo run -p sih-analysis` (CI runs it with `--format json`
+//! and fails the build on findings). Three checks:
+//!
+//! 1. **Determinism lint** ([`scan`]) — token-level rules over the
+//!    simulation crates banning per-process iteration order, wall-clock
+//!    reads, ambient RNG, environment reads, and unjustified floats.
+//! 2. **Claim-registry completeness** ([`claims`]) — every paper claim
+//!    R1–R10 must have a checker, a lab experiment, and a PAPER_MAP.md
+//!    entry.
+//! 3. **Lint hygiene** ([`hygiene`]) — crate-level `forbid(unsafe_code)`
+//!    and `warn(missing_docs)` attributes everywhere they belong.
+//!
+//! The crate is dependency-free by design: it must build and run even
+//! when the rest of the workspace is broken, and it must never drag a
+//! proc-macro or syntax-tree dependency into the vendored build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod hygiene;
+pub mod lexer;
+pub mod report;
+pub mod scan;
+
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// The simulation crates subject to the determinism lint. Tooling crates
+/// (`lab`, `cli`, `analysis`) are exempt: they orchestrate runs and may
+/// time or parallelize, but they never sit on the simulated path.
+pub const SIM_CRATES: [&str; 8] =
+    ["model", "runtime", "detectors", "core", "reductions", "registers", "sharedmem", "agreement"];
+
+/// The crates whose non-test code additionally bans bare `.unwrap()`
+/// (panics there must carry `expect("invariant: …")` messages).
+pub const UNWRAP_RULE_CRATES: [&str; 2] = ["runtime", "model"];
+
+/// Analysis configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+}
+
+/// Runs all three checks against the workspace at `config.root`.
+pub fn analyze(config: &Config) -> Report {
+    let root = &config.root;
+    let mut report = Report::default();
+
+    for krate in SIM_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let include_unwrap = UNWRAP_RULE_CRATES.contains(&krate);
+        for path in rust_sources(&src_dir) {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            if name.as_deref().is_some_and(scan::is_test_file) {
+                continue;
+            }
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                report.findings.push(report::Finding {
+                    rule: "unreadable-source",
+                    file: display_path(root, &path),
+                    line: 0,
+                    message: "cannot read source file".to_string(),
+                });
+                continue;
+            };
+            let scanned = scan::scan_source(&display_path(root, &path), &src, include_unwrap);
+            report.files_scanned += 1;
+            report.suppressed += scanned.suppressed;
+            report.findings.extend(scanned.findings);
+        }
+    }
+
+    report.findings.extend(hygiene::check_hygiene(root));
+    let (evidence, claim_findings) = claims::check_claims(root);
+    report.claims = evidence;
+    report.findings.extend(claim_findings);
+    report
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order. Missing directories yield an empty list — `analyze` surfaces
+/// structural problems through the hygiene check instead.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        let mut paths: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+        paths.sort();
+        for p in paths {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// `path` relative to `root` where possible, with `/` separators.
+fn display_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_real_workspace_passes() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = analyze(&Config { root });
+        assert!(report.ok(), "analysis failed:\n{}", report.render_text());
+        assert!(report.files_scanned > 20, "scanned only {} files", report.files_scanned);
+        assert_eq!(report.claims.len(), 10);
+    }
+
+    #[test]
+    fn sources_are_listed_deterministically() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let a = rust_sources(&dir);
+        let b = rust_sources(&dir);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|p| p.ends_with("lib.rs")));
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted);
+    }
+}

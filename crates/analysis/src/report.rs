@@ -1,0 +1,221 @@
+//! Findings and the machine-readable report.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (kebab-case, stable — CI and pragmas key on it).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 when the finding is file- or workspace-level).
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The evidence gathered for one paper claim (R1–R10).
+#[derive(Clone, Debug)]
+pub struct ClaimEvidence {
+    /// Claim id (`R1` … `R10`).
+    pub id: &'static str,
+    /// The `sih::claims::Claim` variant name.
+    pub variant: &'static str,
+    /// The checker function expected in `crates/core/src/claims.rs`.
+    pub checker: &'static str,
+    /// The lab experiment ids expected to exercise the claim.
+    pub experiments: Vec<&'static str>,
+    /// Variant + checker found in the claims registry.
+    pub checker_ok: bool,
+    /// Every expected experiment found in the lab registry.
+    pub experiment_ok: bool,
+    /// Claim id documented in PAPER_MAP.md.
+    pub doc_ok: bool,
+}
+
+impl ClaimEvidence {
+    /// Whether every cross-reference is present.
+    pub fn complete(&self) -> bool {
+        self.checker_ok && self.experiment_ok && self.doc_ok
+    }
+}
+
+/// The full analysis report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, in scan order.
+    pub findings: Vec<Finding>,
+    /// Claim-registry completeness evidence (empty only if the registry
+    /// sources were missing — which itself produces findings).
+    pub claims: Vec<ClaimEvidence>,
+    /// Number of files scanned by the determinism pass.
+    pub files_scanned: usize,
+    /// Findings suppressed by `allow` pragmas.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the analysis passed (no findings, all claims complete).
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty() && self.claims.iter().all(ClaimEvidence::complete)
+    }
+
+    /// The report as a JSON document (machine-readable; CI uploads it).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"ok\": {},", self.ok());
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        out.push_str(if self.findings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"claims\": [");
+        for (i, c) in self.claims.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let experiments =
+                c.experiments.iter().map(|e| json_str(e)).collect::<Vec<_>>().join(", ");
+            let _ = write!(
+                out,
+                "    {{\"id\": {}, \"variant\": {}, \"checker\": {}, \"experiments\": [{}], \
+                 \"checker_ok\": {}, \"experiment_ok\": {}, \"doc_ok\": {}, \"complete\": {}}}",
+                json_str(c.id),
+                json_str(c.variant),
+                json_str(c.checker),
+                experiments,
+                c.checker_ok,
+                c.experiment_ok,
+                c.doc_ok,
+                c.complete()
+            );
+        }
+        out.push_str(if self.claims.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// The report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        for c in &self.claims {
+            let _ = writeln!(
+                out,
+                "claim {:<4} {:<44} checker:{} experiment:{} doc:{}",
+                c.id,
+                c.variant,
+                mark(c.checker_ok),
+                mark(c.experiment_ok),
+                mark(c.doc_ok),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} finding(s), {} claim(s) checked, {} file(s) scanned, {} suppressed",
+            if self.ok() { "PASS" } else { "FAIL" },
+            self.findings.len(),
+            self.claims.len(),
+            self.files_scanned,
+            self.suppressed,
+        );
+        out
+    }
+}
+
+fn mark(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "MISSING"
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "hash-container",
+                file: "crates/model/src/x.rs".into(),
+                line: 7,
+                message: "HashMap \"quoted\"".into(),
+            }],
+            claims: vec![ClaimEvidence {
+                id: "R1",
+                variant: "SigmaImplementsSetAgreement",
+                checker: "check_r1",
+                experiments: vec!["e1"],
+                checker_ok: true,
+                experiment_ok: true,
+                doc_ok: false,
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn ok_requires_no_findings_and_complete_claims() {
+        let mut r = sample();
+        assert!(!r.ok());
+        r.findings.clear();
+        assert!(!r.ok()); // doc_ok still false
+        r.claims[0].doc_ok = true;
+        assert!(r.ok());
+        assert!(Report::default().ok());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.contains(r#""rule": "hash-container""#));
+        assert!(json.contains(r#"HashMap \"quoted\""#));
+        assert!(json.contains(r#""complete": false"#));
+        // Balanced braces/brackets (cheap well-formedness smoke).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_rendering_summarizes() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/model/src/x.rs:7: [hash-container]"));
+        assert!(text.contains("doc:MISSING"));
+        assert!(text.contains("FAIL: 1 finding(s), 1 claim(s) checked"));
+    }
+}

@@ -1,0 +1,294 @@
+//! The determinism lint: token-pattern rules over the simulation crates.
+//!
+//! The parallel sweep engine's headline guarantee — bitwise-identical
+//! output for any thread count — rests on the simulation crates being
+//! deterministic *by construction*. These rules flag the constructs that
+//! silently break that property:
+//!
+//! | rule | flags | why |
+//! |---|---|---|
+//! | `hash-container` | `HashMap` / `HashSet` | iteration order varies per process (`RandomState`) |
+//! | `wall-clock` | `SystemTime` / `Instant` | wall-clock reads differ across runs |
+//! | `ambient-rng` | `thread_rng` / `ThreadRng` / `rand::random` | OS-seeded randomness; only seeded `ChaCha8Rng` is reproducible |
+//! | `env-read` | `std::env` reads | ambient configuration changes results silently |
+//! | `float` | `f32` / `f64` tokens, float literals | accumulation order changes results; floats need a justification |
+//! | `unwrap-nontest` | `.unwrap()` outside tests | panics without an invariant message (runtime/model only) |
+//!
+//! A file opts out of a rule with a `// sih-analysis: allow(<rule>)`
+//! comment stating *why* the construct is sound there (e.g. a seeded-RNG
+//! probability constant). `#[cfg(test)]`-gated items and `*_tests.rs` /
+//! `proptests.rs` files are exempt: test code may use richer std
+//! machinery, and the proptest/seeded harnesses are already
+//! deterministic.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::report::Finding;
+
+/// All determinism rule names, in report order.
+pub const DETERMINISM_RULES: [&str; 5] =
+    ["hash-container", "wall-clock", "ambient-rng", "env-read", "float"];
+
+/// The non-test `.unwrap()` rule name (runtime/model crates only).
+pub const UNWRAP_RULE: &str = "unwrap-nontest";
+
+/// The outcome of scanning one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileScan {
+    /// Findings against the file (pragma-suppressed ones excluded).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by `allow` pragmas.
+    pub suppressed: usize,
+}
+
+/// Scans one file's source text with the determinism rules; `file` is the
+/// path recorded in findings. When `include_unwrap_rule` is set the
+/// `.unwrap()` rule runs too (reserved for the runtime/model crates whose
+/// panics must carry invariant messages).
+pub fn scan_source(file: &str, src: &str, include_unwrap_rule: bool) -> FileScan {
+    let lexed = lex(src);
+    let masked = test_mask(&lexed.tokens);
+    let mut scan = FileScan::default();
+    let mut emit = |rule: &'static str, line: u32, message: String| {
+        if lexed.allowed.iter().any(|a| a == rule) {
+            scan.suppressed += 1;
+        } else {
+            scan.findings.push(Finding { rule, file: file.to_string(), line, message });
+        }
+    };
+
+    let toks = &lexed.tokens;
+    for (i, token) in toks.iter().enumerate() {
+        if masked[i] {
+            continue;
+        }
+        match &token.tok {
+            Tok::Ident(name) => match name.as_str() {
+                "HashMap" | "HashSet" => emit(
+                    "hash-container",
+                    token.line,
+                    format!("{name} has per-process iteration order; use BTreeMap/BTreeSet or a seeded hasher"),
+                ),
+                "SystemTime" | "Instant" => emit(
+                    "wall-clock",
+                    token.line,
+                    format!("{name} reads the wall clock; simulation time must come from the model's Time"),
+                ),
+                "thread_rng" | "ThreadRng" => emit(
+                    "ambient-rng",
+                    token.line,
+                    format!("{name} is OS-seeded; use a seeded ChaCha8Rng so runs replay"),
+                ),
+                "rand" if path_is(toks, i, &["rand", "random"]) => emit(
+                    "ambient-rng",
+                    token.line,
+                    "rand::random is OS-seeded; use a seeded ChaCha8Rng so runs replay".to_string(),
+                ),
+                "std" if path_is(toks, i, &["std", "env"]) => emit(
+                    "env-read",
+                    token.line,
+                    "std::env reads ambient configuration; thread parameters through explicitly"
+                        .to_string(),
+                ),
+                "env"
+                    if matches!(
+                        path_tail(toks, i).as_deref(),
+                        Some("var" | "vars" | "var_os" | "vars_os" | "args" | "args_os")
+                    ) =>
+                {
+                    emit(
+                        "env-read",
+                        token.line,
+                        "environment reads are ambient configuration; thread parameters through explicitly".to_string(),
+                    )
+                }
+                "f32" | "f64" => emit(
+                    "float",
+                    token.line,
+                    format!("{name} in simulation code: float accumulation is order-sensitive; justify with an allow pragma or use integers"),
+                ),
+                "unwrap"
+                    if include_unwrap_rule
+                        && i > 0
+                        && toks[i - 1].tok == Tok::Punct('.')
+                        && toks.get(i + 1).is_some_and(|t| t.tok == Tok::Punct('(')) =>
+                {
+                    emit(
+                        UNWRAP_RULE,
+                        token.line,
+                        ".unwrap() in non-test code: use ? / typed errors or expect(\"invariant: …\")".to_string(),
+                    )
+                }
+                _ => {}
+            },
+            Tok::Float => emit(
+                "float",
+                token.line,
+                "float literal in simulation code: float arithmetic is order-sensitive; justify with an allow pragma or use integers".to_string(),
+            ),
+            _ => {}
+        }
+    }
+    scan
+}
+
+/// Whether tokens at `i` start the exact path `segments[0]::segments[1]`.
+fn path_is(toks: &[Token], i: usize, segments: &[&str; 2]) -> bool {
+    matches!(&toks[i].tok, Tok::Ident(a) if a == segments[0])
+        && toks.get(i + 1).is_some_and(|t| t.tok == Tok::PathSep)
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(b)) if b == segments[1])
+}
+
+/// The identifier following `toks[i]::`, if any.
+fn path_tail(toks: &[Token], i: usize) -> Option<String> {
+    if toks.get(i + 1).is_some_and(|t| t.tok == Tok::PathSep) {
+        if let Some(Tok::Ident(name)) = toks.get(i + 2).map(|t| &t.tok) {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item (the attribute
+/// itself included). The gated item extends to the end of the next
+/// balanced `{ … }` block, or to the next `;` for block-less items.
+fn test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut masked = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let attr_end = i + 7; // '#' '[' cfg '(' test ')' ']'
+            let mut j = attr_end;
+            let mut depth = 0usize;
+            let item_end = loop {
+                match toks.get(j).map(|t| &t.tok) {
+                    None => break j,
+                    Some(Tok::Punct('{')) => {
+                        depth += 1;
+                        j += 1;
+                        // Consume to the matching close.
+                        while depth > 0 {
+                            match toks.get(j).map(|t| &t.tok) {
+                                None => break,
+                                Some(Tok::Punct('{')) => depth += 1,
+                                Some(Tok::Punct('}')) => depth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        break j;
+                    }
+                    Some(Tok::Punct(';')) => break j + 1,
+                    Some(_) => j += 1,
+                }
+            };
+            for slot in &mut masked[i..item_end.min(toks.len())] {
+                *slot = true;
+            }
+            i = item_end.max(attr_end);
+        } else {
+            i += 1;
+        }
+    }
+    masked
+}
+
+/// Whether the tokens at `i` spell `#[cfg(test)]`.
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    let expect = |k: usize, tok: &Tok| toks.get(i + k).is_some_and(|t| &t.tok == tok);
+    expect(0, &Tok::Punct('#'))
+        && expect(1, &Tok::Punct('['))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "cfg")
+        && expect(3, &Tok::Punct('('))
+        && matches!(toks.get(i + 4).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "test")
+        && expect(5, &Tok::Punct(')'))
+        && expect(6, &Tok::Punct(']'))
+}
+
+/// Whether a source file is test-only by naming convention (scanned files
+/// ending in `_tests.rs`, or named `tests.rs` / `proptests.rs`).
+pub fn is_test_file(file_name: &str) -> bool {
+    file_name.ends_with("_tests.rs") || file_name == "tests.rs" || file_name == "proptests.rs"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        scan_source("x.rs", src, true).findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_each_banned_construct() {
+        assert_eq!(rules_of("use std::collections::HashMap;"), vec!["hash-container"]);
+        assert_eq!(rules_of("let s: HashSet<u32> = HashSet::new();").len(), 2);
+        assert_eq!(rules_of("let t = Instant::now();"), vec!["wall-clock"]);
+        assert_eq!(rules_of("let t = SystemTime::now();"), vec!["wall-clock"]);
+        assert_eq!(rules_of("let r = thread_rng();"), vec!["ambient-rng"]);
+        assert_eq!(rules_of("let x: u8 = rand::random();"), vec!["ambient-rng"]);
+        assert_eq!(rules_of("let v = std::env::var(\"X\");").len(), 2); // std::env + env::var
+        assert_eq!(rules_of("let p: f64 = 0.5;").len(), 2); // type + literal
+    }
+
+    #[test]
+    fn unwrap_rule_is_opt_in_and_shape_sensitive() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(rules_of(src), vec![UNWRAP_RULE]);
+        assert!(scan_source("x.rs", src, false).findings.is_empty());
+        // `unwrap` as a free function name is not the method call.
+        assert!(rules_of("fn unwrap() {}").is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_test_items_are_exempt() {
+        assert!(rules_of("// HashMap\nlet s = \"Instant::now\";").is_empty());
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                fn f() { x.unwrap(); }
+            }
+            fn live() {}
+        "#;
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_gated_fn_is_exempt_but_following_code_is_not() {
+        let src = r#"
+            #[cfg(test)]
+            fn helper() { let m = HashMap::new(); }
+            fn live() { let m = HashSet::new(); }
+        "#;
+        assert_eq!(rules_of(src), vec!["hash-container"]);
+    }
+
+    #[test]
+    fn allow_pragma_suppresses_and_counts() {
+        let src = "// sih-analysis: allow(float)\nlet p: f64 = 0.5;";
+        let scan = scan_source("x.rs", src, false);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.suppressed, 2);
+        // Other rules still fire.
+        let src = "// sih-analysis: allow(float)\nlet t = Instant::now();";
+        assert_eq!(
+            scan_source("x.rs", src, false).findings.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec!["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn findings_carry_file_and_line() {
+        let scan = scan_source("crates/model/src/x.rs", "\n\nlet m = HashMap::new();", false);
+        assert_eq!(scan.findings.len(), 1);
+        assert_eq!(scan.findings[0].file, "crates/model/src/x.rs");
+        assert_eq!(scan.findings[0].line, 3);
+    }
+
+    #[test]
+    fn test_file_naming_convention() {
+        assert!(is_test_file("fairness_tests.rs"));
+        assert!(is_test_file("proptests.rs"));
+        assert!(!is_test_file("network.rs"));
+    }
+}

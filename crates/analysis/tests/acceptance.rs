@@ -1,0 +1,117 @@
+//! End-to-end acceptance tests for the `sih-analysis` binary:
+//! exit 0 + complete claim evidence on the real workspace, non-zero exit
+//! with the right findings on a synthetic workspace that plants banned
+//! constructs in a simulation crate.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sih-analysis"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn real_workspace_passes_with_json_report() {
+    let out = bin()
+        .args(["--root"])
+        .arg(workspace_root())
+        .args(["--format", "json"])
+        .output()
+        .expect("invariant: the sih-analysis binary is built for integration tests");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0 on the real tree, got {:?}:\n{stdout}",
+        out.status.code()
+    );
+    assert!(stdout.contains("\"ok\": true"), "{stdout}");
+    // All ten claims enumerated, each complete.
+    for n in 1..=10 {
+        assert!(stdout.contains(&format!("\"id\": \"R{n}\"")), "claim R{n} missing:\n{stdout}");
+    }
+    assert!(!stdout.contains("\"complete\": false"), "{stdout}");
+}
+
+#[test]
+fn real_workspace_text_report_summarizes_pass() {
+    let out = bin()
+        .args(["--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("invariant: the sih-analysis binary is built for integration tests");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("PASS: 0 finding(s), 10 claim(s) checked"), "{stdout}");
+}
+
+#[test]
+fn planted_violations_fail_the_analysis() {
+    let fixture = std::env::temp_dir().join(format!("sih-analysis-fixture-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&fixture);
+    // A minimal fake workspace: a `model` sim crate whose lib.rs iterates
+    // a HashMap and reads Instant::now — both banned in simulation code.
+    let model_src = fixture.join("crates/model/src");
+    std::fs::create_dir_all(&model_src).expect("invariant: temp dir is writable");
+    std::fs::write(fixture.join("crates/model/Cargo.toml"), "[package]\nname = \"model\"\n")
+        .expect("invariant: temp dir is writable");
+    std::fs::write(
+        model_src.join("lib.rs"),
+        r#"#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! Planted fixture.
+use std::collections::HashMap;
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m { let _ = (k, v); }
+    let _t = std::time::Instant::now();
+}
+"#,
+    )
+    .expect("invariant: temp dir is writable");
+
+    let out = bin()
+        .args(["--root"])
+        .arg(&fixture)
+        .args(["--format", "json"])
+        .output()
+        .expect("invariant: the sih-analysis binary is built for integration tests");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    std::fs::remove_dir_all(&fixture).ok();
+
+    assert!(!out.status.success(), "expected failure on planted fixture:\n{stdout}");
+    assert!(stdout.contains("\"ok\": false"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"hash-container\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"wall-clock\""), "{stdout}");
+    // The fixture has no claim registry either — completeness must report
+    // all ten claims as incomplete rather than crash.
+    assert!(stdout.contains("\"rule\": \"claim-registry-unreadable\""), "{stdout}");
+    assert!(stdout.contains("\"complete\": false"), "{stdout}");
+}
+
+#[test]
+fn out_flag_writes_the_report_file() {
+    let path =
+        std::env::temp_dir().join(format!("sih-analysis-report-{}.json", std::process::id()));
+    let out = bin()
+        .args(["--root"])
+        .arg(workspace_root())
+        .args(["--format", "json", "--out"])
+        .arg(&path)
+        .output()
+        .expect("invariant: the sih-analysis binary is built for integration tests");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&path).expect("invariant: --out file was written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(written, String::from_utf8_lossy(&out.stdout));
+    assert!(written.contains("\"ok\": true"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = bin().arg("--bogus").output().expect("invariant: binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,6 +1,9 @@
 //! Failure-pattern suites: the deterministic-plus-sampled set of patterns
 //! the experiments sweep over.
 
+// sih-analysis: allow(float) — crash probabilities are fixed Bernoulli
+// parameters fed to a caller-seeded ChaCha8Rng; no accumulation.
+
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -5,6 +5,9 @@
 //! see the same value. We therefore derive a fresh, deterministic RNG from
 //! `(seed, p, t)` for each query instead of keeping mutable RNG state.
 
+// sih-analysis: allow(float) — gen_bool(0.5) is a fixed Bernoulli
+// parameter on a per-query seeded RNG; no accumulation, replay-safe.
+
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -17,6 +17,9 @@
 //! Theorem 4) yet insufficient for a `{p,q}`-register (Lemma 7): `σ` is
 //! the witness separating *sharing* from *agreeing*.
 
+// sih-analysis: allow(float) — gen_bool(0.5) picks between two legal
+// outputs using the per-query seeded RNG; no accumulation, replay-safe.
+
 use crate::rng::query_rng;
 use rand::Rng;
 use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};

@@ -17,6 +17,9 @@
 //! The paper uses `σ_2k` to solve `(n−k)`-set agreement (Figure 4) and
 //! shows `Σ_X ⪰ σ_|X|` (Figure 5) but not conversely (Lemma 11).
 
+// sih-analysis: allow(float) — gen_bool(0.5) picks between two legal
+// outputs using the per-query seeded RNG; no accumulation, replay-safe.
+
 use crate::rng::query_rng;
 use rand::Rng;
 use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};

@@ -431,21 +431,36 @@ impl Parser<'_> {
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
-                                16,
-                            )
-                            .map_err(|_| "bad \\u escape")?;
-                            // Surrogate pairs are not needed by the lab's
-                            // own output; reject rather than mis-decode.
-                            let c = char::from_u32(code)
-                                .ok_or(format!("\\u{code:04x} is not a scalar value"))?;
-                            out.push(c);
+                            let hi = hex4(self.bytes.get(self.pos + 1..self.pos + 5))?;
                             self.pos += 4;
+                            let c = match hi {
+                                // High surrogate: a \uDC00–\uDFFF low half
+                                // must follow; together they name one
+                                // supplementary-plane scalar (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                        return Err(format!(
+                                            "high surrogate \\u{hi:04x} not followed by a \\u escape"
+                                        ));
+                                    }
+                                    let lo = hex4(self.bytes.get(self.pos + 3..self.pos + 7))?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(format!(
+                                            "high surrogate \\u{hi:04x} followed by \\u{lo:04x}, not a low surrogate"
+                                        ));
+                                    }
+                                    self.pos += 6;
+                                    let code = 0x1_0000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                        .expect("invariant: a surrogate pair always names a scalar")
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("lone low surrogate \\u{hi:04x}"))
+                                }
+                                _ => char::from_u32(hi)
+                                    .expect("invariant: non-surrogate BMP code points are scalars"),
+                            };
+                            out.push(c);
                         }
                         other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
@@ -478,6 +493,17 @@ impl Parser<'_> {
             .map(Value::Number)
             .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
+}
+
+/// Decodes exactly four hex digits of a `\u` escape. Strict: every byte
+/// must be a hex digit (`u32::from_str_radix` alone would accept `+1f3`).
+fn hex4(bytes: Option<&[u8]>) -> Result<u32, String> {
+    let bytes = bytes.ok_or("truncated \\u escape")?;
+    if !bytes.iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!("bad \\u escape {:?}", String::from_utf8_lossy(bytes)));
+    }
+    let text = std::str::from_utf8(bytes).map_err(|_| "bad \\u escape")?;
+    u32::from_str_radix(text, 16).map_err(|e| format!("bad \\u escape: {e}"))
 }
 
 #[cfg(test)]
@@ -515,6 +541,47 @@ mod tests {
         let text = v.to_string_compact();
         assert_eq!(parse(&text).unwrap(), v);
         assert_eq!(parse(r#""A\n""#).unwrap(), Value::String("A\n".into()));
+    }
+
+    #[test]
+    fn control_characters_roundtrip() {
+        // Every C0 control character (the ones JSON must escape).
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::String(all.clone());
+        let text = v.to_string_compact();
+        assert_eq!(parse(&text).unwrap(), v);
+        // Escaped forms parse to the controls too (incl. \b and \f).
+        let escaped = concat!('"', "\\u0000", "\\b", "\\f", "\\u001f", '"');
+        assert_eq!(parse(escaped).unwrap(), Value::String("\0\u{8}\u{c}\u{1f}".into()));
+    }
+
+    #[test]
+    fn non_bmp_roundtrips_raw_and_as_surrogate_pair() {
+        // Raw (unescaped) supplementary-plane scalars round-trip.
+        let v = Value::String("\u{1D49C} \u{1F980} \u{10FFFF}".into());
+        assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+        // The escaped surrogate-pair spelling other emitters produce.
+        let pair = |hi: &str, lo: &str| format!("\"\\u{hi}\\u{lo}\"");
+        assert_eq!(parse(&pair("d835", "dc9c")).unwrap(), Value::String("\u{1D49C}".into()));
+        assert_eq!(parse(&pair("d83e", "dd80")).unwrap(), Value::String("\u{1F980}".into()));
+        assert_eq!(parse(&pair("dbff", "dfff")).unwrap(), Value::String("\u{10FFFF}".into()));
+    }
+
+    #[test]
+    fn lone_and_malformed_surrogates_are_rejected() {
+        assert!(parse(r#""\ud835""#).is_err()); // lone high
+        assert!(parse(r#""\ud835x""#).is_err()); // high not followed by \u
+        assert!(parse(r#""\udc9c""#).is_err()); // lone low
+        assert!(parse(r#""\ud835\ud835""#).is_err()); // high + high
+    }
+
+    #[test]
+    fn u_escapes_require_exactly_four_hex_digits() {
+        assert!(parse(r#""\u+123""#).is_err()); // from_str_radix would take "+123"
+        assert!(parse(r#""\u12""#).is_err());
+        assert!(parse(r#""\u12g4""#).is_err());
+        let a = concat!('"', "\\u0041", '"');
+        assert_eq!(parse(a).unwrap(), Value::String("A".into()));
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl OutputTimeline {
             }
             if last == t {
                 // Same-instant overwrite: keep the latest value.
-                self.changes.last_mut().expect("nonempty").1 = out;
+                self.changes
+                    .last_mut()
+                    .expect("invariant: this branch is only reached when changes is nonempty")
+                    .1 = out;
                 return;
             }
         } else if out == self.initial {

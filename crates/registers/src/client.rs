@@ -1,6 +1,9 @@
 //! Register workload generation: random read/write scripts for the
 //! members of `S`.
 
+// sih-analysis: allow(float) — read_ratio is a single Bernoulli
+// parameter fed to a seeded ChaCha8Rng; no accumulation, replay-safe.
+
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -11,7 +11,7 @@
 //! write (or the initial value).
 
 use sih_model::{OpKind, OpRecord, Value};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// The history is not linearizable.
@@ -32,7 +32,10 @@ impl std::error::Error for LinearizabilityViolation {}
 /// Maximum history size the checker accepts (bitmask-bounded).
 pub const MAX_OPS: usize = 128;
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+// Ord (not Hash) so the memo set below can be a BTreeSet: the checker's
+// behaviour must not depend on the process's random hash seed
+// (determinism contract, DESIGN.md §6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct SearchState {
     linearized: u128,
     value: Option<Value>,
@@ -56,7 +59,7 @@ pub fn check_linearizable(
     let completed_mask: u128 =
         ops.iter().enumerate().filter(|(_, o)| o.is_complete()).fold(0, |m, (i, _)| m | (1 << i));
 
-    let mut visited: HashSet<SearchState> = HashSet::new();
+    let mut visited: BTreeSet<SearchState> = BTreeSet::new();
     let start = SearchState { linearized: 0, value: initial };
     if dfs(ops, completed_mask, start, &mut visited) {
         Ok(())
@@ -84,7 +87,7 @@ fn dfs(
     ops: &[OpRecord],
     completed_mask: u128,
     state: SearchState,
-    visited: &mut HashSet<SearchState>,
+    visited: &mut BTreeSet<SearchState>,
 ) -> bool {
     if state.linearized & completed_mask == completed_mask {
         return true; // every completed op linearized; pendings optional

@@ -40,7 +40,9 @@ pub fn render_diagram(trace: &Trace, pattern: &FailurePattern) -> String {
         lanes[p.index()][col] = glyph.to_owned();
         // Decision in the same step?
         if trace.decision_time_of(*p) == Some(*t) {
-            let v = trace.decision_of(*p).expect("decided");
+            let v = trace.decision_of(*p).expect(
+                "invariant: decision_time_of(p).is_some() implies decision_of(p).is_some()",
+            );
             lanes[p.index()][col] = format!("■D{}", v.0);
         }
         // Mark crashes at the first column past each crash time.

@@ -102,7 +102,9 @@ impl<M> ArrivalQueue<M> {
     fn remove(&mut self, index: usize) -> Envelope<M> {
         assert!(index < self.alive, "delivery index {index} out of range");
         let pos = if index == 0 { self.head } else { self.select(index) };
-        let env = self.slots[pos].take().expect("selected slot is alive");
+        let env = self.slots[pos]
+            .take()
+            .expect("invariant: Fenwick selection only ever lands on alive (non-tombstone) slots");
         self.fenwick_sub_one(pos + 1);
         self.alive -= 1;
         if pos == self.head {

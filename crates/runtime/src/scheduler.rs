@@ -10,6 +10,9 @@
 //! [`ScriptedScheduler`] replays recorded or hand-authored prefixes for the
 //! indistinguishability constructions.
 
+// sih-analysis: allow(float) — deliver_prob is a single Bernoulli
+// parameter fed to a seeded ChaCha8Rng; no accumulation, replay-safe.
+
 use crate::sim::SchedState;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;

@@ -405,7 +405,7 @@ impl<A: Automaton> SimPool<A> {
                 );
             }
         }
-        self.slot.as_mut().expect("slot just filled")
+        self.slot.as_mut().expect("invariant: both match arms above leave the slot occupied")
     }
 
     /// Takes the pooled simulation's trace, leaving the pool empty (for

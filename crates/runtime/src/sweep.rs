@@ -129,13 +129,16 @@ where
                         }
                         let item = slots[idx]
                             .lock()
-                            .expect("slot lock")
+                            .expect("invariant: slot mutex never poisoned (worker panics re-raise below)")
                             .take()
-                            .expect("each index is claimed exactly once");
+                            .expect("invariant: the atomic cursor hands each index to exactly one worker");
                         local.push((idx, worker(idx, item)));
                     }
                     if !local.is_empty() {
-                        collected.lock().expect("result lock").extend(local);
+                        collected
+                            .lock()
+                            .expect("invariant: result mutex never poisoned (worker panics re-raise below)")
+                            .extend(local);
                     }
                 })
             })
@@ -149,7 +152,9 @@ where
         }
     });
 
-    let mut indexed = collected.into_inner().expect("workers joined");
+    let mut indexed = collected
+        .into_inner()
+        .expect("invariant: the scope joined every worker, so no lock is held");
     debug_assert_eq!(indexed.len(), total, "every job produced exactly one result");
     indexed.sort_unstable_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()

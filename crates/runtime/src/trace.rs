@@ -10,7 +10,7 @@ use crate::automaton::{MsgId, OpEvent};
 use sih_model::{
     FdOutput, OpId, OpKind, OpRecord, ProcessId, ProcessSet, RecordedHistory, Time, Value,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One observable event of a run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -262,7 +262,9 @@ impl Trace {
     /// Panics if the trace contains a response without a matching
     /// invocation (an automaton bug, not a legal run).
     pub fn op_records(&self) -> Vec<OpRecord> {
-        let mut by_id: HashMap<OpId, OpRecord> = HashMap::new();
+        // BTreeMap, not HashMap: record assembly must not depend on the
+        // process's random hash seed (determinism contract, DESIGN.md §6).
+        let mut by_id: BTreeMap<OpId, OpRecord> = BTreeMap::new();
         let mut order: Vec<OpId> = Vec::new();
         for ev in &self.events {
             match *ev {

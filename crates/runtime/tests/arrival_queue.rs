@@ -1,0 +1,117 @@
+//! Edge-case and property coverage for the Fenwick-backed
+//! [`Network`] arrival queues: empty-queue delivery, delivery after
+//! full-tombstone compaction/restart, and `oldest_sent_at`
+//! monotonicity, cross-checked against a naive `Vec` reference model.
+
+use proptest::prelude::*;
+use sih_model::{ProcessId, Time};
+use sih_runtime::Network;
+
+const P0: ProcessId = ProcessId(0);
+
+#[test]
+#[should_panic(expected = "delivery index")]
+fn delivering_from_an_empty_queue_panics() {
+    let mut net: Network<u8> = Network::new(2);
+    net.deliver(P0, 0);
+}
+
+#[test]
+#[should_panic(expected = "delivery index")]
+fn delivering_past_the_alive_count_panics() {
+    let mut net: Network<u8> = Network::new(2);
+    net.send(ProcessId(1), P0, Time(1), 7);
+    net.deliver(P0, 1);
+}
+
+/// Drains queues large enough to cross the compaction threshold (64
+/// slots, alive < half) from both ends, then refills after the queue has
+/// gone all-tombstone — exercising `compact()` and the cleared-queue
+/// restart in `push()` — and checks FIFO payload order throughout.
+#[test]
+fn delivery_survives_full_tombstone_compaction_and_restart() {
+    let mut net: Network<u32> = Network::new(2);
+    for round in 0..3u32 {
+        let base = round * 1000;
+        for i in 0..100u32 {
+            net.send(ProcessId(1), P0, Time(u64::from(round) + 1), base + i);
+        }
+        assert_eq!(net.pending_count(P0), 100);
+        // Alternate oldest / youngest so tombstones accumulate at both
+        // ends and the head-advance and Fenwick-select paths both run.
+        let mut expected: Vec<u32> = (base..base + 100).collect();
+        while !expected.is_empty() {
+            let idx = if expected.len().is_multiple_of(2) { 0 } else { expected.len() - 1 };
+            let env = net.deliver(P0, idx);
+            assert_eq!(env.payload, expected.remove(idx));
+            // The queue's alive view must match the reference exactly.
+            let alive: Vec<u32> = net.pending(P0).map(|e| e.payload).collect();
+            assert_eq!(alive, expected);
+        }
+        assert_eq!(net.pending_count(P0), 0);
+        assert_eq!(net.oldest_sent_at(P0), None);
+    }
+    assert_eq!(net.delivered_count(), 300);
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Send with this time increment (0 = same instant as the last send).
+    Send(u64),
+    /// Deliver the op-th pending message, modulo the current queue length.
+    Deliver(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![(0u64..3).prop_map(Op::Send), (0usize..128).prop_map(Op::Deliver),]
+}
+
+proptest! {
+    /// Under arbitrary interleavings of sends and deliveries:
+    /// * the queue agrees with a naive Vec reference model,
+    /// * `oldest_sent_at` is exactly the reference front's send time, and
+    /// * it never decreases while the queue stays nonempty (delivering
+    ///   the front only ever exposes a later-or-equal arrival).
+    #[test]
+    fn oldest_sent_at_is_monotone_and_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut net: Network<u64> = Network::new(2);
+        let mut reference: Vec<(Time, u64)> = Vec::new(); // (sent_at, payload)
+        let mut now = Time(0);
+        let mut next_payload = 0u64;
+        let mut last_oldest: Option<Time> = None;
+        for op in ops {
+            match op {
+                Op::Send(dt) => {
+                    now = Time(now.0 + dt);
+                    net.send(ProcessId(1), P0, now, next_payload);
+                    reference.push((now, next_payload));
+                    next_payload += 1;
+                }
+                Op::Deliver(raw) => {
+                    if reference.is_empty() {
+                        continue;
+                    }
+                    let idx = raw % reference.len();
+                    let env = net.deliver(P0, idx);
+                    let (sent_at, payload) = reference.remove(idx);
+                    prop_assert_eq!(env.payload, payload);
+                    prop_assert_eq!(env.sent_at, sent_at);
+                }
+            }
+            prop_assert_eq!(net.pending_count(P0), reference.len());
+            let oldest = net.oldest_sent_at(P0);
+            prop_assert_eq!(oldest, reference.first().map(|&(t, _)| t));
+            if let (Some(prev), Some(cur)) = (last_oldest, oldest) {
+                prop_assert!(cur >= prev, "oldest_sent_at went backwards: {cur:?} < {prev:?}");
+            }
+            last_oldest = oldest;
+            // oldest_index is always the front of the alive sequence.
+            if let Some(&(_, payload)) = reference.first() {
+                prop_assert_eq!(net.oldest_index(P0), Some(0));
+                prop_assert_eq!(net.pending(P0).next().map(|e| e.payload), Some(payload));
+            } else {
+                prop_assert_eq!(net.oldest_index(P0), None);
+            }
+        }
+    }
+}
