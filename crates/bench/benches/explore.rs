@@ -1,0 +1,101 @@
+//! Bench: the reduced-state-space explorer vs unreduced enumeration on the
+//! Figure 2 safety workload, plus the parallel frontier at several thread
+//! counts. Companion artifact: `sih-lab explore` emits the same comparison
+//! as `BENCH_explore.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sih::agreement::{check_k_agreement_safety, distinct_proposals, fig2_processes};
+use sih::detectors::Sigma;
+use sih::model::{FailurePattern, ProcessId, Value};
+use sih::runtime::{explore_par, explore_with, ExploreConfig, ExploreResult, Simulation};
+use std::hint::black_box;
+
+type Fig2Sim = Simulation<sih::agreement::Fig2SetAgreement>;
+
+fn fig2_setup(n: usize) -> (Fig2Sim, Sigma, Vec<Value>) {
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let proposals = distinct_proposals(n);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern);
+    (sim, sigma, proposals)
+}
+
+fn run_explore(sim: &Fig2Sim, sigma: &Sigma, proposals: &[Value], cfg: &ExploreConfig) -> u64 {
+    let n = proposals.len();
+    let result = if cfg.threads == 1 {
+        let mut check = |s: &Fig2Sim| {
+            check_k_agreement_safety(s.trace(), proposals, n - 1).map_err(|e| e.to_string())
+        };
+        explore_with(sim, sigma, cfg, &mut check)
+    } else {
+        explore_par(sim, sigma, cfg, || {
+            let proposals = proposals.to_vec();
+            move |s: &Fig2Sim| {
+                check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+            }
+        })
+    };
+    assert!(result.ok(), "fig2 must be safe: {:?}", result.violation);
+    result.states
+}
+
+/// Reduced (dedup + sleep sets) vs unreduced exploration at equal depth.
+/// Throughput is reported in *unreduced* states, so the reduced row's
+/// "states/sec" directly shows the effective speedup.
+fn bench_reduction(c: &mut Criterion) {
+    let (sim, sigma, proposals) = fig2_setup(3);
+    let depth = 7;
+    let unreduced_cfg = ExploreConfig::new(depth).dedup(false).por(false);
+    let unreduced_states = run_explore(&sim, &sigma, &proposals, &unreduced_cfg);
+
+    let mut group = c.benchmark_group("explore_fig2_n3");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(unreduced_states));
+    group.bench_function(BenchmarkId::new("unreduced", depth), |b| {
+        b.iter(|| black_box(run_explore(&sim, &sigma, &proposals, &unreduced_cfg)));
+    });
+    let reduced_cfg = ExploreConfig::new(depth);
+    group.bench_function(BenchmarkId::new("reduced", depth), |b| {
+        b.iter(|| black_box(run_explore(&sim, &sigma, &proposals, &reduced_cfg)));
+    });
+    group.finish();
+}
+
+/// Parallel frontier scaling at fixed work. The result is bitwise
+/// identical for every thread count (asserted), so this measures pure
+/// engine overhead plus real parallel speedup on multi-core hosts.
+fn bench_parallel(c: &mut Criterion) {
+    let (sim, sigma, proposals) = fig2_setup(3);
+    let depth = 8;
+    let n = proposals.len();
+    let cfg = ExploreConfig::new(depth).frontier_depth(3);
+
+    let mut check = |s: &Fig2Sim| {
+        check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+    };
+    let serial: ExploreResult = explore_with(&sim, &sigma, &cfg, &mut check);
+
+    let mut group = c.benchmark_group("explore_parallel_fig2_n3");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(serial.states));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let cfg = cfg.threads(threads);
+            b.iter(|| {
+                let result = explore_par(&sim, &sigma, &cfg, || {
+                    let proposals = proposals.clone();
+                    move |s: &Fig2Sim| {
+                        check_k_agreement_safety(s.trace(), &proposals, n - 1)
+                            .map_err(|e| e.to_string())
+                    }
+                });
+                assert_eq!(result, serial, "thread count changed the result");
+                black_box(result.states)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_parallel);
+criterion_main!(benches);

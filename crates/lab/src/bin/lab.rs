@@ -1,16 +1,23 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M]
-//!     [--threads T] [--json PATH]
+//! lab <e1..e15 | figure1 | explore | all> [--n N] [--k K] [--seeds S]
+//!     [--steps M] [--depth D] [--threads T] [--json PATH]
 //! ```
 //!
 //! `--threads 0` (the default) uses one worker per available core; every
 //! thread count produces identical results, so `--threads` only changes
 //! wall clock. JSON records include `wall_ms` and `runs_per_sec` so perf
 //! trajectories can be tracked across revisions.
+//!
+//! `lab explore` benchmarks the reduced-state-space explorer against
+//! unreduced enumeration (`--depth` bounds the schedules) and, with
+//! `--json`, writes the `BENCH_explore.json` artifact.
 
-use sih_lab::{render_figure1, run_experiment, ExperimentReport, LabConfig, EXPERIMENT_IDS};
+use sih_lab::{
+    render_figure1, run_experiment, run_explore_bench, ExperimentReport, ExploreLabConfig,
+    LabConfig, EXPERIMENT_IDS,
+};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -18,13 +25,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | all> [--n N] [--k K] [--seeds S] [--steps M] [--threads T] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         return ExitCode::FAILURE;
     }
     let command = args[0].clone();
     let mut cfg = LabConfig::default();
+    let mut explore_cfg = ExploreLabConfig::default();
     let mut json_path: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -33,12 +41,19 @@ fn main() -> ExitCode {
             it.next().unwrap_or_else(|| panic!("missing value for {flag}")).clone()
         };
         match flag.as_str() {
-            "--n" => cfg.n = value(&mut it).parse().expect("--n takes an integer"),
+            "--n" => {
+                cfg.n = value(&mut it).parse().expect("--n takes an integer");
+                explore_cfg.n = cfg.n;
+            }
             "--k" => cfg.k = value(&mut it).parse().expect("--k takes an integer"),
             "--seeds" => cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer"),
             "--steps" => cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer"),
+            "--depth" => {
+                explore_cfg.depth = value(&mut it).parse().expect("--depth takes an integer")
+            }
             "--threads" => {
-                cfg.threads = value(&mut it).parse().expect("--threads takes an integer")
+                cfg.threads = value(&mut it).parse().expect("--threads takes an integer");
+                explore_cfg.threads = cfg.threads;
             }
             "--json" => json_path = Some(value(&mut it)),
             other => {
@@ -46,6 +61,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if command == "explore" {
+        let report = run_explore_bench(&explore_cfg);
+        print!("{report}");
+        let ok = report.verdicts_agree() && report.reduced.ok();
+        if let Some(path) = json_path {
+            let json = report.to_json().to_string_pretty();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote explore bench to {path}");
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("UNEXPECTED explore outcome");
+            ExitCode::FAILURE
+        };
     }
 
     let timed_run = |id: &str| -> (ExperimentReport, Duration) {

@@ -1,0 +1,225 @@
+//! `lab explore` — benchmarks the reduced-state-space explorer against
+//! unreduced enumeration on the Figure 2 safety workload and emits the
+//! `BENCH_explore.json` artifact CI archives per revision.
+
+use crate::json::{ObjectBuilder, Value};
+use sih_agreement::{check_k_agreement_safety, distinct_proposals, fig2_processes};
+use sih_detectors::Sigma;
+use sih_model::{FailurePattern, ProcessId};
+use sih_runtime::{explore_par, explore_with, ExploreConfig, ExploreResult, Simulation};
+use std::fmt;
+use std::time::Instant;
+
+/// Parameters of one `lab explore` run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreLabConfig {
+    /// System size (Figure 2 needs `n >= 2`).
+    pub n: usize,
+    /// Schedule-length bound.
+    pub depth: usize,
+    /// Worker threads for the reduced run; `0` = one per core, `1` =
+    /// serial (no frontier overhead).
+    pub threads: usize,
+    /// Prefix depth fanned across workers when more than one is used.
+    pub frontier_depth: usize,
+}
+
+impl Default for ExploreLabConfig {
+    fn default() -> Self {
+        // The acceptance workload: Figure 2 at n = 3 to depth 9, the
+        // same system `tests/exhaustive.rs` sweeps.
+        ExploreLabConfig { n: 3, depth: 9, threads: 0, frontier_depth: 3 }
+    }
+}
+
+/// Measured outcome of one [`run_explore_bench`] call.
+#[derive(Clone, Debug)]
+pub struct ExploreBenchReport {
+    /// The configuration that produced the numbers.
+    pub cfg: ExploreLabConfig,
+    /// Workers the reduced run actually used.
+    pub workers: usize,
+    /// Full result of the unreduced (dedup and POR off) enumeration.
+    pub unreduced: ExploreResult,
+    /// Unreduced wall clock in milliseconds.
+    pub unreduced_wall_ms: f64,
+    /// Full result of the reduced run.
+    pub reduced: ExploreResult,
+    /// Reduced wall clock in milliseconds.
+    pub reduced_wall_ms: f64,
+}
+
+impl ExploreBenchReport {
+    /// Both runs found no violation (Figure 2 is safe) — or both found
+    /// the same one.
+    pub fn verdicts_agree(&self) -> bool {
+        self.unreduced.violation == self.reduced.violation
+    }
+
+    /// Visited-state shrink factor of the reduction.
+    pub fn state_reduction(&self) -> f64 {
+        self.unreduced.states as f64 / self.reduced.states.max(1) as f64
+    }
+
+    /// Wall-clock shrink factor of the reduction.
+    pub fn speedup(&self) -> f64 {
+        self.unreduced_wall_ms / self.reduced_wall_ms.max(f64::EPSILON)
+    }
+
+    /// Fraction of node encounters the fingerprint table absorbed.
+    pub fn dedup_ratio(&self) -> f64 {
+        let encounters = self.reduced.states + self.reduced.deduped;
+        self.reduced.deduped as f64 / encounters.max(1) as f64
+    }
+
+    /// The `BENCH_explore.json` record.
+    pub fn to_json(&self) -> Value {
+        let run = |r: &ExploreResult, wall_ms: f64| {
+            ObjectBuilder::new()
+                .field("states", r.states)
+                .field("terminals", r.terminals)
+                .field("deduped", r.deduped)
+                .field("pruned", r.pruned)
+                .field("table_bytes", r.table_bytes)
+                .field("wall_ms", wall_ms)
+                .field("states_per_sec", r.states as f64 / (wall_ms / 1e3).max(f64::EPSILON))
+                .build()
+        };
+        ObjectBuilder::new()
+            .field("bench", "explore_fig2")
+            .field("n", self.cfg.n)
+            .field("depth", self.cfg.depth)
+            .field("threads", self.cfg.threads)
+            .field("workers", self.workers)
+            .field("frontier_depth", self.cfg.frontier_depth)
+            .field("unreduced", run(&self.unreduced, self.unreduced_wall_ms))
+            .field("reduced", run(&self.reduced, self.reduced_wall_ms))
+            .field("state_reduction", self.state_reduction())
+            .field("speedup", self.speedup())
+            .field("dedup_ratio", self.dedup_ratio())
+            .field("verdicts_agree", self.verdicts_agree())
+            .field("ok", self.verdicts_agree() && self.reduced.ok())
+            .build()
+    }
+}
+
+impl fmt::Display for ExploreBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[explore] fig2 n={} depth={} ({} worker(s))",
+            self.cfg.n, self.cfg.depth, self.workers
+        )?;
+        writeln!(
+            f,
+            "  unreduced: {:>9} states in {:>8.1} ms",
+            self.unreduced.states, self.unreduced_wall_ms
+        )?;
+        writeln!(
+            f,
+            "  reduced:   {:>9} states in {:>8.1} ms  (deduped {}, pruned {}, table {} B)",
+            self.reduced.states,
+            self.reduced_wall_ms,
+            self.reduced.deduped,
+            self.reduced.pruned,
+            self.reduced.table_bytes
+        )?;
+        writeln!(
+            f,
+            "  {:.2}x fewer states, {:.2}x wall clock, dedup ratio {:.3} — {}",
+            self.state_reduction(),
+            self.speedup(),
+            self.dedup_ratio(),
+            if self.verdicts_agree() && self.reduced.ok() { "OK" } else { "UNEXPECTED" }
+        )
+    }
+}
+
+/// Runs the Figure 2 workload once unreduced and once reduced (dedup +
+/// sleep sets, parallel frontier when more than one worker is available)
+/// and reports both, with identical-verdict checking.
+pub fn run_explore_bench(cfg: &ExploreLabConfig) -> ExploreBenchReport {
+    let pattern = FailurePattern::all_correct(cfg.n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let proposals = distinct_proposals(cfg.n);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern);
+    let k = cfg.n - 1;
+
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, k).map_err(|e| e.to_string())
+    };
+
+    let t0 = Instant::now();
+    let unreduced = explore_with(
+        &sim,
+        &sigma,
+        &ExploreConfig::new(cfg.depth).dedup(false).por(false),
+        &mut check,
+    );
+    let unreduced_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let workers = match cfg.threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        t => t,
+    };
+    // One worker pays frontier overhead for nothing: per-subtree dedup
+    // tables see fewer repeats than one shared table. Use the plain
+    // serial engine there and the parallel frontier only at >= 2.
+    let t0 = Instant::now();
+    let reduced = if workers > 1 {
+        let reduced_cfg =
+            ExploreConfig::new(cfg.depth).threads(workers).frontier_depth(cfg.frontier_depth);
+        explore_par(&sim, &sigma, &reduced_cfg, || {
+            let proposals = proposals.clone();
+            move |s: &Simulation<_>| {
+                check_k_agreement_safety(s.trace(), &proposals, k).map_err(|e| e.to_string())
+            }
+        })
+    } else {
+        explore_with(&sim, &sigma, &ExploreConfig::new(cfg.depth), &mut check)
+    };
+    let reduced_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    ExploreBenchReport {
+        cfg: *cfg,
+        workers,
+        unreduced,
+        unreduced_wall_ms,
+        reduced,
+        reduced_wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_bench_reduces_and_agrees_at_small_depth() {
+        let cfg = ExploreLabConfig { depth: 6, threads: 1, ..ExploreLabConfig::default() };
+        let report = run_explore_bench(&cfg);
+        assert!(report.verdicts_agree());
+        assert!(report.reduced.ok());
+        assert!(report.state_reduction() > 1.0);
+        let json = report.to_json().to_string_pretty();
+        let parsed = crate::json::parse(&json).expect("round-trips");
+        assert_eq!(parsed.get("ok").as_bool(), Some(true));
+        assert_eq!(parsed.get("depth").as_u64(), Some(6));
+        assert!(parsed.get("reduced").get("states_per_sec").as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_reduced_runs_agree_on_everything_but_wall_clock() {
+        let base = ExploreLabConfig { depth: 6, ..ExploreLabConfig::default() };
+        let serial = run_explore_bench(&ExploreLabConfig { threads: 1, ..base });
+        let par = run_explore_bench(&ExploreLabConfig { threads: 2, ..base });
+        assert_eq!(serial.unreduced.states, par.unreduced.states);
+        assert_eq!(serial.unreduced.violation, par.unreduced.violation);
+        assert_eq!(serial.reduced.violation, par.reduced.violation);
+        // Per-node counters differ between the two engines (per-subtree
+        // tables dedup — and hence truncate — less than one shared
+        // table), but both must be real reductions over the same tree.
+        assert!(par.reduced.states >= serial.reduced.states);
+        assert!(par.reduced.states < par.unreduced.states);
+    }
+}

@@ -75,6 +75,29 @@ fn threads_flag_does_not_change_results() {
 }
 
 #[test]
+fn explore_command_writes_the_bench_artifact() {
+    let dir = std::env::temp_dir().join(format!("lab-cli-explore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_explore.json");
+    let out = lab()
+        .args(["explore", "--depth", "6", "--threads", "1", "--json"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[explore]"), "{text}");
+    assert!(text.contains("OK"), "{text}");
+    let json = sih_lab::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(json.get("ok").as_bool(), Some(true));
+    assert_eq!(json.get("verdicts_agree").as_bool(), Some(true));
+    assert!(json.get("state_reduction").as_f64().unwrap() > 1.0);
+    assert!(json.get("reduced").get("states_per_sec").as_f64().unwrap() > 0.0);
+    assert!(json.get("unreduced").get("states").as_u64().unwrap() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn figure1_renders_the_matrix() {
     let out = lab()
         .args(["figure1", "--n", "4", "--k", "1", "--seeds", "1"])

@@ -27,10 +27,24 @@ use std::fmt;
 /// assert_eq!(f.correct().len(), 3);
 /// assert!(f.has_correct_process());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct FailurePattern {
     n: usize,
     crash_at: Vec<Option<Time>>,
+}
+
+// Manual Clone so `clone_from` (used by `Simulation::reset` and the
+// exhaustive explorer's per-edge state copies) reuses the crash-time
+// vector instead of reallocating it.
+impl Clone for FailurePattern {
+    fn clone(&self) -> Self {
+        FailurePattern { n: self.n, crash_at: self.crash_at.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.crash_at.clone_from(&source.crash_at);
+    }
 }
 
 impl FailurePattern {

@@ -26,10 +26,25 @@ use crate::{FailureDetector, FdOutput, ProcessId, Time};
 /// assert_eq!(tl.at(Time(4)), FdOutput::Bot);
 /// assert_eq!(tl.at(Time(5)).trust().unwrap().len(), 1);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct OutputTimeline {
     initial: FdOutput,
     changes: Vec<(Time, FdOutput)>,
+}
+
+// Manual Clone so `clone_from` reuses the change-list allocation — the
+// exhaustive explorer clones traces (which hold one timeline per process)
+// on every tree edge, where the derive's allocate-and-drop default shows
+// up hot.
+impl Clone for OutputTimeline {
+    fn clone(&self) -> Self {
+        OutputTimeline { initial: self.initial, changes: self.changes.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.initial = source.initial;
+        self.changes.clone_from(&source.changes);
+    }
 }
 
 impl OutputTimeline {
@@ -122,10 +137,23 @@ impl OutputTimeline {
 /// assert_eq!(h.output(ProcessId(1), Time(3)), FdOutput::Leader(ProcessId(0)));
 /// assert_eq!(h.output(ProcessId(0), Time(9)), FdOutput::Bot);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct RecordedHistory {
     timelines: Vec<OutputTimeline>,
     label: String,
+}
+
+// Manual Clone for the same reason as [`OutputTimeline`]: `clone_from`
+// recycles the per-process timeline vectors and the label buffer.
+impl Clone for RecordedHistory {
+    fn clone(&self) -> Self {
+        RecordedHistory { timelines: self.timelines.clone(), label: self.label.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.timelines.clone_from(&source.timelines);
+        self.label.clone_from(&source.label);
+    }
 }
 
 impl RecordedHistory {

@@ -14,16 +14,47 @@ use sih_model::{OpKind, OpRecord, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The history is not linearizable.
+/// Why a linearizability check did not accept a history.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LinearizabilityViolation {
-    /// Human-readable explanation.
-    pub detail: String,
+pub enum LinearizabilityViolation {
+    /// The search proved no linearization exists.
+    NotLinearizable {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The history exceeds the checker's capacity ([`MAX_OPS`] for the
+    /// memoized search, 8 for the brute-force oracle) — the verdict is
+    /// *unknown*, not "violated". Callers that fold this error into a
+    /// pass/fail verdict must treat it as a harness failure, not as an
+    /// atomicity violation.
+    HistoryTooLarge {
+        /// Operations in the offending history.
+        ops: usize,
+        /// The checker's capacity.
+        max: usize,
+    },
+}
+
+impl LinearizabilityViolation {
+    /// Human-readable detail of the violation (empty for capacity errors).
+    pub fn detail(&self) -> &str {
+        match self {
+            LinearizabilityViolation::NotLinearizable { detail } => detail,
+            LinearizabilityViolation::HistoryTooLarge { .. } => "",
+        }
+    }
 }
 
 impl fmt::Display for LinearizabilityViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "history is not linearizable: {}", self.detail)
+        match self {
+            LinearizabilityViolation::NotLinearizable { detail } => {
+                write!(f, "history is not linearizable: {detail}")
+            }
+            LinearizabilityViolation::HistoryTooLarge { ops, max } => {
+                write!(f, "history of {ops} operations exceeds the checker's capacity of {max}")
+            }
+        }
     }
 }
 
@@ -46,16 +77,16 @@ struct SearchState {
 ///
 /// # Errors
 ///
-/// Returns a [`LinearizabilityViolation`] if no linearization exists.
-///
-/// # Panics
-///
-/// Panics if the history exceeds [`MAX_OPS`] operations.
+/// Returns [`LinearizabilityViolation::NotLinearizable`] if no
+/// linearization exists, and [`LinearizabilityViolation::HistoryTooLarge`]
+/// (verdict unknown) if the history exceeds [`MAX_OPS`] operations.
 pub fn check_linearizable(
     ops: &[OpRecord],
     initial: Option<Value>,
 ) -> Result<(), LinearizabilityViolation> {
-    assert!(ops.len() <= MAX_OPS, "history too large for the checker");
+    if ops.len() > MAX_OPS {
+        return Err(LinearizabilityViolation::HistoryTooLarge { ops: ops.len(), max: MAX_OPS });
+    }
     let completed_mask: u128 =
         ops.iter().enumerate().filter(|(_, o)| o.is_complete()).fold(0, |m, (i, _)| m | (1 << i));
 
@@ -64,7 +95,7 @@ pub fn check_linearizable(
     if dfs(ops, completed_mask, start, &mut visited) {
         Ok(())
     } else {
-        Err(LinearizabilityViolation {
+        Err(LinearizabilityViolation::NotLinearizable {
             detail: format!(
                 "no linearization of {} operations ({} completed) from initial {:?}",
                 ops.len(),
@@ -150,7 +181,9 @@ pub fn check_linearizable_brute_force(
             return Ok(());
         }
     }
-    Err(LinearizabilityViolation { detail: "brute force found no linearization".to_owned() })
+    Err(LinearizabilityViolation::NotLinearizable {
+        detail: "brute force found no linearization".to_owned(),
+    })
 }
 
 /// Heap's-algorithm permutation visitor with early exit.
@@ -245,7 +278,7 @@ mod tests {
             op(1, 1, OpKind::Read, 6, Some(9), None),
         ];
         let err = check_linearizable(&h, None).unwrap_err();
-        assert!(err.detail.contains("no linearization"));
+        assert!(err.detail().contains("no linearization"));
     }
 
     #[test]
@@ -268,7 +301,7 @@ mod tests {
             op(2, 1, OpKind::Read, 9, Some(12), None),
         ];
         let err = check_linearizable(&h, None).unwrap_err();
-        assert!(err.detail.contains("no linearization"));
+        assert!(err.detail().contains("no linearization"));
     }
 
     #[test]
@@ -301,7 +334,7 @@ mod tests {
             op(2, 1, OpKind::Read, 13, Some(15), None),
         ];
         let err = check_linearizable(&h, None).unwrap_err();
-        assert!(err.detail.contains("no linearization"));
+        assert!(err.detail().contains("no linearization"));
     }
 
     #[test]
@@ -334,15 +367,16 @@ mod tests {
             op(4, 2, OpKind::Read, 15, Some(16), Some(Value(2))),
         ];
         let err = check_linearizable(&h, None).unwrap_err();
-        assert!(err.detail.contains("no linearization"));
+        assert!(err.detail().contains("no linearization"));
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn oversized_history_panics() {
+    fn oversized_history_is_a_typed_error_not_a_panic() {
         let h: Vec<OpRecord> =
             (0..129).map(|i| op(i, 0, OpKind::Read, i, Some(i + 1), None)).collect();
-        let _ = check_linearizable(&h, None);
+        let err = check_linearizable(&h, None).unwrap_err();
+        assert_eq!(err, LinearizabilityViolation::HistoryTooLarge { ops: 129, max: MAX_OPS });
+        assert!(err.to_string().contains("exceeds the checker's capacity"));
     }
 
     #[test]

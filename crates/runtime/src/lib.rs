@@ -60,6 +60,7 @@ mod diagram;
 mod explore;
 #[cfg(test)]
 mod fairness_tests;
+mod fingerprint;
 mod network;
 mod scheduler;
 mod sim;
@@ -69,9 +70,10 @@ mod trace;
 
 pub use automaton::{Automaton, Effects, Envelope, MsgId, OpEvent, StepInput};
 pub use diagram::{column_time, render_diagram, render_summary, MAX_COLUMNS};
-pub use explore::{explore, ExploreResult};
+pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResult};
+pub use fingerprint::{fnv1a_64, Fnv64};
 pub use network::Network;
 pub use scheduler::{Choice, FairScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler};
-pub use sim::{RunOutcome, SchedState, SimPool, Simulation, StopReason};
+pub use sim::{RunOutcome, SchedState, SimPool, Simulation, StepReport, StopReason};
 pub use stack::{Layered, ReportLayer, Stacked};
 pub use trace::{Event, Trace, TraceLevel};

@@ -22,7 +22,25 @@
 //! amortized O(1) compaction.
 
 use crate::automaton::{Envelope, MsgId};
+use crate::fingerprint::Fnv64;
 use sih_model::{ProcessId, Time};
+use std::cell::Cell;
+use std::fmt;
+
+/// A queued envelope plus the memoized fingerprint of its checker-visible
+/// projection `(from, payload)`.
+///
+/// The hash is filled lazily on the first [`Network::fingerprint_into`]
+/// that sees the envelope (hence the `Cell`: fingerprinting takes
+/// `&self`). Payloads are immutable while queued and `Clone` copies them
+/// unchanged, so a cached value stays valid for the clone too — the
+/// exhaustive explorer hashes each message once per *send*, not once per
+/// visited state.
+#[derive(Clone, Debug)]
+struct Slot<M> {
+    env: Envelope<M>,
+    fp: Cell<Option<u64>>,
+}
 
 /// One process's pending queue: arrival-ordered slots with tombstones.
 ///
@@ -30,10 +48,10 @@ use sih_model::{ProcessId, Time};
 /// tombstones that a Fenwick tree of alive counts skips in O(log n).
 /// Tombstones are compacted away once they outnumber the alive messages,
 /// so space and per-op cost stay amortized O(alive).
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct ArrivalQueue<M> {
     /// Arrival-ordered slots; `None` marks a delivered message.
-    slots: Vec<Option<Envelope<M>>>,
+    slots: Vec<Option<Slot<M>>>,
     /// Fenwick tree over alive flags; `tree[i]` is node `i + 1`.
     tree: Vec<usize>,
     /// Position of the first alive slot (== `slots.len()` when empty).
@@ -42,6 +60,28 @@ struct ArrivalQueue<M> {
     alive: usize,
     /// Largest `sent_at` enqueued so far (monotonicity watermark).
     last_sent_at: Time,
+}
+
+// Manual Clone so `clone_from` (explorer child materialization) reuses
+// the slot and Fenwick-tree allocations of the destination queue.
+impl<M: Clone> Clone for ArrivalQueue<M> {
+    fn clone(&self) -> Self {
+        ArrivalQueue {
+            slots: self.slots.clone(),
+            tree: self.tree.clone(),
+            head: self.head,
+            alive: self.alive,
+            last_sent_at: self.last_sent_at,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.slots.clone_from(&source.slots);
+        self.tree.clone_from(&source.tree);
+        self.head = source.head;
+        self.alive = source.alive;
+        self.last_sent_at = source.last_sent_at;
+    }
 }
 
 impl<M> Default for ArrivalQueue<M> {
@@ -65,13 +105,13 @@ impl<M> ArrivalQueue<M> {
         if self.alive == 0 {
             None
         } else {
-            self.slots[self.head].as_ref()
+            self.slots[self.head].as_ref().map(|s| &s.env)
         }
     }
 
     /// Alive envelopes in arrival order.
     fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
-        self.slots[self.head..].iter().flatten()
+        self.slots[self.head..].iter().flatten().map(|s| &s.env)
     }
 
     fn push(&mut self, env: Envelope<M>) {
@@ -89,7 +129,7 @@ impl<M> ArrivalQueue<M> {
             self.tree.clear();
             self.head = 0;
         }
-        self.slots.push(Some(env));
+        self.slots.push(Some(Slot { env, fp: Cell::new(None) }));
         self.fenwick_append_one();
         self.alive += 1;
     }
@@ -104,7 +144,8 @@ impl<M> ArrivalQueue<M> {
         let pos = if index == 0 { self.head } else { self.select(index) };
         let env = self.slots[pos]
             .take()
-            .expect("invariant: Fenwick selection only ever lands on alive (non-tombstone) slots");
+            .expect("invariant: Fenwick selection only ever lands on alive (non-tombstone) slots")
+            .env;
         self.fenwick_sub_one(pos + 1);
         self.alive -= 1;
         if pos == self.head {
@@ -181,13 +222,67 @@ impl<M> ArrivalQueue<M> {
 }
 
 /// The in-flight message state of a run.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Network<M> {
     /// `queues[to]`: messages awaiting delivery at `to`, in arrival order.
     queues: Vec<ArrivalQueue<M>>,
     next_id: u64,
     sent_count: u64,
     delivered_count: u64,
+}
+
+// Manual Clone so `clone_from` recycles every per-destination queue.
+impl<M: Clone> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            queues: self.queues.clone(),
+            next_id: self.next_id,
+            sent_count: self.sent_count,
+            delivered_count: self.delivered_count,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.queues.clone_from(&source.queues);
+        self.next_id = source.next_id;
+        self.sent_count = source.sent_count;
+        self.delivered_count = source.delivered_count;
+    }
+}
+
+impl<M: fmt::Debug> Network<M> {
+    /// Feeds the checker-visible network state into a state fingerprint:
+    /// per destination, the pending queue as a **multiset** of
+    /// `(sender, payload)` pairs (an order-insensitive wrapping sum of
+    /// per-envelope hashes) plus its length, then the global counters.
+    /// Message ids and `sent_at` stamps are harness metadata — excluded,
+    /// so interleavings that merely reorder equal sends coincide.
+    pub(crate) fn fingerprint_into(&self, h: &mut Fnv64) {
+        for q in &self.queues {
+            h.write_usize(q.len());
+            h.write_u64(q.multiset_fingerprint());
+        }
+        h.write_u64(self.sent_count);
+        h.write_u64(self.delivered_count);
+    }
+}
+
+impl<M: fmt::Debug> ArrivalQueue<M> {
+    /// Wrapping sum of the alive slots' `(sender, payload)` hashes, each
+    /// memoized in its [`Slot`] on first use.
+    fn multiset_fingerprint(&self) -> u64 {
+        self.slots[self.head..].iter().flatten().fold(0u64, |acc, s| {
+            let fp = s.fp.get().unwrap_or_else(|| {
+                let mut eh = Fnv64::new();
+                eh.write_u64(u64::from(s.env.from.0));
+                eh.write_debug(&s.env.payload);
+                let fp = eh.finish();
+                s.fp.set(Some(fp));
+                fp
+            });
+            acc.wrapping_add(fp)
+        })
+    }
 }
 
 impl<M: Clone> Network<M> {

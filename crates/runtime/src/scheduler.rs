@@ -21,7 +21,13 @@ use sih_model::ProcessId;
 
 /// One scheduling decision: step `p`, optionally delivering the
 /// `deliver`-th pending message of its arrival-ordered queue.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// The derived order (process id first, then `None < Some(0) < Some(1) <
+/// …`) is exactly the canonical enumeration order of the exhaustive
+/// explorer, so comparing `Vec<Choice>` scripts lexicographically ranks
+/// schedules in exploration order — the parallel explorer uses this to
+/// define its thread-count-independent "first" violation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct Choice {
     /// The process that takes the step.
     pub p: ProcessId,

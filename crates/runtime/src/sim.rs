@@ -9,10 +9,12 @@
 //! replay prefixes (Lemmas 7, 11, 15).
 
 use crate::automaton::{Automaton, Effects, StepInput};
+use crate::fingerprint::Fnv64;
 use crate::network::Network;
 use crate::scheduler::{Choice, Scheduler};
 use crate::trace::{Trace, TraceLevel};
 use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};
+use std::fmt;
 
 /// The scheduler's view of the engine before a step.
 #[derive(Debug)]
@@ -77,8 +79,42 @@ pub struct RunOutcome {
     pub reason: StopReason,
 }
 
+/// The observable side effects of one executed step.
+///
+/// Returned by [`Simulation::step`] so callers that replay many sibling
+/// steps (the exhaustive explorer's partial-order reduction) can judge
+/// commutativity without diffing traces. A step is [*quiet*] when it
+/// produced none of the **time-stamped checker events** — decisions,
+/// emulated-detector updates, register-operation boundaries. Quiet steps
+/// may still send and halt: neither observable carries a timestamp the
+/// property checkers read, so swapping two quiet steps of different
+/// processes leaves every checker input unchanged.
+///
+/// [*quiet*]: StepReport::quiet
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepReport {
+    /// The step decided a value.
+    pub decided: bool,
+    /// The step updated the emulated failure-detector output.
+    pub emulated: bool,
+    /// The step produced register-operation invoke/return events.
+    pub ops: bool,
+    /// The step halted its process.
+    pub halted: bool,
+    /// Number of messages the step sent.
+    pub sent: usize,
+}
+
+impl StepReport {
+    /// Whether the step produced no time-stamped checker events (no
+    /// decision, no emulated-output update, no register-op boundary).
+    pub fn quiet(&self) -> bool {
+        !self.decided && !self.emulated && !self.ops
+    }
+}
+
 /// A run in progress (or finished): automata + network + pattern + trace.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Simulation<A: Automaton> {
     procs: Vec<A>,
     net: Network<A::Msg>,
@@ -91,6 +127,41 @@ pub struct Simulation<A: Automaton> {
     scratch_pending: Vec<usize>,
     scratch_oldest_sent: Vec<Option<Time>>,
     scratch_oldest_idx: Vec<Option<usize>>,
+}
+
+// Manual Clone so `clone_from` reuses every heap allocation of the
+// destination (queues, trace event log, script, scratch buffers). The
+// exhaustive explorer materializes one child simulation per tree edge;
+// with the derive's default `clone_from` (allocate a fresh clone, drop
+// the old one) those allocations dominated its profile.
+impl<A: Automaton + Clone> Clone for Simulation<A> {
+    fn clone(&self) -> Self {
+        Simulation {
+            procs: self.procs.clone(),
+            net: self.net.clone(),
+            pattern: self.pattern.clone(),
+            now: self.now,
+            trace: self.trace.clone(),
+            halted: self.halted,
+            script: self.script.clone(),
+            scratch_pending: self.scratch_pending.clone(),
+            scratch_oldest_sent: self.scratch_oldest_sent.clone(),
+            scratch_oldest_idx: self.scratch_oldest_idx.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.procs.clone_from(&source.procs);
+        self.net.clone_from(&source.net);
+        self.pattern.clone_from(&source.pattern);
+        self.now = source.now;
+        self.trace.clone_from(&source.trace);
+        self.halted = source.halted;
+        self.script.clone_from(&source.script);
+        self.scratch_pending.clone_from(&source.scratch_pending);
+        self.scratch_oldest_sent.clone_from(&source.scratch_oldest_sent);
+        self.scratch_oldest_idx.clone_from(&source.scratch_oldest_idx);
+    }
 }
 
 impl<A: Automaton> Simulation<A> {
@@ -240,6 +311,24 @@ impl<A: Automaton> Simulation<A> {
         &self.script
     }
 
+    /// The set of processes allowed to take the next step (alive at the
+    /// next time and not halted) — the non-mutating core of
+    /// [`Simulation::sched_state`]. Choice enumerators that must not
+    /// touch the scratch buffers (the exhaustive explorer probes children
+    /// off a shared `&Simulation`) combine this with
+    /// [`Simulation::network`] instead of taking a full `SchedState`.
+    pub fn schedulable_set(&self) -> ProcessSet {
+        let next = self.now.next();
+        let mut schedulable = ProcessSet::EMPTY;
+        for i in 0..self.n() {
+            let p = ProcessId(i as u32);
+            if self.pattern.is_alive(p, next) && !self.halted.contains(p) {
+                schedulable.insert(p);
+            }
+        }
+        schedulable
+    }
+
     /// The scheduler view for the next step.
     pub fn sched_state(&mut self) -> SchedState<'_> {
         let next = self.now.next();
@@ -264,7 +353,7 @@ impl<A: Automaton> Simulation<A> {
         }
     }
 
-    /// Executes one atomic step.
+    /// Executes one atomic step, returning what it observably did.
     ///
     /// # Panics
     ///
@@ -272,7 +361,7 @@ impl<A: Automaton> Simulation<A> {
     /// step's time, already halted, or the delivery index is out of
     /// range. (Adversary scripts are meant to be exact; an illegal choice
     /// is a construction bug, not a recoverable condition.)
-    pub fn step<D: FailureDetector + ?Sized>(&mut self, choice: Choice, fd: &D) {
+    pub fn step<D: FailureDetector + ?Sized>(&mut self, choice: Choice, fd: &D) -> StepReport {
         let t = self.now.next();
         let p = choice.p;
         assert!(self.pattern.is_alive(p, t), "scheduled crashed process {p} at {t}");
@@ -292,6 +381,13 @@ impl<A: Automaton> Simulation<A> {
         let input = StepInput { me: p, n: self.n(), now: t, delivered, fd: fd_out };
         self.procs[p.index()].step(input, &mut eff);
 
+        let mut report = StepReport {
+            decided: eff.decision.is_some(),
+            emulated: eff.emulated.is_some(),
+            ops: !eff.op_events.is_empty(),
+            halted: false,
+            sent: eff.sends.len(),
+        };
         for (to, payload) in eff.sends {
             let id = self.net.send(p, to, t, payload);
             self.trace.push_send(t, p, to, id);
@@ -308,7 +404,9 @@ impl<A: Automaton> Simulation<A> {
         }
         if eff.halt || self.procs[p.index()].halted() {
             self.halted.insert(p);
+            report.halted = true;
         }
+        report
     }
 
     /// Runs under `sched` and `fd` until every correct process has
@@ -353,6 +451,77 @@ impl<A: Automaton> Simulation<A> {
             self.step(choice, fd);
             steps += 1;
         }
+    }
+}
+
+impl<A: Automaton + fmt::Debug> Simulation<A> {
+    /// A canonical 64-bit fingerprint of the **checker-visible** state.
+    ///
+    /// Two simulations with equal fingerprints are *check-equivalent*:
+    /// every property checker that respects the checker-input contract
+    /// (below) returns the same verdict on both, and their onward
+    /// state spaces under the explorer's choice enumeration are
+    /// isomorphic. The exhaustive explorer uses this to dedup revisited
+    /// states (collisions of the 64-bit hash are possible in principle;
+    /// see DESIGN.md for the trade-off discussion).
+    ///
+    /// **What is hashed** (via in-repo FNV-1a/64 — no `std` hashers, per
+    /// the determinism contract):
+    ///
+    /// * the current time (`now`) and the halted set;
+    /// * the failure pattern;
+    /// * every automaton's state (canonical `Debug` encoding — derived
+    ///   `Debug` is a pure function of field values);
+    /// * each network queue as a **multiset** of `(from, payload)`
+    ///   pairs plus its length, and the global sent/delivered counters;
+    /// * the trace's checker inputs: decisions (with times), the
+    ///   emulated failure-detector history, register-operation events,
+    ///   per-process step counts and the sent-message count.
+    ///
+    /// **What is deliberately excluded** — harness metadata no checker
+    /// may read: message ids and `sent_at` stamps (delivery-by-index
+    /// enumeration never consults them), `Step`/`Send` trace events, and
+    /// the choice script itself.
+    ///
+    /// **Checker-input contract**: an exploration `check` closure must be
+    /// a pure function of the hashed projection above (equivalently: of
+    /// what a [`TraceLevel::Light`] trace plus the live simulation state
+    /// exposes, minus message ids and send stamps). Every checker in this
+    /// repository reads only decisions, emulated histories, op records
+    /// and automaton state, so they all qualify.
+    ///
+    /// Queues hash as multisets because two interleavings that send the
+    /// same messages in different order produce arrival-permuted queues:
+    /// delivery-by-index over permuted queues generates permuted but
+    /// pairwise check-equivalent children, so merging the states is sound
+    /// and is exactly what makes commuting-send diamonds collapse.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u8(b'T');
+        h.write_u64(self.now.0);
+        h.write_u8(b'H');
+        h.write_u64(self.halted.bits());
+        h.write_u8(b'F');
+        h.write_usize(self.pattern.n());
+        for p in self.pattern.all().iter() {
+            match self.pattern.crash_time(p) {
+                None => h.write_u8(0),
+                Some(t) => {
+                    h.write_u8(1);
+                    h.write_u64(t.0);
+                }
+            }
+        }
+        for (i, a) in self.procs.iter().enumerate() {
+            h.write_u8(b'P');
+            h.write_usize(i);
+            h.write_debug(a);
+        }
+        h.write_u8(b'N');
+        self.net.fingerprint_into(&mut h);
+        h.write_u8(b'R');
+        self.trace.fingerprint_into(&mut h);
+        h.finish()
     }
 }
 

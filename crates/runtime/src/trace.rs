@@ -7,6 +7,7 @@
 //! the run's failure pattern.
 
 use crate::automaton::{MsgId, OpEvent};
+use crate::fingerprint::Fnv64;
 use sih_model::{
     FdOutput, OpId, OpKind, OpRecord, ProcessId, ProcessSet, RecordedHistory, Time, Value,
 };
@@ -100,7 +101,7 @@ pub enum TraceLevel {
 }
 
 /// The recorded trace of one run.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Trace {
     n: usize,
     level: TraceLevel,
@@ -110,6 +111,35 @@ pub struct Trace {
     steps_taken: Vec<u64>,
     sent: u64,
     last_step_time: Time,
+}
+
+// Manual Clone so `clone_from` reuses the event log, decision table and
+// per-process vectors — the exhaustive explorer copies the trace on
+// every tree edge.
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        Trace {
+            n: self.n,
+            level: self.level,
+            events: self.events.clone(),
+            decisions: self.decisions.clone(),
+            emulated: self.emulated.clone(),
+            steps_taken: self.steps_taken.clone(),
+            sent: self.sent,
+            last_step_time: self.last_step_time,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.level = source.level;
+        self.events.clone_from(&source.events);
+        self.decisions.clone_from(&source.decisions);
+        self.emulated.clone_from(&source.emulated);
+        self.steps_taken.clone_from(&source.steps_taken);
+        self.sent = source.sent;
+        self.last_step_time = source.last_step_time;
+    }
 }
 
 impl Trace {
@@ -302,6 +332,39 @@ impl Trace {
     /// it is exact at every [`TraceLevel`].
     pub fn end_time(&self) -> Time {
         self.last_step_time
+    }
+
+    /// Feeds the trace's **checker inputs** into a state fingerprint:
+    /// decisions with their times, the emulated failure-detector history,
+    /// register-operation events in order, per-process step counts and
+    /// the sent counter. Per-step `Step`/`Send` events are *excluded* —
+    /// they carry harness metadata (message ids, step-by-step schedules)
+    /// that no property checker may read, and hashing them would make
+    /// every interleaving unique, defeating dedup. The same fingerprint
+    /// therefore results at [`TraceLevel::Full`] and [`TraceLevel::Light`].
+    pub(crate) fn fingerprint_into(&self, h: &mut Fnv64) {
+        // Structurally simple fields hash as raw integers (an order of
+        // magnitude cheaper than streaming their Debug rendering).
+        for d in &self.decisions {
+            match d {
+                None => h.write_u8(0),
+                Some((t, v)) => {
+                    h.write_u8(1);
+                    h.write_u64(t.0);
+                    h.write_u64(v.0);
+                }
+            }
+        }
+        h.write_debug(&self.emulated);
+        for ev in &self.events {
+            if matches!(ev, Event::OpInvoke { .. } | Event::OpReturn { .. }) {
+                h.write_debug(ev);
+            }
+        }
+        for s in &self.steps_taken {
+            h.write_u64(*s);
+        }
+        h.write_u64(self.sent);
     }
 }
 

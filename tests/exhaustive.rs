@@ -5,8 +5,8 @@ use sih::agreement::{
     check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes,
 };
 use sih::detectors::{Sigma, SigmaK};
-use sih::model::{FailurePattern, ProcessId, ProcessSet};
-use sih::runtime::{explore, Simulation};
+use sih::model::{FailurePattern, ProcessId, ProcessSet, Time};
+use sih::runtime::{explore, explore_par, explore_with, ExploreConfig, Simulation};
 
 #[test]
 fn fig2_safety_over_all_schedules_n3() {
@@ -22,14 +22,19 @@ fn fig2_safety_over_all_schedules_n3() {
     };
     let result = explore(&sim, &sigma, 9, usize::MAX, &mut check);
     assert!(result.ok(), "violation: {:?}", result.violation);
-    assert!(result.states > 10_000, "exploration was nontrivial: {}", result.states);
+    // The reduced explorer must still have done real work — and must have
+    // actually reduced it.
+    assert!(result.states > 0 && result.terminals > 0);
+    assert!(result.deduped > 0, "dedup never fired: {result:?}");
+    assert!(result.pruned > 0, "sleep sets never fired: {result:?}");
+    assert!(result.table_bytes > 0);
 }
 
 #[test]
 fn fig2_safety_over_all_schedules_with_active_crash() {
     // p1 (an active) crashes at step 4: all schedules up to depth 9.
     let n = 3;
-    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), sih::model::Time(4)).build();
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), Time(4)).build();
     let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
     let proposals = distinct_proposals(n);
     let sim = Simulation::new(fig2_processes(&proposals), pattern);
@@ -56,7 +61,7 @@ fn fig4_safety_over_all_schedules_n3_k1() {
     };
     let result = explore(&sim, &det, 8, 3, &mut check);
     assert!(result.ok(), "violation: {:?}", result.violation);
-    assert!(result.states > 1_000);
+    assert!(result.states > 0 && result.terminals > 0);
 }
 
 #[test]
@@ -78,4 +83,98 @@ fn exploration_would_catch_a_real_violation() {
     let (script, msg) = result.violation.expect("planted violation must be found");
     assert!(msg.contains("planted"));
     assert!(script.len() >= 2);
+}
+
+/// Reduction soundness: dedup + sleep sets must agree with unreduced
+/// exploration on the *verdict* — both on a passing scenario (the Fig. 2
+/// crash run) and on a failing one (a planted mutant invariant), where the
+/// reduced run must also report the same lexicographically-least script.
+#[test]
+fn reductions_preserve_the_verdict() {
+    let n = 3;
+    let depth = 8;
+
+    // Passing scenario: Fig. 2 with an active crash — no violation, with
+    // or without reductions.
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), Time(4)).build();
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
+    let proposals = distinct_proposals(n);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern);
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+    };
+    let unreduced =
+        explore_with(&sim, &sigma, &ExploreConfig::new(depth).dedup(false).por(false), &mut check);
+    let reduced = explore_with(&sim, &sigma, &ExploreConfig::new(depth), &mut check);
+    assert_eq!(unreduced.violation, None);
+    assert_eq!(reduced.violation, None);
+    assert!(
+        reduced.states < unreduced.states,
+        "reduction did nothing: {} vs {}",
+        reduced.states,
+        unreduced.states
+    );
+
+    // Failing scenario: a planted mutant invariant ("no two processes may
+    // decide") that every exhaustive run must refute — and both runs must
+    // refute it with the same lexicographically-least choice script.
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern);
+    let mut mutant = |s: &Simulation<_>| {
+        if s.trace().decided().len() >= 2 {
+            Err("two processes decided (planted violation)".to_owned())
+        } else {
+            Ok(())
+        }
+    };
+    let unreduced =
+        explore_with(&sim, &sigma, &ExploreConfig::new(depth).dedup(false).por(false), &mut mutant);
+    let reduced = explore_with(&sim, &sigma, &ExploreConfig::new(depth), &mut mutant);
+    let (unreduced_script, _) = unreduced.violation.expect("unreduced run must find the mutant");
+    let (reduced_script, _) = reduced.violation.expect("reduced run must find the mutant");
+    assert_eq!(unreduced_script, reduced_script, "reduction changed the reported script");
+}
+
+/// The full [`sih::runtime::ExploreResult`] — every counter and the
+/// violation script — must be bitwise identical for any thread count, and
+/// must match the serial run of the same configuration.
+#[test]
+fn parallel_exploration_is_thread_count_independent() {
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let proposals = distinct_proposals(n);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+    let make_check = || {
+        let proposals = proposals.clone();
+        move |s: &Simulation<_>| {
+            check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+        }
+    };
+
+    let cfg = ExploreConfig::new(9).frontier_depth(3);
+    let serial = explore_with(&sim, &sigma, &cfg, &mut make_check());
+    for threads in [1, 2, 8] {
+        let par = explore_par(&sim, &sigma, &cfg.threads(threads), make_check);
+        assert_eq!(par, serial, "threads={threads} diverged from the serial run");
+    }
+
+    // Same determinism when a violation is present: the planted mutant's
+    // script must not depend on the thread count either.
+    let make_mutant = || {
+        |s: &Simulation<_>| {
+            if s.trace().decided().len() >= 2 {
+                Err("two processes decided (planted violation)".to_owned())
+            } else {
+                Ok(())
+            }
+        }
+    };
+    let serial = explore_with(&sim, &sigma, &cfg, &mut make_mutant());
+    assert!(serial.violation.is_some());
+    for threads in [1, 2, 8] {
+        let par = explore_par(&sim, &sigma, &cfg.threads(threads), make_mutant);
+        assert_eq!(par, serial, "threads={threads} diverged on the violating run");
+    }
 }
