@@ -17,10 +17,12 @@ pub struct ExploreLabConfig {
     pub n: usize,
     /// Schedule-length bound.
     pub depth: usize,
-    /// Worker threads for the reduced run; `0` = one per core, `1` =
-    /// serial (no frontier overhead).
+    /// Worker threads for the frontier leg; `0` = one per core. Only
+    /// that leg's wall clock depends on it — every counter in the
+    /// artifact comes from a fixed engine configuration, so the numbers
+    /// are comparable across CI runners with different core counts.
     pub threads: usize,
-    /// Prefix depth fanned across workers when more than one is used.
+    /// Prefix depth of the frontier leg's fan-out.
     pub frontier_depth: usize,
 }
 
@@ -43,17 +45,27 @@ pub struct ExploreBenchReport {
     pub unreduced: ExploreResult,
     /// Unreduced wall clock in milliseconds.
     pub unreduced_wall_ms: f64,
-    /// Full result of the reduced run.
+    /// Full result of the reduced run — **always** the serial
+    /// shared-table engine, so these counters never depend on the
+    /// runner's core count.
     pub reduced: ExploreResult,
     /// Reduced wall clock in milliseconds.
     pub reduced_wall_ms: f64,
+    /// Full result of the frontier leg — **always** the parallel
+    /// frontier engine at the configured `frontier_depth`; bitwise
+    /// identical for every worker count, so only its wall clock reflects
+    /// the runner.
+    pub frontier: ExploreResult,
+    /// Frontier-leg wall clock in milliseconds.
+    pub frontier_wall_ms: f64,
 }
 
 impl ExploreBenchReport {
-    /// Both runs found no violation (Figure 2 is safe) — or both found
-    /// the same one.
+    /// All three runs found no violation (Figure 2 is safe) — or all
+    /// found the same one.
     pub fn verdicts_agree(&self) -> bool {
         self.unreduced.violation == self.reduced.violation
+            && self.reduced.violation == self.frontier.violation
     }
 
     /// Visited-state shrink factor of the reduction.
@@ -64,6 +76,11 @@ impl ExploreBenchReport {
     /// Wall-clock shrink factor of the reduction.
     pub fn speedup(&self) -> f64 {
         self.unreduced_wall_ms / self.reduced_wall_ms.max(f64::EPSILON)
+    }
+
+    /// Wall-clock shrink factor of the frontier leg vs unreduced.
+    pub fn frontier_speedup(&self) -> f64 {
+        self.unreduced_wall_ms / self.frontier_wall_ms.max(f64::EPSILON)
     }
 
     /// Fraction of node encounters the fingerprint table absorbed.
@@ -94,8 +111,10 @@ impl ExploreBenchReport {
             .field("frontier_depth", self.cfg.frontier_depth)
             .field("unreduced", run(&self.unreduced, self.unreduced_wall_ms))
             .field("reduced", run(&self.reduced, self.reduced_wall_ms))
+            .field("frontier", run(&self.frontier, self.frontier_wall_ms))
             .field("state_reduction", self.state_reduction())
             .field("speedup", self.speedup())
+            .field("frontier_speedup", self.frontier_speedup())
             .field("dedup_ratio", self.dedup_ratio())
             .field("verdicts_agree", self.verdicts_agree())
             .field("ok", self.verdicts_agree() && self.reduced.ok())
@@ -126,18 +145,32 @@ impl fmt::Display for ExploreBenchReport {
         )?;
         writeln!(
             f,
-            "  {:.2}x fewer states, {:.2}x wall clock, dedup ratio {:.3} — {}",
+            "  frontier:  {:>9} states in {:>8.1} ms  (depth {}, {} worker(s))",
+            self.frontier.states, self.frontier_wall_ms, self.cfg.frontier_depth, self.workers
+        )?;
+        writeln!(
+            f,
+            "  {:.2}x fewer states, {:.2}x wall clock ({:.2}x frontier), dedup ratio {:.3} — {}",
             self.state_reduction(),
             self.speedup(),
+            self.frontier_speedup(),
             self.dedup_ratio(),
             if self.verdicts_agree() && self.reduced.ok() { "OK" } else { "UNEXPECTED" }
         )
     }
 }
 
-/// Runs the Figure 2 workload once unreduced and once reduced (dedup +
-/// sleep sets, parallel frontier when more than one worker is available)
-/// and reports both, with identical-verdict checking.
+/// Runs the Figure 2 workload three ways — unreduced, reduced (serial
+/// shared-table engine), and reduced over the parallel frontier — and
+/// reports all three, with identical-verdict checking.
+///
+/// Each JSON leg always comes from one fixed engine configuration:
+/// `reduced` is always the serial engine (it never consults the thread
+/// count) and `frontier` is always the frontier engine at
+/// `cfg.frontier_depth` (bitwise identical for every worker count), so
+/// every counter in `BENCH_explore.json` is comparable across revisions
+/// regardless of the CI runner's core count — only the wall clocks
+/// reflect the machine.
 pub fn run_explore_bench(cfg: &ExploreLabConfig) -> ExploreBenchReport {
     let pattern = FailurePattern::all_correct(cfg.n);
     let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
@@ -158,27 +191,31 @@ pub fn run_explore_bench(cfg: &ExploreLabConfig) -> ExploreBenchReport {
     );
     let unreduced_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    // The canonical reduced leg: the serial shared-table engine, which
+    // ignores `threads` entirely — its counters are runner-independent
+    // by construction, and one shared dedup table reduces the most.
+    let t0 = Instant::now();
+    let reduced = explore_with(&sim, &sigma, &ExploreConfig::new(cfg.depth), &mut check);
+    let reduced_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
     let workers = match cfg.threads {
         0 => std::thread::available_parallelism().map_or(1, usize::from),
         t => t,
     };
-    // One worker pays frontier overhead for nothing: per-subtree dedup
-    // tables see fewer repeats than one shared table. Use the plain
-    // serial engine there and the parallel frontier only at >= 2.
+    // The frontier leg: always the parallel engine at the configured
+    // frontier depth. Its counters depend only on `frontier_depth`
+    // (bitwise identical for every worker count); its wall clock shows
+    // what this runner's cores buy.
+    let frontier_cfg =
+        ExploreConfig::new(cfg.depth).threads(workers).frontier_depth(cfg.frontier_depth);
     let t0 = Instant::now();
-    let reduced = if workers > 1 {
-        let reduced_cfg =
-            ExploreConfig::new(cfg.depth).threads(workers).frontier_depth(cfg.frontier_depth);
-        explore_par(&sim, &sigma, &reduced_cfg, || {
-            let proposals = proposals.clone();
-            move |s: &Simulation<_>| {
-                check_k_agreement_safety(s.trace(), &proposals, k).map_err(|e| e.to_string())
-            }
-        })
-    } else {
-        explore_with(&sim, &sigma, &ExploreConfig::new(cfg.depth), &mut check)
-    };
-    let reduced_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let frontier = explore_par(&sim, &sigma, &frontier_cfg, || {
+        let proposals = proposals.clone();
+        move |s: &Simulation<_>| {
+            check_k_agreement_safety(s.trace(), &proposals, k).map_err(|e| e.to_string())
+        }
+    });
+    let frontier_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     ExploreBenchReport {
         cfg: *cfg,
@@ -187,6 +224,8 @@ pub fn run_explore_bench(cfg: &ExploreLabConfig) -> ExploreBenchReport {
         unreduced_wall_ms,
         reduced,
         reduced_wall_ms,
+        frontier,
+        frontier_wall_ms,
     }
 }
 
@@ -206,20 +245,25 @@ mod tests {
         assert_eq!(parsed.get("ok").as_bool(), Some(true));
         assert_eq!(parsed.get("depth").as_u64(), Some(6));
         assert!(parsed.get("reduced").get("states_per_sec").as_f64().unwrap() > 0.0);
+        assert!(parsed.get("frontier").get("states").as_u64().unwrap() > 0);
     }
 
     #[test]
-    fn parallel_and_serial_reduced_runs_agree_on_everything_but_wall_clock() {
+    fn bench_counters_are_worker_count_independent() {
         let base = ExploreLabConfig { depth: 6, ..ExploreLabConfig::default() };
         let serial = run_explore_bench(&ExploreLabConfig { threads: 1, ..base });
         let par = run_explore_bench(&ExploreLabConfig { threads: 2, ..base });
-        assert_eq!(serial.unreduced.states, par.unreduced.states);
-        assert_eq!(serial.unreduced.violation, par.unreduced.violation);
-        assert_eq!(serial.reduced.violation, par.reduced.violation);
-        // Per-node counters differ between the two engines (per-subtree
-        // tables dedup — and hence truncate — less than one shared
-        // table), but both must be real reductions over the same tree.
-        assert!(par.reduced.states >= serial.reduced.states);
+        // Every leg comes from one fixed engine configuration: the full
+        // results — all counters, not just the verdicts — must be
+        // identical whatever the worker count, so BENCH_explore.json is
+        // comparable across CI runners with different core counts.
+        assert_eq!(serial.unreduced, par.unreduced);
+        assert_eq!(serial.reduced, par.reduced);
+        assert_eq!(serial.frontier, par.frontier);
+        // Both reduced legs are real reductions; the serial shared table
+        // dedups at least as much as the frontier's per-subtree tables.
         assert!(par.reduced.states < par.unreduced.states);
+        assert!(par.frontier.states < par.unreduced.states);
+        assert!(par.reduced.states <= par.frontier.states);
     }
 }

@@ -36,6 +36,14 @@
 //!   choice enumeration uses the non-mutating
 //!   [`Simulation::schedulable_set`] view instead of cloning a probe.
 //!
+//! Both reductions assume every pending message is a candidate
+//! delivery. A finite [`ExploreConfig::max_deliveries`] cap samples the
+//! first `cap` messages in **arrival order** — a projection that
+//! multiset-equal fingerprints do not determine and that sleep-set
+//! reorderings do not preserve — so a finite cap forces `dedup` and
+//! `por` off and the run is the plain capped enumeration (see
+//! [`ExploreConfig::max_deliveries`]).
+//!
 //! The reported violation is the first one in the reduced canonical
 //! search order; with reductions off it is exactly the
 //! lexicographically-least violating choice script (see [`Choice`]'s
@@ -65,6 +73,16 @@ pub struct ExploreConfig {
     /// Per step, how many distinct pending messages are tried as the
     /// delivery (always including "no delivery", always oldest-first);
     /// `usize::MAX` tries every pending message.
+    ///
+    /// A finite cap samples the first `cap` messages in **arrival
+    /// order**. The reductions cannot see that order: the fingerprint
+    /// hashes queues as order-insensitive multisets, and a sleep-set
+    /// reordering permutes arrivals, so two states the reductions treat
+    /// as equivalent can expand *different* capped child sets — dedup or
+    /// POR could then skip the only capped path to a violation. Both
+    /// reductions are therefore forced **off** whenever
+    /// `max_deliveries < usize::MAX`; `dedup`/`por` are ignored and the
+    /// run is the plain capped enumeration.
     pub max_deliveries: usize,
     /// Skip states whose canonical fingerprint was already explored at
     /// equal or greater remaining depth.
@@ -94,7 +112,8 @@ impl ExploreConfig {
         }
     }
 
-    /// Sets the per-step delivery cap.
+    /// Sets the per-step delivery cap. A finite cap forces both
+    /// reductions off — see [`ExploreConfig::max_deliveries`].
     #[must_use]
     pub fn max_deliveries(mut self, cap: usize) -> Self {
         self.max_deliveries = cap;
@@ -127,6 +146,19 @@ impl ExploreConfig {
     pub fn frontier_depth(mut self, k: usize) -> Self {
         self.frontier_depth = k;
         self
+    }
+
+    /// The configuration the engine actually runs: a finite delivery cap
+    /// forces both reductions off, because capped enumeration samples
+    /// queues by arrival order — a projection neither the multiset
+    /// fingerprint nor sleep-set reordering preserves (see
+    /// [`ExploreConfig::max_deliveries`]).
+    fn effective(&self) -> ExploreConfig {
+        if self.max_deliveries == usize::MAX {
+            *self
+        } else {
+            ExploreConfig { dedup: false, por: false, ..*self }
+        }
     }
 }
 
@@ -180,6 +212,10 @@ impl ExploreResult {
 /// Thin wrapper over [`explore_with`] with the [`ExploreConfig::new`]
 /// defaults — both reductions **on**, serial. Pass a config with
 /// `.dedup(false).por(false)` for the unreduced enumeration.
+///
+/// A finite `max_branch_deliveries` forces the reductions off (see
+/// [`ExploreConfig::max_deliveries`]), so capped legacy calls enumerate
+/// exactly the schedules the original unreduced explorer did.
 pub fn explore<A, D, F>(
     sim: &Simulation<A>,
     fd: &D,
@@ -200,7 +236,9 @@ where
 /// Honors `cfg.frontier_depth` (running the subtree jobs serially in
 /// canonical order, stopping at the first violating subtree), so its
 /// result is bitwise identical to [`explore_par`] with the same config
-/// at any thread count. `cfg.threads` is ignored here.
+/// at any thread count. `cfg.threads` is ignored here. A finite
+/// `cfg.max_deliveries` forces `dedup` and `por` off (see
+/// [`ExploreConfig::max_deliveries`]).
 pub fn explore_with<A, D, F>(
     sim: &Simulation<A>,
     fd: &D,
@@ -212,6 +250,7 @@ where
     D: FailureDetector + ?Sized,
     F: FnMut(&Simulation<A>) -> Result<(), String>,
 {
+    let cfg = &cfg.effective();
     let frontier = expand_frontier(sim, fd, cfg, check);
     if frontier.partial.violation.is_some() {
         return frontier.partial;
@@ -255,6 +294,7 @@ where
     W: Fn() -> C + Sync,
     C: FnMut(&Simulation<A>) -> Result<(), String>,
 {
+    let cfg = &cfg.effective();
     let mut root_check = make_check();
     let frontier = expand_frontier(sim, fd, cfg, &mut root_check);
     drop(root_check);
@@ -632,6 +672,34 @@ mod tests {
     }
 
     #[test]
+    fn finite_delivery_cap_forces_reductions_off() {
+        // Capped enumeration samples the first `cap` pending messages in
+        // arrival order — a projection the multiset fingerprint does not
+        // determine and sleep-set reordering does not preserve — so a
+        // config requesting the reductions under a finite cap must run
+        // the plain capped enumeration instead.
+        let pattern = FailurePattern::all_correct(2);
+        let sim = Simulation::new(vec![Sender::default(); 2], pattern);
+        let mut c1 = |_: &Simulation<Sender>| Ok(());
+        let requested =
+            explore_with(&sim, &NoDetector, &ExploreConfig::new(4).max_deliveries(1), &mut c1);
+        let mut c2 = |_: &Simulation<Sender>| Ok(());
+        let explicit = explore_with(&sim, &NoDetector, &unreduced(4).max_deliveries(1), &mut c2);
+        assert_eq!(requested, explicit);
+        assert_eq!(requested.deduped, 0);
+        assert_eq!(requested.pruned, 0);
+        assert_eq!(requested.table_bytes, 0);
+        // Same forcing on the parallel-frontier path.
+        let par = explore_par(
+            &sim,
+            &NoDetector,
+            &ExploreConfig::new(4).max_deliveries(1).frontier_depth(2).threads(2),
+            || |_: &Simulation<Sender>| Ok(()),
+        );
+        assert_eq!(par, explicit);
+    }
+
+    #[test]
     fn por_prunes_commuting_quiet_steps() {
         // All Sender steps are quiet (sends only) and NoDetector is
         // trivially stable, so adjacent steps of different processes
@@ -735,13 +803,74 @@ mod tests {
     }
 
     #[test]
+    fn dedup_table_reexplores_revisits_with_more_remaining_depth() {
+        // In a live run every revisit carries equal remaining depth (the
+        // fingerprint hashes `now` and every step advances it), so the
+        // table's `seen >= remaining` branch is driven directly here:
+        // seed the table as if the root had been explored with a budget
+        // too small to reach the violation, then visit it with a larger
+        // one — the visit must re-explore, find the deep violation, and
+        // raise the recorded budget.
+        let pattern = FailurePattern::all_correct(2);
+        let sim = Simulation::new(vec![TwoStepDecider::default(); 2], pattern);
+        let fp = sim.fingerprint();
+        // "p1 decided" needs two p1 steps — unreachable within 1 step.
+        let mut check = |s: &Simulation<TwoStepDecider>| {
+            if s.trace().decision_of(ProcessId(1)).is_some() {
+                Err("p1 decided".to_owned())
+            } else {
+                Ok(())
+            }
+        };
+        let mut dfs = Dfs {
+            fd: &NoDetector,
+            max_deliveries: usize::MAX,
+            dedup: true,
+            por: false,
+            check: &mut check,
+            table: BTreeMap::new(),
+            pool: Vec::new(),
+            path: Vec::new(),
+            result: ExploreResult::EMPTY,
+        };
+        dfs.table.insert(fp, 1);
+        dfs.node(&sim, 3, &[]);
+        assert_eq!(dfs.result.deduped, 0, "larger remaining budget must re-explore");
+        let (script, _) = dfs.result.violation.expect("violation beyond the seeded budget");
+        assert_eq!(script.iter().filter(|c| c.p == ProcessId(1)).count(), 2);
+        assert_eq!(dfs.table.get(&fp), Some(&3), "re-exploring must raise the recorded budget");
+
+        // A revisit at equal (or smaller) remaining budget is skipped.
+        let mut check2 = |s: &Simulation<TwoStepDecider>| {
+            if s.trace().decision_of(ProcessId(1)).is_some() {
+                Err("p1 decided".to_owned())
+            } else {
+                Ok(())
+            }
+        };
+        let mut dfs2 = Dfs {
+            fd: &NoDetector,
+            max_deliveries: usize::MAX,
+            dedup: true,
+            por: false,
+            check: &mut check2,
+            table: BTreeMap::new(),
+            pool: Vec::new(),
+            path: Vec::new(),
+            result: ExploreResult::EMPTY,
+        };
+        dfs2.table.insert(fp, 3);
+        dfs2.node(&sim, 3, &[]);
+        assert_eq!(dfs2.result.deduped, 1);
+        assert_eq!(dfs2.result.states, 0);
+        assert_eq!(dfs2.result.violation, None);
+    }
+
+    #[test]
     fn dedup_respects_remaining_depth() {
-        // A revisit with *more* remaining depth must be re-explored, not
-        // skipped: Sender keeps its state after the first step, so the
-        // same fingerprints recur at different depths along a path only
-        // via different-length prefixes — craft that with a frontier of
-        // deliveries. The cheap, robust assertion: reduced and unreduced
-        // exploration agree on the verdict at every depth.
+        // End-to-end cross-check of the same table logic the unit test
+        // above drives directly: reduced and unreduced exploration agree
+        // on the verdict at every depth.
         let pattern = FailurePattern::all_correct(2);
         for depth in 1..=5 {
             let sim = Simulation::new(vec![Sender::default(); 2], pattern.clone());

@@ -257,6 +257,12 @@ impl<M: fmt::Debug> Network<M> {
     /// per-envelope hashes) plus its length, then the global counters.
     /// Message ids and `sent_at` stamps are harness metadata — excluded,
     /// so interleavings that merely reorder equal sends coincide.
+    ///
+    /// The multiset view is only faithful when every pending message is
+    /// a candidate delivery; under a finite delivery cap the explorer
+    /// samples queues by arrival order and must not dedup on this hash
+    /// (`ExploreConfig::effective` forces the reductions off there — see
+    /// `Simulation::fingerprint`).
     pub(crate) fn fingerprint_into(&self, h: &mut Fnv64) {
         for q in &self.queues {
             h.write_usize(q.len());

@@ -494,7 +494,12 @@ impl<A: Automaton + fmt::Debug> Simulation<A> {
     /// same messages in different order produce arrival-permuted queues:
     /// delivery-by-index over permuted queues generates permuted but
     /// pairwise check-equivalent children, so merging the states is sound
-    /// and is exactly what makes commuting-send diamonds collapse.
+    /// and is exactly what makes commuting-send diamonds collapse. That
+    /// argument needs the **full** delivery fan-out: under a finite
+    /// `max_deliveries` cap only an arrival-order prefix of each queue is
+    /// enumerated, permuted queues expand different capped child sets,
+    /// and the explorer forces its reductions off (see
+    /// `ExploreConfig::max_deliveries`).
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
         h.write_u8(b'T');

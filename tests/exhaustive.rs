@@ -62,6 +62,12 @@ fn fig4_safety_over_all_schedules_n3_k1() {
     let result = explore(&sim, &det, 8, 3, &mut check);
     assert!(result.ok(), "violation: {:?}", result.violation);
     assert!(result.states > 0 && result.terminals > 0);
+    // A finite delivery cap forces both reductions off (capped delivery
+    // sampling is arrival-order-sensitive; the multiset fingerprint is
+    // not), so this verdict covers every capped schedule by plain
+    // enumeration — no dedup/POR equivalence argument involved.
+    assert_eq!(result.deduped, 0, "dedup must be forced off under a finite cap");
+    assert_eq!(result.pruned, 0, "POR must be forced off under a finite cap");
 }
 
 #[test]
