@@ -41,6 +41,6 @@ pub use consensus::{paxos_processes, PaxosConsensus, PaxosMsg};
 pub use fig2::{fig2_processes, Fig2Msg, Fig2SetAgreement};
 pub use fig4::{fig4_processes, Fig4Msg, Fig4SetAgreement};
 pub use spec::{
-    check_k_agreement_safety, check_k_set_agreement, check_termination, distinct_proposals,
-    AgreementViolation,
+    check_k_agreement_safety, check_k_set_agreement, check_k_set_agreement_degraded,
+    check_termination, distinct_proposals, AgreementViolation,
 };

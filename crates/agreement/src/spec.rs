@@ -13,7 +13,7 @@
 //! bounded-liveness reading.
 
 use sih_model::{FailurePattern, ProcessId, Value};
-use sih_runtime::Trace;
+use sih_runtime::{LivenessVerdict, StopReason, Trace};
 use std::fmt;
 
 /// A violation of the `k`-set agreement specification.
@@ -87,6 +87,31 @@ pub fn check_k_set_agreement(
 ) -> Result<(), AgreementViolation> {
     check_k_agreement_safety(trace, proposals, k)?;
     check_termination(trace, pattern)
+}
+
+/// Checks `k`-set agreement on a run over faulty links, degrading
+/// gracefully: the safety properties (Agreement, Validity) must hold
+/// unconditionally, but a Termination miss is excused — reported as
+/// [`LivenessVerdict::SafeButNotLive`] instead of an error — when the run
+/// stopped for a reason that legitimately starves quorums
+/// ([`StopReason::Starved`], or [`StopReason::MaxSteps`] with faults
+/// still unquiesced). Any other reason (the run completed, or the
+/// scheduler gave up) still treats a missing decision as a violation.
+pub fn check_k_set_agreement_degraded(
+    trace: &Trace,
+    pattern: &FailurePattern,
+    proposals: &[Value],
+    k: usize,
+    reason: StopReason,
+) -> Result<LivenessVerdict, AgreementViolation> {
+    check_k_agreement_safety(trace, proposals, k)?;
+    match check_termination(trace, pattern) {
+        Ok(()) => Ok(LivenessVerdict::Live),
+        Err(_) if matches!(reason, StopReason::Starved | StopReason::MaxSteps) => {
+            Ok(LivenessVerdict::SafeButNotLive)
+        }
+        Err(e) => Err(e),
+    }
 }
 
 /// The canonical proposal vector used across the experiments: process
@@ -164,6 +189,40 @@ mod tests {
     #[test]
     fn distinct_proposals_shape() {
         assert_eq!(distinct_proposals(3), vec![Value(0), Value(1), Value(2)]);
+    }
+
+    #[test]
+    fn degraded_check_excuses_starvation_but_not_safety() {
+        let pattern = FailurePattern::all_correct(2);
+        let props = distinct_proposals(2);
+        // Nobody decided; a starved run is safe-but-not-live...
+        let procs = vec![DecideOnce(Value(0)), DecideOnce(Value(0))];
+        let sim = sih_runtime::Simulation::new(procs, pattern.clone());
+        let tr = sim.into_trace();
+        assert_eq!(
+            check_k_set_agreement_degraded(&tr, &pattern, &props, 1, StopReason::Starved),
+            Ok(LivenessVerdict::SafeButNotLive)
+        );
+        // ...and so is an exhausted budget, but a completed run is not.
+        assert_eq!(
+            check_k_set_agreement_degraded(&tr, &pattern, &props, 1, StopReason::MaxSteps),
+            Ok(LivenessVerdict::SafeButNotLive)
+        );
+        let err =
+            check_k_set_agreement_degraded(&tr, &pattern, &props, 1, StopReason::AllCorrectHalted)
+                .unwrap_err();
+        assert_eq!(err.property, "termination");
+        // A full decided run is Live.
+        let tr = run_decisions(2, &[1, 1]);
+        assert_eq!(
+            check_k_set_agreement_degraded(&tr, &pattern, &props, 1, StopReason::Starved),
+            Ok(LivenessVerdict::Live)
+        );
+        // Safety violations are never excused, starved or not.
+        let tr = run_decisions(2, &[0, 1]);
+        let err = check_k_set_agreement_degraded(&tr, &pattern, &props, 1, StopReason::Starved)
+            .unwrap_err();
+        assert_eq!(err.property, "agreement");
     }
 
     #[test]

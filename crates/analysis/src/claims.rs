@@ -31,6 +31,12 @@ pub const CLAIMS: [(&str, &str, &str, &[&str]); 10] = [
     ("R10", "SigmaStrictlyStrongerThanAntiOmega", "check_r10", &["e9"]),
 ];
 
+/// Experiments that must be registered in the lab even though no single
+/// R-claim owns them — harness-level robustness experiments. Each needs
+/// a dispatch arm (`"<id>" =>`) and a runner function (`fn <id>_*`) in
+/// `crates/lab/src/experiments.rs`, exactly like the claim experiments.
+pub const STANDALONE_EXPERIMENTS: [&str; 1] = ["faults"];
+
 /// Runs the completeness check against the workspace at `root`.
 ///
 /// Returns the per-claim evidence plus findings for every missing
@@ -84,6 +90,20 @@ pub fn check_claims(root: &Path) -> (Vec<ClaimEvidence>, Vec<Finding>) {
             experiment_ok,
             doc_ok,
         });
+    }
+    for e in STANDALONE_EXPERIMENTS {
+        let registered = experiments_src.contains(&format!("\"{e}\" =>"))
+            && experiments_src.contains(&format!("fn {e}_"));
+        if !registered {
+            findings.push(Finding {
+                rule: "experiment-not-registered",
+                file: "crates/lab/src/experiments.rs".into(),
+                line: 0,
+                message: format!(
+                    "standalone experiment {e:?} (dispatch arm + runner fn {e}_*) is not registered"
+                ),
+            });
+        }
     }
     (evidence, findings)
 }
@@ -187,5 +207,15 @@ mod tests {
         assert_eq!(evidence.len(), 10);
         assert!(evidence.iter().all(|c| !c.complete()));
         assert!(findings.iter().any(|f| f.rule == "claim-registry-unreadable"));
+        // With no experiments source, the standalone experiments are
+        // flagged too.
+        assert!(findings.iter().any(|f| f.rule == "experiment-not-registered"));
+    }
+
+    #[test]
+    fn standalone_experiments_are_registered_in_the_real_workspace() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (_, findings) = check_claims(&root);
+        assert!(!findings.iter().any(|f| f.rule == "experiment-not-registered"), "{findings:?}");
     }
 }

@@ -15,13 +15,15 @@ use sih_agreement::{
     Fig4SetAgreement, PaxosConsensus,
 };
 use sih_detectors::{Omega, Sigma, SigmaK, SigmaS};
-use sih_model::{FailurePattern, FdOutput, OpKind, OpRecord, ProcessId, ProcessSet};
+use sih_model::{FailurePattern, FdOutput, LinkFaultPlan, OpKind, OpRecord, ProcessId, ProcessSet};
 use sih_reductions::{
     fig3_processes, fig5_processes, fig6_processes, Fig3SigmaFromSigmaPair, Fig5SigmaKFromSigmaX,
     Fig6AntiOmegaFromSigma,
 };
 use sih_registers::{abd_processes, AbdRegister};
-use sih_runtime::{FairScheduler, SimPool, Stacked, Trace};
+use sih_runtime::{
+    stubborn_processes, FairScheduler, RunOutcome, SimPool, Stacked, Stubborn, Trace,
+};
 
 /// Reusable simulation slot for [`run_fig2_pooled`].
 pub type Fig2Pool = SimPool<Fig2SetAgreement>;
@@ -41,6 +43,12 @@ pub type StackFig5Fig4Pool = SimPool<Stacked<Fig5SigmaKFromSigmaX, Fig4SetAgreem
 pub type RegisterPool = SimPool<AbdRegister>;
 /// Reusable simulation slot for [`run_paxos_pooled`].
 pub type PaxosPool = SimPool<PaxosConsensus>;
+/// Reusable simulation slot for [`run_fig2_faulty_pooled`].
+pub type FaultyFig2Pool = SimPool<Stubborn<Fig2SetAgreement>>;
+/// Reusable simulation slot for [`run_fig4_faulty_pooled`].
+pub type FaultyFig4Pool = SimPool<Stubborn<Fig4SetAgreement>>;
+/// Reusable simulation slot for [`run_register_workload_faulty_pooled`].
+pub type FaultyRegisterPool = SimPool<Stubborn<AbdRegister>>;
 
 /// Runs Figure 2 (set agreement from `σ`) in a pooled simulation;
 /// returns the run's trace, borrowed from the pool.
@@ -300,6 +308,144 @@ pub fn run_register_workload(
     (trace, ops)
 }
 
+/// Runs Figure 2 over faulty links — every process wrapped in a
+/// [`Stubborn`] retransmission layer, the network injecting the given
+/// [`LinkFaultPlan`] — in a pooled simulation. Returns the trace and the
+/// run's [`RunOutcome`] (stop reason + network counters), which the
+/// degraded checkers need to excuse starvation.
+pub fn run_fig2_faulty_pooled<'a>(
+    pool: &'a mut FaultyFig2Pool,
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let sigma = Sigma::new(a0, a1, pattern, seed);
+    let sim = pool.acquire(stubborn_processes(fig2_processes(&distinct_proposals(n))), pattern);
+    sim.set_link_faults(plan.clone());
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &sigma, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs Figure 2 over faulty links once; see [`run_fig2_faulty_pooled`].
+pub fn run_fig2_faulty(
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> (Trace, RunOutcome) {
+    let mut pool = FaultyFig2Pool::new();
+    let (_, outcome) = run_fig2_faulty_pooled(&mut pool, pattern, plan, a0, a1, seed, max_steps);
+    (pool.take_trace().expect("pool just ran"), outcome)
+}
+
+/// Runs Figure 4 over faulty links ([`Stubborn`]-wrapped, plan-injected)
+/// in a pooled simulation; see [`run_fig2_faulty_pooled`].
+pub fn run_fig4_faulty_pooled<'a>(
+    pool: &'a mut FaultyFig4Pool,
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    active: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let det = SigmaK::new(active, pattern, seed);
+    let sim = pool.acquire(stubborn_processes(fig4_processes(&distinct_proposals(n))), pattern);
+    sim.set_link_faults(plan.clone());
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &det, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs Figure 4 over faulty links once; see [`run_fig4_faulty_pooled`].
+pub fn run_fig4_faulty(
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    active: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> (Trace, RunOutcome) {
+    let mut pool = FaultyFig4Pool::new();
+    let (_, outcome) = run_fig4_faulty_pooled(&mut pool, pattern, plan, active, seed, max_steps);
+    (pool.take_trace().expect("pool just ran"), outcome)
+}
+
+/// Runs an ABD `S`-register workload over faulty links
+/// ([`Stubborn`]-wrapped, plan-injected) in a pooled simulation.
+pub fn run_register_workload_faulty_pooled<'a>(
+    pool: &'a mut FaultyRegisterPool,
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let det = SigmaS::new(s, pattern, seed);
+    let sim = pool.acquire(stubborn_processes(abd_processes(s, n, scripts)), pattern);
+    sim.set_link_faults(plan.clone());
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &det, max_steps, |sim| {
+        sim.pattern().correct().iter().all(|p| sim.process(p).inner().script_finished())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs an ABD `S`-register workload over faulty links once; returns the
+/// trace, the operation records and the run's outcome.
+pub fn run_register_workload_faulty(
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> (Trace, Vec<OpRecord>, RunOutcome) {
+    let mut pool = FaultyRegisterPool::new();
+    let (_, outcome) =
+        run_register_workload_faulty_pooled(&mut pool, pattern, plan, s, scripts, seed, max_steps);
+    let trace = pool.take_trace().expect("pool just ran");
+    let ops = trace.op_records();
+    (trace, ops, outcome)
+}
+
+/// Runs an ABD `S`-register workload over faulty links **without** the
+/// stubborn layer — the raw quorum protocol against the bare plan. Under
+/// a partition that never heals this is the canonical starvation
+/// witness: the run stops [`Starved`](sih_runtime::StopReason::Starved)
+/// in O(n) steps instead of spinning to the budget.
+pub fn run_register_workload_raw_faulty_pooled<'a>(
+    pool: &'a mut RegisterPool,
+    pattern: &FailurePattern,
+    plan: &LinkFaultPlan,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let det = SigmaS::new(s, pattern, seed);
+    let sim = pool.acquire(abd_processes(s, n, scripts), pattern);
+    sim.set_link_faults(plan.clone());
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &det, max_steps, |sim| {
+        sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+    });
+    (sim.trace(), outcome)
+}
+
 /// Runs the Paxos consensus baseline (`Ω` + majority) in a pooled
 /// simulation.
 pub fn run_paxos_pooled<'a>(
@@ -326,11 +472,26 @@ pub fn run_paxos(pattern: &FailurePattern, seed: u64, max_steps: u64) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sih_agreement::check_k_set_agreement;
+    use sih_agreement::{check_k_set_agreement, check_k_set_agreement_degraded};
     use sih_detectors::{check_anti_omega, check_sigma, check_sigma_k};
-    use sih_model::Value;
-    use sih_registers::check_linearizable;
-    use sih_runtime::TraceLevel;
+    use sih_model::{Time, Value};
+    use sih_registers::{check_linearizable, check_linearizable_degraded};
+    use sih_runtime::{LivenessVerdict, StopReason, TraceLevel};
+
+    /// A plan applying `fault` to every directed link over `[from, until)`.
+    fn all_links_plan(n: usize, duplicate: bool, until: Time) -> LinkFaultPlan {
+        let mut b = LinkFaultPlan::builder(n);
+        for src in 0..n as u32 {
+            for dst in 0..n as u32 {
+                b = if duplicate {
+                    b.duplicate_every(ProcessId(src), ProcessId(dst), 2, 1, Time::ZERO, Some(until))
+                } else {
+                    b.drop_every(ProcessId(src), ProcessId(dst), 2, 0, Time::ZERO, Some(until))
+                };
+            }
+        }
+        b.build()
+    }
 
     #[test]
     fn stack_fig3_fig2_solves_set_agreement_end_to_end() {
@@ -390,6 +551,75 @@ mod tests {
         let (_, ops) = run_register_workload(&f, s, scripts, 3, 200_000);
         assert_eq!(ops.iter().filter(|o| o.is_complete()).count(), 5);
         check_linearizable(&ops, None).unwrap();
+    }
+
+    #[test]
+    fn faulty_fig2_is_safe_and_live_once_the_losses_quiesce() {
+        let n = 4;
+        let f = FailurePattern::all_correct(n);
+        let plan = all_links_plan(n, false, Time(400));
+        for seed in 0..3 {
+            let (tr, outcome) =
+                run_fig2_faulty(&f, &plan, ProcessId(0), ProcessId(1), seed, 400_000);
+            let verdict = check_k_set_agreement_degraded(
+                &tr,
+                &f,
+                &distinct_proposals(n),
+                n - 1,
+                outcome.reason,
+            )
+            .unwrap();
+            assert_eq!(verdict, LivenessVerdict::Live, "seed {seed}");
+            assert!(outcome.dropped > 0, "the lossy window saw traffic");
+            assert_eq!(outcome.sent, outcome.delivered + outcome.dropped + outcome.in_flight);
+        }
+    }
+
+    #[test]
+    fn faulty_fig4_is_safe_and_live_under_duplication() {
+        let n = 4;
+        let f = FailurePattern::all_correct(n);
+        let plan = all_links_plan(n, true, Time(300));
+        let active = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let (tr, outcome) = run_fig4_faulty(&f, &plan, active, 7, 400_000);
+        let verdict =
+            check_k_set_agreement_degraded(&tr, &f, &distinct_proposals(n), n - 1, outcome.reason)
+                .unwrap();
+        assert_eq!(verdict, LivenessVerdict::Live);
+        assert!(outcome.duplicated > 0, "the duplicate window saw traffic");
+    }
+
+    #[test]
+    fn faulty_register_workload_is_linearizable_and_live() {
+        let s = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let f = FailurePattern::all_correct(4);
+        let plan = all_links_plan(4, true, Time(300));
+        let scripts = vec![
+            vec![OpKind::Write(Value(1)), OpKind::Read],
+            vec![OpKind::Read, OpKind::Write(Value(2)), OpKind::Read],
+        ];
+        let (_, ops, outcome) = run_register_workload_faulty(&f, &plan, s, scripts, 3, 400_000);
+        let verdict = check_linearizable_degraded(&ops, None, &f, outcome.reason).unwrap();
+        assert_eq!(verdict, LivenessVerdict::Live);
+        assert!(outcome.duplicated > 0);
+    }
+
+    #[test]
+    fn raw_register_under_permanent_blackout_starves_safely() {
+        let s = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let f = FailurePattern::all_correct(3);
+        let plan = LinkFaultPlan::builder(3).blackout(Time::ZERO, None).build();
+        let scripts = vec![vec![OpKind::Write(Value(1))], vec![OpKind::Read]];
+        let mut pool = RegisterPool::new();
+        let (tr, outcome) =
+            run_register_workload_raw_faulty_pooled(&mut pool, &f, &plan, s, scripts, 1, 1_000_000);
+        // The quorum protocol cannot make progress, and the engine proves
+        // it long before the million-step budget.
+        assert_eq!(outcome.reason, StopReason::Starved);
+        assert!(outcome.steps < 100, "stopped after {} steps", outcome.steps);
+        let verdict =
+            check_linearizable_degraded(&tr.op_records(), None, &f, outcome.reason).unwrap();
+        assert_eq!(verdict, LivenessVerdict::SafeButNotLive);
     }
 
     #[test]

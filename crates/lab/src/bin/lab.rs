@@ -1,8 +1,8 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | explore | all> [--n N] [--k K] [--seeds S]
-//!     [--steps M] [--depth D] [--threads T] [--json PATH]
+//! lab <e1..e15 | figure1 | explore | faults | all> [--n N] [--k K]
+//!     [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]
 //! ```
 //!
 //! `--threads 0` (the default) uses one worker per available core; every
@@ -13,10 +13,15 @@
 //! `lab explore` benchmarks the reduced-state-space explorer against
 //! unreduced enumeration (`--depth` bounds the schedules) and, with
 //! `--json`, writes the `BENCH_explore.json` artifact.
+//!
+//! `lab faults` runs the robustness matrix (Figures 2/4 and the ABD
+//! register over lossy, duplicating and partitioned-then-healed links,
+//! plus the permanent-partition starvation witness) and, with `--json`,
+//! writes the `BENCH_faults.json` artifact.
 
 use sih_lab::{
-    render_figure1, run_experiment, run_explore_bench, ExperimentReport, ExploreLabConfig,
-    LabConfig, EXPERIMENT_IDS,
+    render_figure1, run_experiment, run_explore_bench, run_faults_bench, ExperimentReport,
+    ExploreLabConfig, FaultsLabConfig, LabConfig, EXPERIMENT_IDS,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -25,7 +30,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         return ExitCode::FAILURE;
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
     let command = args[0].clone();
     let mut cfg = LabConfig::default();
     let mut explore_cfg = ExploreLabConfig::default();
+    let mut faults_cfg = FaultsLabConfig::default();
     let mut json_path: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -44,16 +50,24 @@ fn main() -> ExitCode {
             "--n" => {
                 cfg.n = value(&mut it).parse().expect("--n takes an integer");
                 explore_cfg.n = cfg.n;
+                faults_cfg.n = cfg.n;
             }
             "--k" => cfg.k = value(&mut it).parse().expect("--k takes an integer"),
-            "--seeds" => cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer"),
-            "--steps" => cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer"),
+            "--seeds" => {
+                cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer");
+                faults_cfg.seeds = cfg.seeds;
+            }
+            "--steps" => {
+                cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer");
+                faults_cfg.max_steps = cfg.max_steps;
+            }
             "--depth" => {
                 explore_cfg.depth = value(&mut it).parse().expect("--depth takes an integer")
             }
             "--threads" => {
                 cfg.threads = value(&mut it).parse().expect("--threads takes an integer");
                 explore_cfg.threads = cfg.threads;
+                faults_cfg.threads = cfg.threads;
             }
             "--json" => json_path = Some(value(&mut it)),
             other => {
@@ -61,6 +75,23 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if command == "faults" {
+        let report = run_faults_bench(&faults_cfg);
+        print!("{report}");
+        let ok = report.ok();
+        if let Some(path) = json_path {
+            let json = report.to_json().to_string_pretty();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote faults bench to {path}");
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("UNEXPECTED faults outcome");
+            ExitCode::FAILURE
+        };
     }
 
     if command == "explore" {
@@ -96,7 +127,7 @@ fn main() -> ExitCode {
         "all" => EXPERIMENT_IDS.iter().map(|id| timed_run(id)).collect(),
         id if EXPERIMENT_IDS.contains(&id) => vec![timed_run(id)],
         other => {
-            eprintln!("unknown command {other}; expected e1..e15, figure1 or all");
+            eprintln!("unknown command {other}; expected e1..e15, faults, figure1 or all");
             return ExitCode::FAILURE;
         }
     };

@@ -49,11 +49,12 @@ impl From<LabConfig> for ClaimConfig {
 }
 
 /// All experiment ids, in DESIGN.md order.
-pub const EXPERIMENT_IDS: [&str; 15] = [
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "faults",
 ];
 
-/// Runs one experiment by id (`"e1"` … `"e14"`).
+/// Runs one experiment by id (`"e1"` … `"e15"`, `"faults"`).
 ///
 /// # Panics
 ///
@@ -75,7 +76,8 @@ pub fn run_experiment(id: &str, cfg: &LabConfig) -> ExperimentReport {
         "e13" => e13_sharedmem(cfg),
         "e14" => e14_footnote(cfg),
         "e15" => e15_extraction(cfg),
-        other => panic!("unknown experiment id {other:?} (expected e1..e15)"),
+        "faults" => faults_matrix(cfg),
+        other => panic!("unknown experiment id {other:?} (expected e1..e15 or faults)"),
     }
 }
 
@@ -605,6 +607,45 @@ fn e15_extraction(cfg: &LabConfig) -> ExperimentReport {
         ok: stats.violations == 0,
         outcome: "heard-from sets of completed operations form a legal Σ_S history".into(),
         details: vec![],
+        stats: Some(stats),
+    }
+}
+
+fn faults_matrix(cfg: &LabConfig) -> ExperimentReport {
+    let fcfg = crate::FaultsLabConfig {
+        n: cfg.n.max(3),
+        seeds: cfg.seeds,
+        max_steps: cfg.max_steps.max(400_000),
+        threads: cfg.threads,
+    };
+    let report = crate::run_faults_bench(&fcfg);
+    let mut stats = RunStats::default();
+    let mut details = Vec::new();
+    for c in &report.cells {
+        for _ in 0..c.runs {
+            // One aggregate record per run keeps the means honest enough
+            // for trend-watching; violations are exact.
+            stats.record(c.steps / c.runs.max(1), c.sent / c.runs.max(1), false);
+        }
+        for _ in 0..c.violations {
+            stats.record(0, 0, true);
+        }
+        details.push(format!(
+            "{:<4} × {:<16} live {}/{} (dropped {}, duplicated {})",
+            c.workload, c.scenario, c.live, c.runs, c.dropped, c.duplicated
+        ));
+    }
+    details.push(format!(
+        "abd × permanent-blackout: starved={} after {} steps (budget {})",
+        report.starved.starved, report.starved.steps, report.starved.budget
+    ));
+    ExperimentReport {
+        id: "faults".into(),
+        title: "quorum algorithms degrade gracefully over faulty links".into(),
+        paper_ref: "§2.1 channel model, stressed".into(),
+        ok: report.ok(),
+        outcome: "safety under unrestricted link faults; liveness once the faults quiesce".into(),
+        details,
         stats: Some(stats),
     }
 }

@@ -43,6 +43,7 @@ mod environment;
 mod failure;
 mod fd;
 mod history;
+mod linkfault;
 mod op;
 mod process;
 #[cfg(test)]
@@ -54,6 +55,7 @@ pub use environment::Environment;
 pub use failure::{FailurePattern, FailurePatternBuilder};
 pub use fd::{FailureDetector, FdOutput, NoDetector};
 pub use history::{OutputTimeline, RecordedHistory};
+pub use linkfault::{LinkFault, LinkFaultPlan, LinkFaultPlanBuilder, LinkFaultWindow, SendFate};
 pub use op::{OpId, OpKind, OpRecord};
 pub use process::{ProcessId, ProcessSet, ProcessSetIter};
 pub use time::Time;

@@ -1,0 +1,506 @@
+//! Link-fault plans: deterministic per-link fault schedules.
+//!
+//! The paper's model (§2.1) assumes reliable asynchronous channels. A
+//! [`LinkFaultPlan`] is the adversary that breaks that assumption in a
+//! *replayable* way: for each directed link and each send it decides —
+//! purely from the plan, the sender's clock, and a per-link send counter —
+//! whether the message is delivered, dropped, or duplicated. No ambient
+//! randomness is ever consulted, so simulations driven by a plan keep the
+//! determinism contract (DESIGN.md §6) and stay fingerprint-stable.
+
+use crate::{ProcessId, ProcessSet, Time};
+use std::fmt;
+
+/// What a single fault window does to sends crossing it.
+///
+/// Both variants select sends by the per-link send counter `k` (the number
+/// of earlier sends on the same directed link): a window with `stride`/
+/// `offset` applies to the `k`-th send iff `k % stride == offset`. A stride
+/// of `1` with offset `0` hits every send in the window — a full partition
+/// of the link; larger strides model fair-lossy links that drop (or
+/// duplicate) only some messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkFault {
+    /// Drop the selected sends: the message never enters the channel.
+    Drop {
+        /// Period of the selection (`>= 1`).
+        stride: u64,
+        /// Residue selected within the period (`< stride`).
+        offset: u64,
+    },
+    /// Enqueue one extra copy of the selected sends (same payload, same
+    /// message identity — the copy is a network-level duplicate, not a
+    /// fresh send).
+    Duplicate {
+        /// Period of the selection (`>= 1`).
+        stride: u64,
+        /// Residue selected within the period (`< stride`).
+        offset: u64,
+    },
+}
+
+/// One fault window: a [`LinkFault`] active on one directed link during
+/// `[from, until)` (with `until = None` meaning "forever").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkFaultWindow {
+    /// Sender side of the directed link.
+    pub src: ProcessId,
+    /// Receiver side of the directed link.
+    pub dst: ProcessId,
+    /// The fault applied to selected sends inside the window.
+    pub fault: LinkFault,
+    /// First time at which the window is active.
+    pub from: Time,
+    /// First time at which the window is no longer active (exclusive);
+    /// `None` means the window never heals.
+    pub until: Option<Time>,
+}
+
+impl LinkFaultWindow {
+    /// Whether the window is active at time `t`.
+    #[inline]
+    pub fn active_at(&self, t: Time) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+
+    fn selects(&self, k: u64) -> bool {
+        let (stride, offset) = match self.fault {
+            LinkFault::Drop { stride, offset } | LinkFault::Duplicate { stride, offset } => {
+                (stride, offset)
+            }
+        };
+        k % stride == offset
+    }
+}
+
+/// The fate of one send under a plan: either dropped, or delivered with
+/// `copies >= 1` enqueued copies (`copies > 1` when duplicate windows hit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendFate {
+    /// The message never enters the channel.
+    Dropped,
+    /// The message is enqueued `copies` times (`1` = the reliable case).
+    Deliver {
+        /// Number of copies enqueued (at least one).
+        copies: u64,
+    },
+}
+
+/// A deterministic per-link fault schedule — the network-adversary sibling
+/// of [`crate::FailurePattern`].
+///
+/// A plan is a finite list of [`LinkFaultWindow`]s. The fate of the `k`-th
+/// send on a directed link at time `t` is a pure function of the plan,
+/// `t`, and `k` (see [`LinkFaultPlan::fate`]): drop windows win over
+/// duplicate windows, and each matching duplicate window adds one copy.
+///
+/// # Example
+///
+/// ```
+/// use sih_model::{LinkFaultPlan, ProcessId, ProcessSet, SendFate, Time};
+/// let plan = LinkFaultPlan::builder(3)
+///     .drop_every(ProcessId(0), ProcessId(1), 2, 0, Time(0), Some(Time(100)))
+///     .partition(ProcessSet::singleton(ProcessId(2)), Time(10), Some(Time(50)))
+///     .build();
+/// // Send #0 on 0->1 at t=5 falls in the drop window (stride 2, offset 0).
+/// assert_eq!(plan.fate(ProcessId(0), ProcessId(1), Time(5), 0), SendFate::Dropped);
+/// // Send #1 survives (1 % 2 != 0).
+/// assert_eq!(plan.fate(ProcessId(0), ProcessId(1), Time(5), 1), SendFate::Deliver { copies: 1 });
+/// // Every window is bounded, so the network is reliable from t=100 on.
+/// assert_eq!(plan.quiescence_time(), Some(Time(100)));
+/// ```
+#[derive(PartialEq, Eq, Hash)]
+pub struct LinkFaultPlan {
+    n: usize,
+    windows: Vec<LinkFaultWindow>,
+}
+
+// Manual Clone so `clone_from` (used by `Simulation::reset` and explorer
+// state copies) reuses the window vector instead of reallocating it.
+impl Clone for LinkFaultPlan {
+    fn clone(&self) -> Self {
+        LinkFaultPlan { n: self.n, windows: self.windows.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.windows.clone_from(&source.windows);
+    }
+}
+
+impl LinkFaultPlan {
+    /// Starts building a plan over `n` processes (all links reliable unless
+    /// windows are added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > ProcessSet::MAX_PROCESSES`.
+    pub fn builder(n: usize) -> LinkFaultPlanBuilder {
+        assert!(n > 0, "a system has at least one process");
+        assert!(n <= ProcessSet::MAX_PROCESSES, "at most 64 processes supported");
+        LinkFaultPlanBuilder { plan: LinkFaultPlan { n, windows: Vec::new() } }
+    }
+
+    /// The fault-free plan over `n` processes: every send is delivered once.
+    pub fn reliable(n: usize) -> LinkFaultPlan {
+        Self::builder(n).build()
+    }
+
+    /// Number of processes `n = |Π|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The fault windows of the plan, in insertion order.
+    #[inline]
+    pub fn windows(&self) -> &[LinkFaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan has no fault windows at all.
+    #[inline]
+    pub fn is_reliable(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The fate of the `k`-th send on the directed link `src -> dst` at
+    /// time `t` (where `k` counts earlier sends on the same link).
+    ///
+    /// Any active drop window that selects `k` drops the message; otherwise
+    /// each active duplicate window that selects `k` adds one extra copy.
+    pub fn fate(&self, src: ProcessId, dst: ProcessId, t: Time, k: u64) -> SendFate {
+        let mut copies = 1u64;
+        for w in &self.windows {
+            if w.src != src || w.dst != dst || !w.active_at(t) || !w.selects(k) {
+                continue;
+            }
+            match w.fault {
+                LinkFault::Drop { .. } => return SendFate::Dropped,
+                LinkFault::Duplicate { .. } => copies += 1,
+            }
+        }
+        SendFate::Deliver { copies }
+    }
+
+    /// The time from which every link behaves reliably: the maximum `until`
+    /// over all windows, or `None` if some window never heals. A plan with
+    /// no windows quiesces at `Time::ZERO`.
+    ///
+    /// Liveness claims are stated relative to this time: a plan with a
+    /// finite quiescence time is *fair-lossy with eventual heal*, and every
+    /// retransmitting protocol must make progress after it.
+    pub fn quiescence_time(&self) -> Option<Time> {
+        let mut q = Time::ZERO;
+        for w in &self.windows {
+            match w.until {
+                None => return None,
+                Some(u) => q = q.max(u),
+            }
+        }
+        Some(q)
+    }
+
+    /// A seeded pseudo-random plan over `n` processes with every window
+    /// bounded by `horizon` — so `quiescence_time()` is always finite.
+    ///
+    /// The generator is a splitmix64 stream over `seed`: the same inputs
+    /// always produce the same plan, on every platform. It mixes drop and
+    /// duplicate windows over random links with random strides, suitable
+    /// for property tests that need diverse but replayable adversaries.
+    pub fn random_plan(n: usize, seed: u64, horizon: Time) -> LinkFaultPlan {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // splitmix64: the standard 64-bit mixer; plain arithmetic only.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut b = Self::builder(n);
+        let windows = 1 + (next() % 6) as usize;
+        for _ in 0..windows {
+            let src = ProcessId((next() % n as u64) as u32);
+            let dst = ProcessId((next() % n as u64) as u32);
+            let stride = 1 + next() % 4;
+            let offset = next() % stride;
+            let from = Time(next() % horizon.0.max(1));
+            let until = Some(Time((from.0 + 1 + next() % horizon.0.max(1)).min(horizon.0)));
+            b = if next() % 3 == 0 {
+                b.duplicate_every(src, dst, stride, offset, from, until)
+            } else {
+                b.drop_every(src, dst, stride, offset, from, until)
+            };
+        }
+        b.build()
+    }
+}
+
+impl fmt::Debug for LinkFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LinkFaultPlan(n={}, windows=[", self.n)?;
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let (kind, stride, offset) = match w.fault {
+                LinkFault::Drop { stride, offset } => ("drop", stride, offset),
+                LinkFault::Duplicate { stride, offset } => ("dup", stride, offset),
+            };
+            write!(f, "{kind} p{}→p{} {offset}%{stride}", w.src.index(), w.dst.index())?;
+            match w.until {
+                Some(u) => write!(f, " @[{}, {})", w.from, u)?,
+                None => write!(f, " @[{}, ∞)", w.from)?,
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+/// Builder for [`LinkFaultPlan`] (see [`LinkFaultPlan::builder`]).
+#[derive(Clone, Debug)]
+pub struct LinkFaultPlanBuilder {
+    plan: LinkFaultPlan,
+}
+
+impl LinkFaultPlanBuilder {
+    fn push(
+        mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        fault: LinkFault,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        let n = self.plan.n;
+        assert!(src.index() < n && dst.index() < n, "process out of range");
+        if let Some(u) = until {
+            assert!(from < u, "a fault window must be non-empty (from < until)");
+        }
+        let (stride, offset) = match fault {
+            LinkFault::Drop { stride, offset } | LinkFault::Duplicate { stride, offset } => {
+                (stride, offset)
+            }
+        };
+        assert!(stride >= 1, "stride must be at least 1");
+        assert!(offset < stride, "offset must be smaller than stride");
+        self.plan.windows.push(LinkFaultWindow { src, dst, fault, from, until });
+        self
+    }
+
+    /// Drops **every** send on `src -> dst` during `[from, until)`.
+    pub fn drop_link(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.drop_every(src, dst, 1, 0, from, until)
+    }
+
+    /// Drops the sends on `src -> dst` whose per-link counter `k` satisfies
+    /// `k % stride == offset`, during `[from, until)`.
+    pub fn drop_every(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        stride: u64,
+        offset: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.push(src, dst, LinkFault::Drop { stride, offset }, from, until)
+    }
+
+    /// Duplicates **every** send on `src -> dst` during `[from, until)`.
+    pub fn duplicate_link(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.duplicate_every(src, dst, 1, 0, from, until)
+    }
+
+    /// Duplicates the sends on `src -> dst` whose per-link counter `k`
+    /// satisfies `k % stride == offset`, during `[from, until)`.
+    pub fn duplicate_every(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        stride: u64,
+        offset: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.push(src, dst, LinkFault::Duplicate { stride, offset }, from, until)
+    }
+
+    /// A symmetric partition separating `side` from its complement during
+    /// `[from, until)`: every send crossing the cut — in either direction —
+    /// is dropped. Sends within either side are unaffected.
+    pub fn partition(mut self, side: ProcessSet, from: Time, until: Option<Time>) -> Self {
+        let n = self.plan.n;
+        let all = ProcessSet::full(n);
+        let other = all.difference(side);
+        for p in side.intersection(all) {
+            for q in other {
+                self = self.drop_link(p, q, from, until);
+                self = self.drop_link(q, p, from, until);
+            }
+        }
+        self
+    }
+
+    /// A total blackout during `[from, until)`: every send on every link
+    /// (including self-sends) is dropped.
+    pub fn blackout(mut self, from: Time, until: Option<Time>) -> Self {
+        let n = self.plan.n;
+        for p in (0..n as u32).map(ProcessId) {
+            for q in (0..n as u32).map(ProcessId) {
+                self = self.drop_link(p, q, from, until);
+            }
+        }
+        self
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> LinkFaultPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_plan_delivers_everything_once() {
+        let plan = LinkFaultPlan::reliable(3);
+        assert!(plan.is_reliable());
+        assert_eq!(plan.quiescence_time(), Some(Time::ZERO));
+        for k in 0..10 {
+            assert_eq!(
+                plan.fate(ProcessId(0), ProcessId(2), Time(k), k),
+                SendFate::Deliver { copies: 1 }
+            );
+        }
+    }
+
+    #[test]
+    fn drop_window_is_time_and_counter_selective() {
+        let plan = LinkFaultPlan::builder(2)
+            .drop_every(ProcessId(0), ProcessId(1), 3, 1, Time(10), Some(Time(20)))
+            .build();
+        let f = |t, k| plan.fate(ProcessId(0), ProcessId(1), Time(t), k);
+        // Inside the window, only k ≡ 1 (mod 3) is dropped.
+        assert_eq!(f(10, 1), SendFate::Dropped);
+        assert_eq!(f(19, 4), SendFate::Dropped);
+        assert_eq!(f(15, 0), SendFate::Deliver { copies: 1 });
+        // Outside the window (before, at the exclusive bound, after).
+        assert_eq!(f(9, 1), SendFate::Deliver { copies: 1 });
+        assert_eq!(f(20, 1), SendFate::Deliver { copies: 1 });
+        // Other direction is untouched.
+        assert_eq!(
+            plan.fate(ProcessId(1), ProcessId(0), Time(15), 1),
+            SendFate::Deliver { copies: 1 }
+        );
+    }
+
+    #[test]
+    fn duplicates_stack_and_drops_win() {
+        let plan = LinkFaultPlan::builder(2)
+            .duplicate_link(ProcessId(0), ProcessId(1), Time(0), None)
+            .duplicate_every(ProcessId(0), ProcessId(1), 2, 0, Time(0), None)
+            .drop_every(ProcessId(0), ProcessId(1), 5, 4, Time(0), None)
+            .build();
+        // k=0: both duplicate windows match -> 3 copies.
+        assert_eq!(
+            plan.fate(ProcessId(0), ProcessId(1), Time(0), 0),
+            SendFate::Deliver { copies: 3 }
+        );
+        // k=1: only the every-send window matches -> 2 copies.
+        assert_eq!(
+            plan.fate(ProcessId(0), ProcessId(1), Time(0), 1),
+            SendFate::Deliver { copies: 2 }
+        );
+        // k=4: the drop window wins over both duplicates.
+        assert_eq!(plan.fate(ProcessId(0), ProcessId(1), Time(0), 4), SendFate::Dropped);
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_and_heals() {
+        let side = ProcessSet::from_iter([0, 1].map(ProcessId));
+        let plan = LinkFaultPlan::builder(4).partition(side, Time(5), Some(Time(8))).build();
+        // Crossing the cut, both ways, inside the window.
+        assert_eq!(plan.fate(ProcessId(0), ProcessId(2), Time(6), 0), SendFate::Dropped);
+        assert_eq!(plan.fate(ProcessId(3), ProcessId(1), Time(7), 9), SendFate::Dropped);
+        // Within a side.
+        assert_eq!(
+            plan.fate(ProcessId(0), ProcessId(1), Time(6), 0),
+            SendFate::Deliver { copies: 1 }
+        );
+        // Healed.
+        assert_eq!(
+            plan.fate(ProcessId(0), ProcessId(2), Time(8), 0),
+            SendFate::Deliver { copies: 1 }
+        );
+        assert_eq!(plan.quiescence_time(), Some(Time(8)));
+    }
+
+    #[test]
+    fn blackout_drops_self_sends_too() {
+        let plan = LinkFaultPlan::builder(2).blackout(Time(0), None).build();
+        assert_eq!(plan.fate(ProcessId(0), ProcessId(0), Time(0), 0), SendFate::Dropped);
+        assert_eq!(plan.fate(ProcessId(1), ProcessId(0), Time(99), 3), SendFate::Dropped);
+        assert_eq!(plan.quiescence_time(), None);
+    }
+
+    #[test]
+    fn quiescence_is_the_max_heal_time() {
+        let plan = LinkFaultPlan::builder(3)
+            .drop_link(ProcessId(0), ProcessId(1), Time(0), Some(Time(30)))
+            .duplicate_link(ProcessId(1), ProcessId(2), Time(10), Some(Time(50)))
+            .build();
+        assert_eq!(plan.quiescence_time(), Some(Time(50)));
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_bounded() {
+        let a = LinkFaultPlan::random_plan(4, 42, Time(500));
+        let b = LinkFaultPlan::random_plan(4, 42, Time(500));
+        assert_eq!(a, b);
+        let c = LinkFaultPlan::random_plan(4, 43, Time(500));
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!(!a.windows().is_empty());
+        let q = a.quiescence_time().expect("random plans always heal");
+        assert!(q <= Time(500), "windows bounded by the horizon, got {q:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ =
+            LinkFaultPlan::builder(2).drop_link(ProcessId(0), ProcessId(1), Time(5), Some(Time(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn offset_out_of_stride_rejected() {
+        let _ =
+            LinkFaultPlan::builder(2).drop_every(ProcessId(0), ProcessId(1), 2, 2, Time(0), None);
+    }
+
+    #[test]
+    fn debug_format_lists_windows() {
+        let plan = LinkFaultPlan::builder(2)
+            .drop_link(ProcessId(0), ProcessId(1), Time(3), Some(Time(9)))
+            .build();
+        let s = format!("{plan:?}");
+        assert!(s.contains("drop p0→p1"), "{s}");
+        assert!(s.contains("t3"), "{s}");
+    }
+}

@@ -243,6 +243,18 @@ impl Automaton for AbdRegister {
             }
         }
     }
+
+    fn quiescent(&self) -> bool {
+        // Null steps only ever act for a client that can complete a phase
+        // or start a scripted op. A phase completes when some *nonempty*
+        // trusted set is contained in `acks`; with no acks at all that is
+        // impossible under every Σ output, and acks only grow through
+        // deliveries. Replica duties fire on deliveries only.
+        match &self.current {
+            None => self.script.is_empty(),
+            Some(op) => op.acks.is_empty(),
+        }
+    }
 }
 
 /// Builds the `n` ABD automata: scripts are assigned to members of `S` in

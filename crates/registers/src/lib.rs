@@ -37,5 +37,6 @@ pub use abd::{abd_processes, AbdMsg, AbdRegister, Timestamp};
 pub use client::WorkloadSpec;
 pub use extraction::{extracting, SigmaExtractor};
 pub use linearizability::{
-    check_linearizable, check_linearizable_brute_force, LinearizabilityViolation, MAX_OPS,
+    check_linearizable, check_linearizable_brute_force, check_linearizable_degraded,
+    LinearizabilityViolation, MAX_OPS,
 };

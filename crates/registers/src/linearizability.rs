@@ -10,7 +10,8 @@
 //! sequential register history — every read returns the latest preceding
 //! write (or the initial value).
 
-use sih_model::{OpKind, OpRecord, Value};
+use sih_model::{FailurePattern, OpKind, OpRecord, Value};
+use sih_runtime::{LivenessVerdict, StopReason};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -33,6 +34,14 @@ pub enum LinearizabilityViolation {
         /// The checker's capacity.
         max: usize,
     },
+    /// A correct process's operation never returned even though the run
+    /// had no excuse to stall (only emitted by
+    /// [`check_linearizable_degraded`] for stop reasons that promise
+    /// completion). The history itself may be linearizable.
+    Incomplete {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl LinearizabilityViolation {
@@ -41,6 +50,7 @@ impl LinearizabilityViolation {
         match self {
             LinearizabilityViolation::NotLinearizable { detail } => detail,
             LinearizabilityViolation::HistoryTooLarge { .. } => "",
+            LinearizabilityViolation::Incomplete { detail } => detail,
         }
     }
 }
@@ -53,6 +63,9 @@ impl fmt::Display for LinearizabilityViolation {
             }
             LinearizabilityViolation::HistoryTooLarge { ops, max } => {
                 write!(f, "history of {ops} operations exceeds the checker's capacity of {max}")
+            }
+            LinearizabilityViolation::Incomplete { detail } => {
+                write!(f, "operations of correct processes never returned: {detail}")
             }
         }
     }
@@ -104,6 +117,48 @@ pub fn check_linearizable(
             ),
         })
     }
+}
+
+/// Checks a register history from a run over faulty links, degrading
+/// gracefully: atomicity must hold unconditionally (pending operations are
+/// handled exactly as in [`check_linearizable`] — a crashed or stalled
+/// client's operation may or may not have taken effect), but *completeness*
+/// is judged against the run's [`StopReason`].
+///
+/// An operation left pending by a process the [`FailurePattern`] crashes
+/// is always excused. A pending operation of a *correct* process is
+/// excused — the verdict becomes [`LivenessVerdict::SafeButNotLive`] —
+/// only when the run stopped for a reason that legitimately starves
+/// quorums ([`StopReason::Starved`], or [`StopReason::MaxSteps`] with
+/// faults still unquiesced). Under any other stop reason, a correct
+/// process that never finished its script is a liveness violation and the
+/// check returns [`LinearizabilityViolation::Incomplete`].
+///
+/// # Errors
+///
+/// Propagates any error of [`check_linearizable`]; additionally returns
+/// [`LinearizabilityViolation::Incomplete`] as described above.
+pub fn check_linearizable_degraded(
+    ops: &[OpRecord],
+    initial: Option<Value>,
+    pattern: &FailurePattern,
+    reason: StopReason,
+) -> Result<LivenessVerdict, LinearizabilityViolation> {
+    check_linearizable(ops, initial)?;
+    let correct = pattern.correct();
+    let stalled: Vec<&OpRecord> =
+        ops.iter().filter(|o| !o.is_complete() && correct.contains(o.process)).collect();
+    if stalled.is_empty() {
+        return Ok(LivenessVerdict::Live);
+    }
+    if matches!(reason, StopReason::Starved | StopReason::MaxSteps) {
+        return Ok(LivenessVerdict::SafeButNotLive);
+    }
+    let list: Vec<String> =
+        stalled.iter().map(|o| format!("{:?} at {}", o.id, o.process)).collect();
+    Err(LinearizabilityViolation::Incomplete {
+        detail: format!("[{}] pending though the run stopped as {reason:?}", list.join(", ")),
+    })
 }
 
 /// Whether operation `i` may be linearized next: no *unlinearized* other
@@ -377,6 +432,56 @@ mod tests {
         let err = check_linearizable(&h, None).unwrap_err();
         assert_eq!(err, LinearizabilityViolation::HistoryTooLarge { ops: 129, max: MAX_OPS });
         assert!(err.to_string().contains("exceeds the checker's capacity"));
+    }
+
+    #[test]
+    fn degraded_check_excuses_starvation_but_not_safety() {
+        let all_correct = FailurePattern::all_correct(2);
+        // p0's write is pending while p0 is correct: excused only when the
+        // run was starved or ran out of budget.
+        let h = vec![
+            op(0, 0, OpKind::Write(Value(3)), 0, None, None),
+            op(1, 1, OpKind::Read, 10, Some(12), Some(Value(3))),
+        ];
+        use sih_runtime::StopReason::*;
+        assert_eq!(
+            check_linearizable_degraded(&h, None, &all_correct, Starved),
+            Ok(LivenessVerdict::SafeButNotLive)
+        );
+        assert_eq!(
+            check_linearizable_degraded(&h, None, &all_correct, MaxSteps),
+            Ok(LivenessVerdict::SafeButNotLive)
+        );
+        let err =
+            check_linearizable_degraded(&h, None, &all_correct, AllCorrectHalted).unwrap_err();
+        assert!(matches!(err, LinearizabilityViolation::Incomplete { .. }), "{err}");
+        assert!(err.to_string().contains("never returned"));
+
+        // The same pending op is excused outright once p0 is crashed.
+        let p0_crashes = FailurePattern::builder(2).crash_at(ProcessId(0), Time(5)).build();
+        assert_eq!(
+            check_linearizable_degraded(&h, None, &p0_crashes, AllCorrectHalted),
+            Ok(LivenessVerdict::Live)
+        );
+
+        // A complete history under a clean stop is Live.
+        let done = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(5), None),
+            op(1, 1, OpKind::Read, 6, Some(9), Some(Value(1))),
+        ];
+        assert_eq!(
+            check_linearizable_degraded(&done, None, &all_correct, AllCorrectHalted),
+            Ok(LivenessVerdict::Live)
+        );
+
+        // Atomicity violations are never excused, starved or not.
+        let inversion = vec![
+            op(0, 0, OpKind::Write(Value(1)), 0, Some(20), None),
+            op(1, 1, OpKind::Read, 5, Some(8), Some(Value(1))),
+            op(2, 1, OpKind::Read, 9, Some(12), None),
+        ];
+        let err = check_linearizable_degraded(&inversion, None, &all_correct, Starved).unwrap_err();
+        assert!(matches!(err, LinearizabilityViolation::NotLinearizable { .. }));
     }
 
     #[test]

@@ -249,6 +249,22 @@ pub trait Automaton {
     fn halted(&self) -> bool {
         false
     }
+
+    /// Whether the process is *quiescent*: it will produce **no effect on
+    /// any future null step** (no sends, decisions, emulated outputs, op
+    /// events or halts, under any failure-detector output), and it stays
+    /// quiescent on such steps. Delivering a message may wake it.
+    ///
+    /// The engine uses this for starvation detection
+    /// ([`StopReason::Starved`](crate::StopReason::Starved)): when every
+    /// schedulable process is quiescent with an empty pending queue, no
+    /// reachable step has an effect, so the run is stuck forever.
+    /// Returning `false` is always sound (the default); returning `true`
+    /// for a process that can still act on a null step is **unsound** and
+    /// may stop a live run early.
+    fn quiescent(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -142,6 +142,95 @@ fn scripted_scheduler_without_fallback_exhausts() {
     assert_eq!(outcome.reason, crate::sim::StopReason::SchedulerExhausted);
 }
 
+/// A quorum-style automaton for the starvation tests: broadcasts one
+/// request on its first step, then waits silently for any reply — exactly
+/// the shape that starves under a total partition.
+#[derive(Clone, Debug, Default)]
+struct AskOnce {
+    asked: bool,
+    got_reply: bool,
+}
+
+impl Automaton for AskOnce {
+    type Msg = u8;
+    fn step(&mut self, input: StepInput<u8>, eff: &mut Effects<u8>) {
+        if !self.asked {
+            self.asked = true;
+            eff.send_all(input.n, 0);
+        }
+        if input.delivered.is_some() {
+            self.got_reply = true;
+        }
+    }
+    fn quiescent(&self) -> bool {
+        // After the first step the automaton only reacts to deliveries.
+        self.asked
+    }
+}
+
+#[test]
+fn fully_partitioned_run_stops_starved_in_linear_steps() {
+    use sih_model::{LinkFaultPlan, NoDetector};
+    let n = 6;
+    let pattern = FailurePattern::all_correct(n);
+    let plan = LinkFaultPlan::builder(n).blackout(Time::ZERO, None).build();
+    let mut sim = Simulation::new(vec![AskOnce::default(); n], pattern).with_link_faults(plan);
+    let outcome = sim.run(&mut RoundRobinScheduler::new(), &NoDetector, 1_000_000);
+    // One step per process and every broadcast is eaten by the blackout;
+    // the engine then proves no further step can have an effect — O(n)
+    // steps, not the million-step budget.
+    assert_eq!(outcome.reason, crate::sim::StopReason::Starved);
+    assert_eq!(outcome.steps, n as u64, "stops right after the last first step");
+    assert_eq!(outcome.sent, (n * n) as u64);
+    assert_eq!(outcome.dropped, (n * n) as u64);
+    assert_eq!(outcome.delivered, 0);
+    assert_eq!(outcome.in_flight, 0);
+}
+
+#[test]
+fn healed_partition_lets_the_same_system_finish() {
+    use sih_model::{LinkFaultPlan, NoDetector};
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    // Blackout that heals at t=20: the broadcasts at t<=n are lost, but
+    // AskOnce never resends — so the run still starves (nothing in
+    // flight). A blackout that never starts, by contrast, lets replies
+    // flow. This pins down that Starved depends on reachability, not on
+    // the mere presence of a plan.
+    let healing = LinkFaultPlan::builder(n).blackout(Time::ZERO, Some(Time(20))).build();
+    let mut sim =
+        Simulation::new(vec![AskOnce::default(); n], pattern.clone()).with_link_faults(healing);
+    let outcome = sim.run(&mut RoundRobinScheduler::new(), &NoDetector, 1_000);
+    assert_eq!(outcome.reason, crate::sim::StopReason::Starved);
+
+    let idle = LinkFaultPlan::builder(n).blackout(Time(500), None).build();
+    let mut sim = Simulation::new(vec![AskOnce::default(); n], pattern).with_link_faults(idle);
+    let outcome = sim.run_until(&mut RoundRobinScheduler::new(), &NoDetector, 1_000, |s| {
+        (0..n).all(|i| s.process(ProcessId(i as u32)).got_reply)
+    });
+    assert_eq!(outcome.reason, crate::sim::StopReason::AllCorrectHalted);
+    assert_eq!(outcome.dropped, 0);
+}
+
+#[test]
+fn run_outcome_counters_satisfy_the_network_invariant() {
+    use sih_model::{LinkFaultPlan, NoDetector};
+    let n = 4;
+    let pattern = FailurePattern::all_correct(n);
+    let plan = LinkFaultPlan::builder(n)
+        .drop_every(ProcessId(0), ProcessId(1), 2, 0, Time::ZERO, Some(Time(300)))
+        .duplicate_every(ProcessId(2), ProcessId(3), 3, 1, Time::ZERO, Some(Time(200)))
+        .build();
+    let mut sim = Simulation::new(vec![Flood::default(); n], pattern).with_link_faults(plan);
+    let outcome = sim.run(&mut FairScheduler::new(11), &NoDetector, 2_000);
+    assert!(outcome.dropped > 0, "the drop window saw traffic");
+    assert!(outcome.duplicated > 0, "the duplicate window saw traffic");
+    assert_eq!(outcome.sent, outcome.delivered + outcome.dropped + outcome.in_flight);
+    // RunOutcome mirrors the network's own counters.
+    assert_eq!(outcome.sent, sim.network().sent_count());
+    assert_eq!(outcome.delivered, sim.network().delivered_count());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 

@@ -74,6 +74,10 @@ pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResu
 pub use fingerprint::{fnv1a_64, Fnv64};
 pub use network::Network;
 pub use scheduler::{Choice, FairScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler};
-pub use sim::{RunOutcome, SchedState, SimPool, Simulation, StepReport, StopReason};
-pub use stack::{Layered, ReportLayer, Stacked};
+pub use sim::{
+    LivenessVerdict, RunOutcome, SchedState, SimPool, Simulation, StepReport, StopReason,
+};
+pub use stack::{
+    stubborn_processes, Layered, ReportLayer, Stacked, Stubborn, StubbornMsg, STUBBORN_PERIOD,
+};
 pub use trace::{Event, Trace, TraceLevel};

@@ -23,7 +23,7 @@
 
 use crate::automaton::{Envelope, MsgId};
 use crate::fingerprint::Fnv64;
-use sih_model::{ProcessId, Time};
+use sih_model::{LinkFaultPlan, ProcessId, SendFate, Time};
 use std::cell::Cell;
 use std::fmt;
 
@@ -221,6 +221,30 @@ impl<M> ArrivalQueue<M> {
     }
 }
 
+/// Installed link-fault adversary: the plan plus the per-directed-link
+/// send counters that make its decisions a pure function of history.
+///
+/// Boxed and optional on [`Network`] so the reliable (default) case pays
+/// one pointer of space and a null check per send.
+#[derive(Debug, PartialEq, Eq)]
+struct LinkFaultState {
+    plan: LinkFaultPlan,
+    /// `sends[src * n + dst]`: messages sent so far on that directed link
+    /// (counting every attempt, delivered or dropped).
+    sends: Vec<u64>,
+}
+
+impl Clone for LinkFaultState {
+    fn clone(&self) -> Self {
+        LinkFaultState { plan: self.plan.clone(), sends: self.sends.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.plan.clone_from(&source.plan);
+        self.sends.clone_from(&source.sends);
+    }
+}
+
 /// The in-flight message state of a run.
 #[derive(Debug)]
 pub struct Network<M> {
@@ -229,6 +253,10 @@ pub struct Network<M> {
     next_id: u64,
     sent_count: u64,
     delivered_count: u64,
+    dropped_count: u64,
+    duplicated_count: u64,
+    /// The link-fault adversary, if one is installed (`None` = reliable).
+    faults: Option<Box<LinkFaultState>>,
 }
 
 // Manual Clone so `clone_from` recycles every per-destination queue.
@@ -239,6 +267,9 @@ impl<M: Clone> Clone for Network<M> {
             next_id: self.next_id,
             sent_count: self.sent_count,
             delivered_count: self.delivered_count,
+            dropped_count: self.dropped_count,
+            duplicated_count: self.duplicated_count,
+            faults: self.faults.clone(),
         }
     }
 
@@ -247,6 +278,12 @@ impl<M: Clone> Clone for Network<M> {
         self.next_id = source.next_id;
         self.sent_count = source.sent_count;
         self.delivered_count = source.delivered_count;
+        self.dropped_count = source.dropped_count;
+        self.duplicated_count = source.duplicated_count;
+        match (&mut self.faults, &source.faults) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
     }
 }
 
@@ -270,6 +307,18 @@ impl<M: fmt::Debug> Network<M> {
         }
         h.write_u64(self.sent_count);
         h.write_u64(self.delivered_count);
+        // Fault state is hashed only when an adversary is installed, so
+        // reliable-network fingerprints are bit-identical to what they
+        // were before link faults existed.
+        if let Some(state) = &self.faults {
+            h.write_u64(0x4C46); // "LF" tag separating the fault section
+            h.write_u64(self.dropped_count);
+            h.write_u64(self.duplicated_count);
+            for &k in &state.sends {
+                h.write_u64(k);
+            }
+            h.write_debug(&state.plan);
+        }
     }
 }
 
@@ -299,6 +348,9 @@ impl<M: Clone> Network<M> {
             next_id: 0,
             sent_count: 0,
             delivered_count: 0,
+            dropped_count: 0,
+            duplicated_count: 0,
+            faults: None,
         }
     }
 
@@ -307,7 +359,9 @@ impl<M: Clone> Network<M> {
         self.queues.len()
     }
 
-    /// Empties the network for reuse, keeping queue allocations.
+    /// Empties the network for reuse, keeping queue allocations. Also
+    /// uninstalls any link-fault plan — a pooled simulation starts
+    /// reliable until the next [`Network::set_link_faults`].
     pub fn reset(&mut self) {
         for q in &mut self.queues {
             q.clear();
@@ -315,6 +369,26 @@ impl<M: Clone> Network<M> {
         self.next_id = 0;
         self.sent_count = 0;
         self.delivered_count = 0;
+        self.dropped_count = 0;
+        self.duplicated_count = 0;
+        self.faults = None;
+    }
+
+    /// Installs a link-fault plan; subsequent sends consult it. Per-link
+    /// send counters start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's process count differs from the network's.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) {
+        assert_eq!(plan.n(), self.n(), "plan size must match the network");
+        let links = self.n() * self.n();
+        self.faults = Some(Box::new(LinkFaultState { plan, sends: vec![0; links] }));
+    }
+
+    /// The installed link-fault plan, if any.
+    pub fn link_fault_plan(&self) -> Option<&LinkFaultPlan> {
+        self.faults.as_ref().map(|s| &s.plan)
     }
 
     /// Enqueues a message; returns its id.
@@ -322,11 +396,44 @@ impl<M: Clone> Network<M> {
     /// Send times must be nondecreasing per destination queue (the
     /// engine always sends at the current step time, which only grows);
     /// the oldest-message accessors rely on this invariant.
+    ///
+    /// When a [`LinkFaultPlan`] is installed the plan decides the fate of
+    /// the send — deterministically, from the plan plus the per-link send
+    /// counter, never from ambient randomness. A dropped message still
+    /// gets an id (the sender cannot tell) but never enters a queue; a
+    /// duplicated one enqueues extra copies **sharing** the id, so
+    /// receive-side dedup can recognize them. Every copy, enqueued or
+    /// dropped, counts in `sent_count`, keeping the invariant
+    /// `sent == delivered + dropped + in_flight` exact at all times.
     pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_at: Time, payload: M) -> MsgId {
         let id = MsgId(self.next_id);
         self.next_id += 1;
-        self.sent_count += 1;
-        self.queues[to.index()].push(Envelope { id, from, to, sent_at, payload });
+        let fate = match &mut self.faults {
+            None => SendFate::Deliver { copies: 1 },
+            Some(state) => {
+                let link = from.index() * self.queues.len() + to.index();
+                let k = state.sends[link];
+                state.sends[link] += 1;
+                state.plan.fate(from, to, sent_at, k)
+            }
+        };
+        match fate {
+            SendFate::Dropped => {
+                self.sent_count += 1;
+                self.dropped_count += 1;
+            }
+            SendFate::Deliver { copies } => {
+                self.sent_count += copies;
+                self.duplicated_count += copies - 1;
+                let queue = &mut self.queues[to.index()];
+                for _ in 1..copies {
+                    queue.push(Envelope { id, from, to, sent_at, payload: payload.clone() });
+                }
+                // The last copy moves the payload: the reliable fast path
+                // (copies == 1) clones nothing.
+                queue.push(Envelope { id, from, to, sent_at, payload });
+            }
+        }
         id
     }
 
@@ -376,6 +483,17 @@ impl<M: Clone> Network<M> {
     /// Total messages delivered so far.
     pub fn delivered_count(&self) -> u64 {
         self.delivered_count
+    }
+
+    /// Total messages the link-fault plan dropped so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped_count
+    }
+
+    /// Total *extra* copies the link-fault plan enqueued so far (each
+    /// duplicate copy beyond a send's first).
+    pub fn duplicated_count(&self) -> u64 {
+        self.duplicated_count
     }
 
     /// Total messages still in flight.
@@ -502,6 +620,75 @@ mod tests {
                 assert_eq!(env.payload, pl);
             }
         }
+    }
+
+    #[test]
+    fn link_faults_drop_and_duplicate_deterministically() {
+        use sih_model::LinkFaultPlan;
+        let plan = LinkFaultPlan::builder(2)
+            .drop_every(ProcessId(0), ProcessId(1), 2, 0, Time(0), None)
+            .duplicate_every(ProcessId(1), ProcessId(0), 1, 0, Time(0), None)
+            .build();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_link_faults(plan);
+        // 0 -> 1: every even-numbered send on the link is dropped.
+        net.send(ProcessId(0), ProcessId(1), Time(1), 10); // k=0, dropped
+        net.send(ProcessId(0), ProcessId(1), Time(1), 11); // k=1, delivered
+        net.send(ProcessId(0), ProcessId(1), Time(2), 12); // k=2, dropped
+        assert_eq!(net.pending_count(ProcessId(1)), 1);
+        assert_eq!(net.dropped_count(), 2);
+        // 1 -> 0: every send is duplicated; the copies share one id.
+        let id = net.send(ProcessId(1), ProcessId(0), Time(3), 20);
+        assert_eq!(net.pending_count(ProcessId(0)), 2);
+        assert_eq!(net.duplicated_count(), 1);
+        let ids: Vec<MsgId> = net.pending(ProcessId(0)).map(|e| e.id).collect();
+        assert_eq!(ids, vec![id, id]);
+        // The invariant holds with every copy counted as sent.
+        assert_eq!(
+            net.sent_count(),
+            net.delivered_count() + net.dropped_count() + net.in_flight() as u64
+        );
+        assert_eq!(net.sent_count(), 5);
+    }
+
+    #[test]
+    fn reset_uninstalls_the_fault_plan() {
+        use sih_model::LinkFaultPlan;
+        let mut net: Network<u8> = Network::new(2);
+        net.set_link_faults(
+            LinkFaultPlan::builder(2).drop_link(ProcessId(0), ProcessId(1), Time(0), None).build(),
+        );
+        net.send(ProcessId(0), ProcessId(1), Time(1), 1);
+        assert_eq!(net.dropped_count(), 1);
+        net.reset();
+        assert!(net.link_fault_plan().is_none());
+        assert_eq!(net.dropped_count(), 0);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 1);
+        assert_eq!(net.pending_count(ProcessId(1)), 1);
+    }
+
+    #[test]
+    fn fault_free_fingerprints_ignore_the_fault_machinery() {
+        use crate::fingerprint::Fnv64;
+        use sih_model::LinkFaultPlan;
+        let fp = |net: &Network<u8>| {
+            let mut h = Fnv64::new();
+            net.fingerprint_into(&mut h);
+            h.finish()
+        };
+        let mut plain: Network<u8> = Network::new(2);
+        plain.send(ProcessId(0), ProcessId(1), Time(1), 5);
+        let mut faulty: Network<u8> = Network::new(2);
+        // An installed plan whose windows never fire still changes the
+        // fingerprint domain (the plan is part of the adversary state)...
+        faulty.set_link_faults(LinkFaultPlan::reliable(2));
+        faulty.send(ProcessId(0), ProcessId(1), Time(1), 5);
+        assert_ne!(fp(&plain), fp(&faulty));
+        // ...but two identically-faulted histories coincide.
+        let mut faulty2: Network<u8> = Network::new(2);
+        faulty2.set_link_faults(LinkFaultPlan::reliable(2));
+        faulty2.send(ProcessId(0), ProcessId(1), Time(1), 5);
+        assert_eq!(fp(&faulty), fp(&faulty2));
     }
 
     #[test]

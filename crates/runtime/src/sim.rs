@@ -13,7 +13,9 @@ use crate::fingerprint::Fnv64;
 use crate::network::Network;
 use crate::scheduler::{Choice, Scheduler};
 use crate::trace::{Trace, TraceLevel};
-use sih_model::{FailureDetector, FailurePattern, FdOutput, ProcessId, ProcessSet, Time};
+use sih_model::{
+    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, ProcessId, ProcessSet, Time,
+};
 use std::fmt;
 
 /// The scheduler's view of the engine before a step.
@@ -30,6 +32,7 @@ pub struct SchedState<'a> {
     pending: &'a [usize],
     oldest_sent: &'a [Option<Time>],
     oldest_idx: &'a [Option<usize>],
+    starved: bool,
 }
 
 impl SchedState<'_> {
@@ -57,6 +60,14 @@ impl SchedState<'_> {
     pub fn oldest_index(&self, p: ProcessId) -> Option<usize> {
         self.oldest_idx[p.index()]
     }
+
+    /// Whether the system is provably stuck: there are schedulable
+    /// processes, but every one of them is
+    /// [quiescent](crate::Automaton::quiescent) with an empty pending
+    /// queue — no step anyone can take will ever produce an effect again.
+    pub fn starved(&self) -> bool {
+        self.starved
+    }
 }
 
 /// Why a [`Simulation::run`] stopped.
@@ -68,6 +79,12 @@ pub enum StopReason {
     MaxSteps,
     /// The scheduler returned `None`.
     SchedulerExhausted,
+    /// The system is provably stuck: schedulable processes exist, but
+    /// every one is [quiescent](crate::Automaton::quiescent) with an
+    /// empty pending queue, so no reachable step has any effect — e.g. a
+    /// permanent partition starved every quorum. Detected eagerly so such
+    /// runs stop in O(1) steps instead of spinning to `MaxSteps`.
+    Starved,
 }
 
 /// Statistics of a finished [`Simulation::run`].
@@ -77,6 +94,35 @@ pub struct RunOutcome {
     pub steps: u64,
     /// Why the run stopped.
     pub reason: StopReason,
+    /// Network accounting at stop time: total messages sent (every copy,
+    /// enqueued or dropped).
+    pub sent: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages the link-fault plan dropped.
+    pub dropped: u64,
+    /// Extra copies the link-fault plan enqueued.
+    pub duplicated: u64,
+    /// Messages still pending at stop time. The counters always satisfy
+    /// `sent == delivered + dropped + in_flight`.
+    pub in_flight: u64,
+}
+
+/// A liveness verdict for runs over faulty links: safety checkers always
+/// apply, but termination/completion can legitimately fail when the run
+/// was starved by a partition that never heals (or ran out of budget
+/// while faults were still active). See
+/// `check_k_set_agreement_degraded` in `sih-agreement` and
+/// `check_linearizable_degraded` in `sih-registers`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LivenessVerdict {
+    /// Safety held and the run completed (terminated / all ops done).
+    Live,
+    /// Safety held, but the run stopped before completing for an excusable
+    /// reason ([`StopReason::Starved`] or [`StopReason::MaxSteps`] under
+    /// unquiesced faults) — the degraded-but-correct outcome the paper's
+    /// quorum algorithms exhibit under partitions.
+    SafeButNotLive,
 }
 
 /// The observable side effects of one executed step.
@@ -283,6 +329,37 @@ impl<A: Automaton> Simulation<A> {
         &self.net
     }
 
+    /// Installs a link-fault plan on the network; subsequent sends consult
+    /// it (see [`Network::send`]). Call before running — sends already in
+    /// flight are unaffected. [`Simulation::reset`] uninstalls it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's process count differs from the system size.
+    pub fn set_link_faults(&mut self, plan: LinkFaultPlan) {
+        self.net.set_link_faults(plan);
+    }
+
+    /// Builder form of [`Simulation::set_link_faults`].
+    #[must_use]
+    pub fn with_link_faults(mut self, plan: LinkFaultPlan) -> Self {
+        self.set_link_faults(plan);
+        self
+    }
+
+    /// The [`RunOutcome`] network counters at the present moment.
+    fn outcome(&self, steps: u64, reason: StopReason) -> RunOutcome {
+        RunOutcome {
+            steps,
+            reason,
+            sent: self.net.sent_count(),
+            delivered: self.net.delivered_count(),
+            dropped: self.net.dropped_count(),
+            duplicated: self.net.duplicated_count(),
+            in_flight: self.net.in_flight() as u64,
+        }
+    }
+
     /// Immutable access to a process automaton (for state assertions in
     /// tests and adversaries).
     pub fn process(&self, p: ProcessId) -> &A {
@@ -333,6 +410,11 @@ impl<A: Automaton> Simulation<A> {
     pub fn sched_state(&mut self) -> SchedState<'_> {
         let next = self.now.next();
         let mut schedulable = ProcessSet::EMPTY;
+        // Starvation detection rides the same pass: the system is starved
+        // when schedulable processes exist but every one is quiescent with
+        // nothing pending — then no reachable step ever has an effect
+        // (quiescence is forever, queues can only be filled by effects).
+        let mut starved = true;
         for i in 0..self.n() {
             let p = ProcessId(i as u32);
             self.scratch_pending[i] = self.net.pending_count(p);
@@ -340,6 +422,7 @@ impl<A: Automaton> Simulation<A> {
             self.scratch_oldest_idx[i] = self.net.oldest_index(p);
             if self.pattern.is_alive(p, next) && !self.halted.contains(p) {
                 schedulable.insert(p);
+                starved = starved && self.scratch_pending[i] == 0 && self.procs[i].quiescent();
             }
         }
         SchedState {
@@ -350,6 +433,7 @@ impl<A: Automaton> Simulation<A> {
             pending: &self.scratch_pending,
             oldest_sent: &self.scratch_oldest_sent,
             oldest_idx: &self.scratch_oldest_idx,
+            starved: starved && !schedulable.is_empty(),
         }
     }
 
@@ -439,14 +523,17 @@ impl<A: Automaton> Simulation<A> {
         let mut steps = 0;
         loop {
             if self.all_correct_halted() || done(self) {
-                return RunOutcome { steps, reason: StopReason::AllCorrectHalted };
+                return self.outcome(steps, StopReason::AllCorrectHalted);
             }
             if steps >= max_steps {
-                return RunOutcome { steps, reason: StopReason::MaxSteps };
+                return self.outcome(steps, StopReason::MaxSteps);
             }
             let view = self.sched_state();
+            if view.starved() {
+                return self.outcome(steps, StopReason::Starved);
+            }
             let Some(choice) = sched.choose(&view) else {
-                return RunOutcome { steps, reason: StopReason::SchedulerExhausted };
+                return self.outcome(steps, StopReason::SchedulerExhausted);
             };
             self.step(choice, fd);
             steps += 1;

@@ -21,8 +21,9 @@
 //!
 //! [`Effects::set_output`]: crate::Effects::set_output
 
-use crate::automaton::{Automaton, Effects, StepInput};
-use sih_model::FdOutput;
+use crate::automaton::{Automaton, Effects, Envelope, StepInput};
+use sih_model::{FdOutput, ProcessId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A message of a two-layer protocol stack.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -187,6 +188,245 @@ impl<L: Automaton, U: Automaton> Automaton for Stacked<L, U> {
     }
 }
 
+/// A message of the stubborn-link layer wrapping inner payloads of type
+/// `M`.
+///
+/// `seq` numbers are per directed link (assigned by the sender, starting
+/// at 0); `cum` is the sender's *receive* watermark towards the
+/// destination — the piggybacked cumulative ack "I have every message you
+/// sent me with sequence number `< cum`".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StubbornMsg<M> {
+    /// An inner-protocol message, stubbornly retransmitted until acked.
+    Data {
+        /// Per-link sequence number of the wrapped send.
+        seq: u64,
+        /// Piggybacked cumulative ack for the reverse direction.
+        cum: u64,
+        /// The inner protocol's payload.
+        payload: M,
+    },
+    /// A bare cumulative ack (sent in response to every received `Data`).
+    Ack {
+        /// Cumulative ack: every reverse-direction `seq < cum` is received.
+        cum: u64,
+    },
+}
+
+/// Default retransmission period of [`Stubborn`]: every `period`-th own
+/// step resends all unacked messages.
+pub const STUBBORN_PERIOD: u64 = 8;
+
+/// A stubborn-link wrapper making any automaton loss-tolerant — the
+/// standard reliable-channels-from-fair-lossy-links construction
+/// (retransmit until acknowledged), with cumulative ack piggybacking and
+/// receive-side dedup.
+///
+/// Each inner send gets a per-link sequence number and is kept in an
+/// unacked buffer; every `period`-th step of the wrapper retransmits the
+/// whole buffer. The receive side delivers each sequence number to the
+/// inner automaton **exactly once** (so network-level duplicates and
+/// retransmissions are invisible to it — duplicate copies share their
+/// sequence number, which subsumes dedup by `MsgId`), and answers every
+/// `Data` with a cumulative [`StubbornMsg::Ack`].
+///
+/// Over any fair-lossy link (one that delivers infinitely many of
+/// infinitely many retransmissions — in particular any
+/// [`LinkFaultPlan`](sih_model::LinkFaultPlan) with a finite
+/// `quiescence_time()` under a fair scheduler), every inner send is
+/// eventually delivered, so Figures 2/4/5 and the ABD register client run
+/// **unchanged** on top.
+///
+/// The wrapper halts only once the inner automaton has halted **and**
+/// nothing is left unacked — a decided process must keep retransmitting
+/// so its peers can finish too.
+#[derive(Clone, Debug)]
+pub struct Stubborn<A: Automaton> {
+    inner: A,
+    period: u64,
+    /// Own steps taken (drives the retransmission clock).
+    ticks: u64,
+    /// `next_seq[dst]`: sequence number of the next send to `dst`.
+    next_seq: Vec<u64>,
+    /// Sent but not yet cumulatively acked: `(dst, seq) -> payload`.
+    unacked: BTreeMap<(u32, u64), A::Msg>,
+    /// `recv_next[src]`: receive watermark (all `seq < recv_next` done).
+    recv_next: Vec<u64>,
+    /// `recv_ooo[src]`: received sequence numbers above the watermark.
+    recv_ooo: Vec<BTreeSet<u64>>,
+}
+
+impl<A: Automaton> Stubborn<A> {
+    /// Wraps `inner` for a system of `n` processes, with the default
+    /// [`STUBBORN_PERIOD`].
+    pub fn new(inner: A, n: usize) -> Self {
+        Self::with_period(inner, n, STUBBORN_PERIOD)
+    }
+
+    /// Wraps `inner` with an explicit retransmission period (in own
+    /// steps; `1` retransmits every step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn with_period(inner: A, n: usize, period: u64) -> Self {
+        assert!(period > 0, "retransmission period must be positive");
+        Stubborn {
+            inner,
+            period,
+            ticks: 0,
+            next_seq: vec![0; n],
+            unacked: BTreeMap::new(),
+            recv_next: vec![0; n],
+            recv_ooo: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// The wrapped automaton.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Number of sends awaiting acknowledgement.
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Drops every unacked `(dst, seq)` with `seq < cum` for `dst`.
+    fn apply_cum_ack(&mut self, dst: ProcessId, cum: u64) {
+        let d = dst.0;
+        while let Some((&(q, seq), _)) = self.unacked.range((d, 0)..=(d, u64::MAX)).next() {
+            debug_assert_eq!(q, d);
+            if seq >= cum {
+                break;
+            }
+            self.unacked.remove(&(q, seq));
+        }
+    }
+
+    /// Dedup bookkeeping for an incoming `seq` from `src`; returns whether
+    /// the sequence number is fresh (first time seen).
+    fn record_recv(&mut self, src: ProcessId, seq: u64) -> bool {
+        let s = src.index();
+        if seq < self.recv_next[s] || self.recv_ooo[s].contains(&seq) {
+            return false;
+        }
+        if seq == self.recv_next[s] {
+            self.recv_next[s] += 1;
+            while self.recv_ooo[s].remove(&self.recv_next[s]) {
+                self.recv_next[s] += 1;
+            }
+        } else {
+            self.recv_ooo[s].insert(seq);
+        }
+        true
+    }
+}
+
+impl<A: Automaton> Automaton for Stubborn<A> {
+    type Msg = StubbornMsg<A::Msg>;
+
+    fn step(&mut self, input: StepInput<Self::Msg>, eff: &mut Effects<Self::Msg>) {
+        self.ticks += 1;
+
+        // Unwrap the delivered message: acks update the unacked buffer;
+        // fresh data is handed to the inner automaton, duplicates become
+        // null deliveries. Every Data gets an Ack back (even duplicates —
+        // the original ack may have been lost).
+        let mut inner_delivery = None;
+        if let Some(env) = input.delivered {
+            let from = env.from;
+            match env.payload {
+                StubbornMsg::Ack { cum } => self.apply_cum_ack(from, cum),
+                StubbornMsg::Data { seq, cum, payload } => {
+                    self.apply_cum_ack(from, cum);
+                    if self.record_recv(from, seq) {
+                        inner_delivery = Some(Envelope {
+                            id: env.id,
+                            from,
+                            to: env.to,
+                            sent_at: env.sent_at,
+                            payload,
+                        });
+                    }
+                    eff.send(from, StubbornMsg::Ack { cum: self.recv_next[from.index()] });
+                }
+            }
+        }
+
+        // The inner automaton takes its step (with a null delivery when
+        // the wrapper absorbed a duplicate or an ack); a halted inner
+        // drops deliveries like any halted process would.
+        let mut inner_eff = Effects::new();
+        if !self.inner.halted() {
+            self.inner.step(
+                StepInput {
+                    me: input.me,
+                    n: input.n,
+                    now: input.now,
+                    delivered: inner_delivery,
+                    fd: input.fd,
+                },
+                &mut inner_eff,
+            );
+        }
+
+        // Wrap the inner sends with fresh sequence numbers and remember
+        // them until cumulatively acked.
+        for (to, m) in inner_eff.sends {
+            let seq = self.next_seq[to.index()];
+            self.next_seq[to.index()] += 1;
+            self.unacked.insert((to.0, seq), m.clone());
+            eff.send(to, StubbornMsg::Data { seq, cum: self.recv_next[to.index()], payload: m });
+        }
+        if let Some(v) = inner_eff.decision {
+            eff.decide(v);
+        }
+        if let Some(out) = inner_eff.emulated {
+            eff.set_output(out);
+        }
+        for ev in inner_eff.op_events {
+            eff.op_events.push(ev);
+        }
+
+        // The stubborn clock: every `period`-th own step resends the
+        // whole unacked buffer (with up-to-date piggybacked acks).
+        if self.ticks.is_multiple_of(self.period) {
+            for (&(dst, seq), m) in &self.unacked {
+                let to = ProcessId(dst);
+                eff.send(
+                    to,
+                    StubbornMsg::Data { seq, cum: self.recv_next[to.index()], payload: m.clone() },
+                );
+            }
+        }
+
+        // Halt only once nothing is left to retransmit; a decided inner
+        // automaton's last messages must still reach the other side.
+        if (inner_eff.halt || self.inner.halted()) && self.unacked.is_empty() {
+            eff.halt();
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.inner.halted() && self.unacked.is_empty()
+    }
+
+    fn quiescent(&self) -> bool {
+        // With an empty unacked buffer the wrapper adds no effects of its
+        // own on null steps, so quiescence reduces to the inner's (a
+        // halted inner is vacuously quiescent).
+        (self.inner.halted() || self.inner.quiescent()) && self.unacked.is_empty()
+    }
+}
+
+/// Wraps every automaton of a system in a [`Stubborn`] layer (with the
+/// default period).
+pub fn stubborn_processes<A: Automaton>(procs: Vec<A>) -> Vec<Stubborn<A>> {
+    let n = procs.len();
+    procs.into_iter().map(|a| Stubborn::new(a, n)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,5 +531,162 @@ mod tests {
             FdOutput::EMPTY_TRUST,
         );
         assert_eq!(stack.current_output(), FdOutput::EMPTY_TRUST);
+    }
+
+    /// Inner automaton for the stubborn tests: sends one "hello" to p1 on
+    /// its first step and counts every delivered payload.
+    #[derive(Clone, Debug, Default)]
+    struct OneShotSender {
+        started: bool,
+        received: Vec<&'static str>,
+    }
+    impl Automaton for OneShotSender {
+        type Msg = &'static str;
+        fn step(&mut self, input: StepInput<&'static str>, eff: &mut Effects<&'static str>) {
+            if !self.started {
+                self.started = true;
+                eff.send(ProcessId(1), "hello");
+            }
+            if let Some(env) = input.delivered {
+                self.received.push(env.payload);
+            }
+        }
+    }
+
+    fn stubborn_step(
+        s: &mut Stubborn<OneShotSender>,
+        me: ProcessId,
+        delivered: Option<Envelope<StubbornMsg<&'static str>>>,
+    ) -> Effects<StubbornMsg<&'static str>> {
+        let mut eff = Effects::new();
+        s.step(StepInput { me, n: 2, now: Time(1), delivered, fd: FdOutput::Bot }, &mut eff);
+        eff
+    }
+
+    fn data_env(seq: u64, payload: &'static str) -> Envelope<StubbornMsg<&'static str>> {
+        Envelope {
+            id: crate::automaton::MsgId(7),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            sent_at: Time(0),
+            payload: StubbornMsg::Data { seq, cum: 0, payload },
+        }
+    }
+
+    #[test]
+    fn stubborn_retransmits_until_acked() {
+        let mut s = Stubborn::with_period(OneShotSender::default(), 2, 1);
+        // First step: the inner send goes out wrapped with seq 0... and the
+        // period-1 clock immediately re-sends it once more.
+        let eff = stubborn_step(&mut s, ProcessId(0), None);
+        let wrapped: Vec<_> = eff.sends().to_vec();
+        assert_eq!(wrapped.len(), 2);
+        assert!(matches!(wrapped[0].1, StubbornMsg::Data { seq: 0, payload: "hello", .. }));
+        assert!(matches!(wrapped[1].1, StubbornMsg::Data { seq: 0, payload: "hello", .. }));
+        assert_eq!(s.unacked_len(), 1);
+        // Null steps keep retransmitting.
+        let eff = stubborn_step(&mut s, ProcessId(0), None);
+        assert_eq!(eff.sends().len(), 1);
+        // An ack covering seq 0 stops the retransmission.
+        let ack = Envelope {
+            id: crate::automaton::MsgId(9),
+            from: ProcessId(1),
+            to: ProcessId(0),
+            sent_at: Time(0),
+            payload: StubbornMsg::Ack { cum: 1 },
+        };
+        let eff = stubborn_step(&mut s, ProcessId(0), Some(ack));
+        assert_eq!(s.unacked_len(), 0);
+        assert!(eff.sends().is_empty());
+    }
+
+    #[test]
+    fn stubborn_receive_is_dedup_idempotent() {
+        let mut s = Stubborn::with_period(OneShotSender::default(), 2, 64);
+        // Burn the inner's first step (its own send) with a null step.
+        let _ = stubborn_step(&mut s, ProcessId(1), None);
+        // Deliver seq 0 three times: the inner sees "hello" exactly once,
+        // but each copy is answered with an ack.
+        for _ in 0..3 {
+            let eff = stubborn_step(&mut s, ProcessId(1), Some(data_env(0, "hello")));
+            assert!(
+                matches!(eff.sends()[0], (ProcessId(0), StubbornMsg::Ack { cum: 1 })),
+                "every Data copy is acked: {:?}",
+                eff.sends()
+            );
+        }
+        assert_eq!(s.inner().received, vec!["hello"]);
+        // Out-of-order arrival: seq 2 before seq 1, each exactly once.
+        let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(2, "c")));
+        let eff = stubborn_step(&mut s, ProcessId(1), Some(data_env(1, "b")));
+        // The watermark jumps over the out-of-order hole: cum = 3.
+        assert!(matches!(eff.sends()[0], (ProcessId(0), StubbornMsg::Ack { cum: 3 })));
+        let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(2, "c")));
+        let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(1, "b")));
+        assert_eq!(s.inner().received, vec!["hello", "c", "b"]);
+    }
+
+    #[test]
+    fn stubborn_halts_only_after_drain_and_goes_quiescent() {
+        #[derive(Clone, Debug, Default)]
+        struct DecideAndReturn {
+            done: bool,
+        }
+        impl Automaton for DecideAndReturn {
+            type Msg = u8;
+            fn step(&mut self, _input: StepInput<u8>, eff: &mut Effects<u8>) {
+                if !self.done {
+                    self.done = true;
+                    eff.send(ProcessId(1), 42);
+                    eff.decide(Value(1));
+                    eff.halt();
+                }
+            }
+            fn halted(&self) -> bool {
+                self.done
+            }
+        }
+
+        let mut s = Stubborn::with_period(DecideAndReturn::default(), 2, 4);
+        let mut eff = Effects::new();
+        s.step(
+            StepInput { me: ProcessId(0), n: 2, now: Time(1), delivered: None, fd: FdOutput::Bot },
+            &mut eff,
+        );
+        // Inner decided and returned, but the wrapper must keep running
+        // until the send is acked.
+        assert_eq!(eff.decision(), Some(Value(1)));
+        assert!(!eff.halt_requested());
+        assert!(!s.halted());
+        assert!(!s.quiescent(), "unacked data still needs retransmitting");
+        let ack = Envelope {
+            id: crate::automaton::MsgId(3),
+            from: ProcessId(1),
+            to: ProcessId(0),
+            sent_at: Time(1),
+            payload: StubbornMsg::Ack { cum: 1 },
+        };
+        let mut eff = Effects::new();
+        s.step(
+            StepInput {
+                me: ProcessId(0),
+                n: 2,
+                now: Time(2),
+                delivered: Some(ack),
+                fd: FdOutput::Bot,
+            },
+            &mut eff,
+        );
+        assert!(eff.halt_requested());
+        assert!(s.halted());
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn stubborn_processes_wraps_every_automaton() {
+        let procs = stubborn_processes(vec![OneShotSender::default(), OneShotSender::default()]);
+        assert_eq!(procs.len(), 2);
+        assert_eq!(procs[0].unacked_len(), 0);
+        assert!(!procs[0].halted());
     }
 }
