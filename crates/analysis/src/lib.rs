@@ -11,6 +11,9 @@
 //!    entry.
 //! 3. **Lint hygiene** ([`hygiene`]) — crate-level `forbid(unsafe_code)`
 //!    and `warn(missing_docs)` attributes everywhere they belong.
+//! 4. **Replay-corpus validity** ([`corpus`]) — every committed
+//!    `tests/corpus/*.schedule` counterexample parses as a versioned
+//!    schedule naming a registered workload checker.
 //!
 //! The crate is dependency-free by design: it must build and run even
 //! when the rest of the workspace is broken, and it must never drag a
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod claims;
+pub mod corpus;
 pub mod hygiene;
 pub mod lexer;
 pub mod report;
@@ -75,6 +79,7 @@ pub fn analyze(config: &Config) -> Report {
     }
 
     report.findings.extend(hygiene::check_hygiene(root));
+    report.findings.extend(corpus::check_corpus(root));
     let (evidence, claim_findings) = claims::check_claims(root);
     report.claims = evidence;
     report.findings.extend(claim_findings);

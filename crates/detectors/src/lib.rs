@@ -40,6 +40,7 @@ mod rng;
 mod sigma;
 mod sigma_k;
 mod sigma_s;
+mod weak;
 
 pub use anti_omega::AntiOmega;
 pub use omega::Omega;
@@ -51,3 +52,4 @@ pub use quorum::{QuorumMsg, QuorumSigma};
 pub use sigma::{Sigma, SigmaMode};
 pub use sigma_k::{SigmaK, SigmaKMode};
 pub use sigma_s::SigmaS;
+pub use weak::{WeakSigma, WeakSigmaK, WeakSigmaS};

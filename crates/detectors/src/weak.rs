@@ -1,0 +1,198 @@
+//! Intentionally **illegal** detector oracles — negative witnesses.
+//!
+//! Each oracle here deliberately violates exactly one load-bearing clause
+//! of its specification — always the *intersection* (quorum) property,
+//! the hypothesis the paper's algorithms lean on — while keeping every
+//! output well-formed. Feeding one of these to an otherwise-unmodified
+//! algorithm (Fig. 2, Fig. 4, the ABD-style register) produces a safety
+//! violation, and the minimized schedule of that violation is a concrete
+//! *negative witness* for the corresponding reduction hypothesis: it shows
+//! the run that the real detector's intersection property forbids. The
+//! committed corpus under `tests/corpus/` is seeded from these.
+//!
+//! These types are for the counterexample harness and tests only; nothing
+//! in the experiment pipelines uses them.
+
+use sih_model::{FailureDetector, FdOutput, ProcessId, ProcessSet, Time};
+
+/// A broken `σ`: each active process trusts **only itself**, forever.
+///
+/// Outputs are well-formed (nonempty lists ⊆ A at actives, ⊥ elsewhere)
+/// and complete (a process is always in its own trusted set), but the two
+/// singleton lists `{a0}` and `{a1}` never intersect — the Intersection
+/// clause of Definition 3 (and with it Fact 5, the quorum argument behind
+/// Fig. 2's agreement) is disabled.
+#[derive(Clone, Copy, Debug)]
+pub struct WeakSigma {
+    a0: ProcessId,
+    a1: ProcessId,
+}
+
+impl WeakSigma {
+    /// A broken `σ` for the active pair `{a0, a1}`.
+    pub fn new(a0: ProcessId, a1: ProcessId) -> Self {
+        assert_ne!(a0, a1, "σ's active set is a pair");
+        WeakSigma { a0, a1 }
+    }
+}
+
+impl FailureDetector for WeakSigma {
+    fn output(&self, p: ProcessId, _t: Time) -> FdOutput {
+        if p == self.a0 || p == self.a1 {
+            FdOutput::Trust(ProcessSet::singleton(p))
+        } else {
+            FdOutput::Bot
+        }
+    }
+
+    fn stabilization_time(&self) -> Time {
+        Time::ZERO
+    }
+
+    fn name(&self) -> String {
+        format!("weak-σ({},{})", self.a0, self.a1)
+    }
+}
+
+/// A broken `σ_k`: every active process trusts **only itself**, forever.
+///
+/// Well-formed per Definition 9 (pairs `(X, A)` with `X ⊆ A` at actives,
+/// ⊥ outside) but the singleton `X`s are pairwise disjoint, so the
+/// Intersection clause is disabled: both halves of `A` can pass Fig. 4's
+/// `until`-exit simultaneously and all of `A` decides its own value.
+#[derive(Clone, Copy, Debug)]
+pub struct WeakSigmaK {
+    active: ProcessSet,
+}
+
+impl WeakSigmaK {
+    /// A broken `σ_k` for the active set `active` (`|active| = 2k`).
+    pub fn new(active: ProcessSet) -> Self {
+        assert!(
+            !active.is_empty() && active.len().is_multiple_of(2),
+            "σ_k's active set has even size 2k"
+        );
+        WeakSigmaK { active }
+    }
+
+    /// The active set.
+    pub fn active(&self) -> ProcessSet {
+        self.active
+    }
+}
+
+impl FailureDetector for WeakSigmaK {
+    fn output(&self, p: ProcessId, _t: Time) -> FdOutput {
+        if self.active.contains(p) {
+            FdOutput::TrustActive { trust: ProcessSet::singleton(p), active: self.active }
+        } else {
+            FdOutput::Bot
+        }
+    }
+
+    fn stabilization_time(&self) -> Time {
+        Time::ZERO
+    }
+
+    fn name(&self) -> String {
+        format!("weak-σ_k({})", self.active)
+    }
+}
+
+/// A broken `Σ_S`: every member of `S` trusts **only itself**, forever —
+/// "σ with quorum intersection disabled".
+///
+/// The ABD-style register emulation uses the trusted sets as read/write
+/// quorums; with singleton quorums an operation completes after hearing
+/// from the issuer's own replica alone, so a write at one member of `S`
+/// is invisible to a subsequent read at another — a stale read the
+/// linearizability checker rejects. This is the planted violation the
+/// acceptance pipeline records, shrinks, and replays.
+#[derive(Clone, Copy, Debug)]
+pub struct WeakSigmaS {
+    s: ProcessSet,
+}
+
+impl WeakSigmaS {
+    /// A broken `Σ_S` for the subset `s`.
+    pub fn new(s: ProcessSet) -> Self {
+        assert!(!s.is_empty(), "Σ_S needs a nonempty S");
+        WeakSigmaS { s }
+    }
+
+    /// The subset `S`.
+    pub fn subset(&self) -> ProcessSet {
+        self.s
+    }
+}
+
+impl FailureDetector for WeakSigmaS {
+    fn output(&self, p: ProcessId, _t: Time) -> FdOutput {
+        if self.s.contains(p) {
+            FdOutput::Trust(ProcessSet::singleton(p))
+        } else {
+            FdOutput::Bot
+        }
+    }
+
+    fn stabilization_time(&self) -> Time {
+        Time::ZERO
+    }
+
+    fn name(&self) -> String {
+        format!("weak-Σ_S({})", self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{check_sigma, check_sigma_k, check_sigma_s, sample_history};
+    use sih_model::FailurePattern;
+
+    fn pair() -> ProcessSet {
+        [ProcessId(0), ProcessId(1)].into_iter().collect()
+    }
+
+    #[test]
+    fn weak_sigma_violates_exactly_intersection() {
+        let det = WeakSigma::new(ProcessId(0), ProcessId(1));
+        let pattern = FailurePattern::all_correct(3);
+        let h = sample_history(&det, 3, Time(20));
+        let v = check_sigma(&h, &pattern, pair()).unwrap_err();
+        assert_eq!(v.property, "intersection");
+    }
+
+    #[test]
+    fn weak_sigma_k_violates_exactly_intersection() {
+        let active = pair();
+        let det = WeakSigmaK::new(active);
+        let pattern = FailurePattern::all_correct(4);
+        let h = sample_history(&det, 4, Time(20));
+        let v = check_sigma_k(&h, &pattern, active).unwrap_err();
+        assert_eq!(v.property, "intersection");
+    }
+
+    #[test]
+    fn weak_sigma_s_violates_exactly_intersection() {
+        let s = pair();
+        let det = WeakSigmaS::new(s);
+        let pattern = FailurePattern::all_correct(4);
+        let h = sample_history(&det, 4, Time(20));
+        let v = check_sigma_s(&h, &pattern, s).unwrap_err();
+        assert_eq!(v.property, "intersection");
+    }
+
+    #[test]
+    #[should_panic(expected = "active set is a pair")]
+    fn weak_sigma_rejects_a_degenerate_pair() {
+        let _ = WeakSigma::new(ProcessId(2), ProcessId(2));
+    }
+
+    #[test]
+    fn names_identify_the_weakening() {
+        assert!(WeakSigma::new(ProcessId(0), ProcessId(1)).name().contains("weak"));
+        assert!(WeakSigmaK::new(pair()).name().contains("weak"));
+        assert!(WeakSigmaS::new(pair()).name().contains("weak"));
+    }
+}

@@ -1,7 +1,7 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | explore | faults | all> [--n N] [--k K]
+//! lab <e1..e15 | figure1 | explore | faults | repro | all> [--n N] [--k K]
 //!     [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]
 //! ```
 //!
@@ -18,11 +18,18 @@
 //! register over lossy, duplicating and partitioned-then-healed links,
 //! plus the permanent-partition starvation witness) and, with `--json`,
 //! writes the `BENCH_faults.json` artifact.
+//!
+//! `lab repro` is the counterexample harness: `record` captures a failing
+//! schedule from a registered workload, `shrink` minimizes it with the
+//! delta-debugging engine, `replay` re-runs one schedule file, and
+//! `corpus DIR` strict-replays every committed `*.schedule` (add
+//! `--fresh DIR` to also re-record each planted violation from scratch).
 
 use sih_lab::{
-    render_figure1, run_experiment, run_explore_bench, run_faults_bench, ExperimentReport,
+    render_figure1, repro, run_experiment, run_explore_bench, run_faults_bench, ExperimentReport,
     ExploreLabConfig, FaultsLabConfig, LabConfig, EXPERIMENT_IDS,
 };
+use sih_runtime::Schedule;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -30,10 +37,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | faults | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
+        eprintln!(
+            "repro: lab repro <record --workload W | shrink FILE | replay FILE | corpus DIR> …"
+        );
         return ExitCode::FAILURE;
+    }
+    if args[0] == "repro" {
+        return repro_cli(&args[1..]);
     }
     let command = args[0].clone();
     let mut cfg = LabConfig::default();
@@ -144,4 +157,267 @@ fn main() -> ExitCode {
         eprintln!("UNEXPECTED outcomes present");
         ExitCode::FAILURE
     }
+}
+
+/// The `lab repro` verb: record, shrink, replay and verify counterexample
+/// schedules (see `sih_lab::repro`).
+///
+/// ```text
+/// lab repro record --workload W [--n N] [--k K] [--seed S] [--scan T]
+///                  [--steps M] [--shrink] [--out FILE]
+/// lab repro shrink FILE [--out FILE]
+/// lab repro replay FILE [--lenient]
+/// lab repro corpus DIR [--threads T] [--fresh DIR]
+/// ```
+fn repro_cli(args: &[String]) -> ExitCode {
+    let usage = || -> ExitCode {
+        eprintln!("usage: lab repro record --workload W [--n N] [--k K] [--seed S] [--scan T] [--steps M] [--shrink] [--out FILE]");
+        eprintln!("       lab repro shrink FILE [--out FILE]");
+        eprintln!("       lab repro replay FILE [--lenient]");
+        eprintln!("       lab repro corpus DIR [--threads T] [--fresh DIR]");
+        eprintln!(
+            "workloads: {}",
+            repro::WORKLOADS.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+        );
+        ExitCode::FAILURE
+    };
+    let Some(sub) = args.first() else { return usage() };
+
+    // Flag parsing shared by all subcommands; positional args collected.
+    let mut workload_name: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut k: usize = 1;
+    let mut seed: u64 = 0;
+    let mut scan: Option<u64> = None;
+    let mut steps: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut threads: usize = 0;
+    let mut fresh: Option<String> = None;
+    let mut lenient = false;
+    let mut do_shrink = false;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> String {
+            it.next().unwrap_or_else(|| panic!("missing value for {flag}")).clone()
+        };
+        match flag.as_str() {
+            "--workload" => workload_name = Some(value(&mut it)),
+            "--n" => n = Some(value(&mut it).parse().expect("--n takes an integer")),
+            "--k" => k = value(&mut it).parse().expect("--k takes an integer"),
+            "--seed" => seed = value(&mut it).parse().expect("--seed takes an integer"),
+            "--scan" => scan = Some(value(&mut it).parse().expect("--scan takes an integer")),
+            "--steps" => steps = Some(value(&mut it).parse().expect("--steps takes an integer")),
+            "--out" => out = Some(value(&mut it)),
+            "--threads" => threads = value(&mut it).parse().expect("--threads takes an integer"),
+            "--fresh" => fresh = Some(value(&mut it)),
+            "--lenient" => lenient = true,
+            "--shrink" => do_shrink = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    let write_or_print = |schedule: &Schedule, out: &Option<String>| {
+        let text = schedule.to_text();
+        match out {
+            Some(path) => {
+                std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!(
+                    "wrote {path} ({} choices, verdict `{}`)",
+                    schedule.choices.len(),
+                    schedule.verdict
+                );
+            }
+            None => print!("{text}"),
+        }
+    };
+    let load = |path: &str| -> Result<Schedule, ExitCode> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("reading {path}: {e}");
+            ExitCode::FAILURE
+        })?;
+        Schedule::parse(&text).map_err(|e| {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        })
+    };
+
+    match sub.as_str() {
+        "record" => {
+            let Some(name) = workload_name else {
+                eprintln!("record needs --workload");
+                return usage();
+            };
+            let captured = match scan {
+                Some(tries) => repro::record_first_violation(&name, k, tries),
+                None => {
+                    let mut req = repro::RecordRequest::new(&name);
+                    req.n = n;
+                    req.k = k;
+                    req.seed = seed;
+                    req.max_steps = steps;
+                    repro::record(&req)
+                }
+            };
+            match captured {
+                Ok(Some(mut s)) => {
+                    if do_shrink {
+                        let (small, report) = match repro::shrink(&s) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                eprintln!("shrink: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        eprintln!(
+                            "shrunk {} -> {} choices ({} candidates tried, {} accepted, {} rounds)",
+                            report.original_len,
+                            report.final_len,
+                            report.candidates_tried,
+                            report.candidates_accepted,
+                            report.rounds
+                        );
+                        s = small;
+                    }
+                    write_or_print(&s, &out);
+                    ExitCode::SUCCESS
+                }
+                Ok(None) => {
+                    eprintln!("{name}: no violation captured (run was clean)");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "shrink" => {
+            let Some(path) = positional.first() else {
+                eprintln!("shrink needs a schedule file");
+                return usage();
+            };
+            let s = match load(path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            match repro::shrink(&s) {
+                Ok((small, report)) => {
+                    eprintln!(
+                        "shrunk {} -> {} choices ({} candidates tried, {} accepted, {} rounds)",
+                        report.original_len,
+                        report.final_len,
+                        report.candidates_tried,
+                        report.candidates_accepted,
+                        report.rounds
+                    );
+                    write_or_print(&small, &out);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "replay" => {
+            let Some(path) = positional.first() else {
+                eprintln!("replay needs a schedule file");
+                return usage();
+            };
+            let s = match load(path) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mode = if lenient { repro::ReplayMode::Lenient } else { repro::ReplayMode::Strict };
+            match repro::replay(&s, mode) {
+                Ok(rep) => {
+                    println!(
+                        "{}: recorded `{}`, replayed `{}` in {} step(s) — {}",
+                        path,
+                        s.verdict,
+                        rep.verdict,
+                        rep.executed.len(),
+                        if rep.matches { "reproduced" } else { "STALE" }
+                    );
+                    if rep.matches {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "corpus" => {
+            let Some(dir) = positional.first() else {
+                eprintln!("corpus needs a directory");
+                return usage();
+            };
+            let entries = match repro::verify_corpus_dir(std::path::Path::new(dir), threads) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("reading {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if entries.is_empty() {
+                eprintln!("{dir}: no *.schedule files");
+                return ExitCode::FAILURE;
+            }
+            let mut ok = true;
+            for entry in &entries {
+                println!("{entry}");
+                ok &= entry.ok;
+            }
+            if let Some(fresh_dir) = fresh {
+                if let Err(code) = record_fresh_corpus(&fresh_dir) {
+                    return code;
+                }
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("STALE corpus entries present");
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Records and shrinks a fresh counterexample for every weakened workload
+/// into `dir` — the CI artifact proving the pipeline still captures each
+/// planted violation from scratch.
+fn record_fresh_corpus(dir: &str) -> Result<(), ExitCode> {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    for w in repro::WORKLOADS.iter().filter(|w| !w.expect_ok) {
+        let captured = repro::record_first_violation(w.name, 1, 64).map_err(|e| {
+            eprintln!("{}: {e}", w.name);
+            ExitCode::FAILURE
+        })?;
+        let Some(s) = captured else {
+            eprintln!("{}: planted violation NOT captured in 64 seeds", w.name);
+            return Err(ExitCode::FAILURE);
+        };
+        let (small, report) = repro::shrink(&s).map_err(|e| {
+            eprintln!("{}: shrink: {e}", w.name);
+            ExitCode::FAILURE
+        })?;
+        let path = format!("{dir}/{}.schedule", w.name);
+        std::fs::write(&path, small.to_text()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "fresh {}: `{}` shrunk {} -> {} choices",
+            path, small.verdict, report.original_len, report.final_len
+        );
+    }
+    Ok(())
 }

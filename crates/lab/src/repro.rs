@@ -1,0 +1,728 @@
+//! Counterexample harness: record, shrink, replay (`lab repro`).
+//!
+//! This module binds the serializable [`Schedule`] artifact of
+//! `sih_runtime::repro` to concrete **workloads** — named, fully
+//! reconstructible configurations of one algorithm + one detector + one
+//! checker. A schedule names its workload (`checker:` line), so replaying
+//! it needs nothing but the schedule file: the registry rebuilds the
+//! automata and detector from `n`, `k` and `seed`, installs the recorded
+//! crash pattern and link-fault plan, and re-executes the exact choice
+//! sequence through a strict [`ScriptedScheduler`].
+//!
+//! Workloads come in sound/weakened pairs: the sound detector satisfies
+//! its specification and the run verdict is `ok`; the weakened twin (from
+//! `sih_detectors::weak`) disables exactly the intersection/quorum
+//! hypothesis, and the resulting safety violation — recorded, shrunk and
+//! committed under `tests/corpus/` — is a *negative witness* for the
+//! paper's R1/R4/R10 hypotheses.
+//!
+//! Replays run in two modes. **Strict** (corpus verification): the script
+//! must execute exactly — exhaustion is a typed stop, an illegal choice
+//! is an engine panic, and the verdict plus the executed script must both
+//! match the schedule. **Lenient** (shrink candidates): scripted choices
+//! that are illegal in the mutated run are *skipped*; because skipping
+//! executes nothing, the surviving legal subsequence is itself a valid
+//! schedule that replays identically — the canonical form the shrinker
+//! keeps. Panics (e.g. Fig. 2's validity `expect` under a broken σ) are
+//! caught and mapped to the stable verdict token `panic`, making
+//! panic-witnessing schedules first-class shrinkable artifacts.
+
+use sih_agreement::{check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes};
+use sih_detectors::{check_anti_omega, Sigma, SigmaK, SigmaS, WeakSigma, WeakSigmaK, WeakSigmaS};
+use sih_model::{
+    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, OpKind, ProcessId, ProcessSet, Time,
+    Value,
+};
+use sih_reductions::Fig6WithoutChange;
+use sih_registers::{abd_processes, check_linearizable, LinearizabilityViolation};
+use sih_runtime::sweep::Sweep;
+use sih_runtime::{
+    shrink_schedule, Automaton, Choice, FairScheduler, Schedule, ScriptedScheduler, ShrinkOptions,
+    ShrinkReport, Simulation,
+};
+use std::fmt;
+
+/// The verdict token of a run that tripped an engine or automaton panic.
+pub const PANIC_VERDICT: &str = "panic";
+
+/// One registered workload: a named, reconstructible configuration the
+/// schedule format can reference.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Registry name (the `checker:` line of schedules).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Whether a fresh fair-scheduler run is expected to end `ok`
+    /// (sound detector) or to witness a violation (weakened twin).
+    pub expect_ok: bool,
+    /// Default system size for `record`.
+    pub default_n: usize,
+    /// Default step bound for `record`.
+    pub default_steps: u64,
+}
+
+/// The workload registry. Names here are the only valid `checker:`
+/// values; `sih-analysis` cross-checks the committed corpus against this
+/// list (by source inspection — the analyzer is dependency-free).
+pub const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "fig2-sigma",
+        summary: "Fig. 2 (n-1)-set agreement from sound σ (R1, holds)",
+        expect_ok: true,
+        default_n: 3,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "fig2-weak-sigma",
+        summary: "Fig. 2 under σ with intersection disabled (R1 negative witness)",
+        expect_ok: false,
+        default_n: 3,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "fig4-sigma-k",
+        summary: "Fig. 4 (n-k)-set agreement from sound σ_2k (R4, holds)",
+        expect_ok: true,
+        default_n: 4,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "fig4-weak-sigma-k",
+        summary: "Fig. 4 under σ_2k with intersection disabled (R4 negative witness)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "abd-sigma-s",
+        summary: "ABD register in S from sound Σ_S (Prop. 1 route, holds)",
+        expect_ok: true,
+        default_n: 4,
+        default_steps: 6_000,
+    },
+    Workload {
+        name: "abd-weak-quorum",
+        summary: "ABD register with quorum intersection disabled (stale read)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 6_000,
+    },
+    Workload {
+        name: "fig6-without-change",
+        summary: "Fig. 6 minus the CHANGE handshake: anti-Ω breaks (R10 witness)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 60_000,
+    },
+];
+
+/// Looks up a workload by name.
+pub fn workload(name: &str) -> Option<&'static Workload> {
+    WORKLOADS.iter().find(|w| w.name == name)
+}
+
+/// The smallest `n` the workload's claim still covers — the shrinker's
+/// `n`-reduction floor.
+pub fn min_n(name: &str, k: usize) -> usize {
+    match name {
+        "fig4-sigma-k" | "fig4-weak-sigma-k" => (2 * k).max(2),
+        _ => 2,
+    }
+}
+
+/// Errors of the repro harness (schedule *parse* errors are
+/// [`sih_runtime::ScheduleError`]; these are semantic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReproError {
+    /// The schedule names a checker absent from [`WORKLOADS`].
+    UnknownWorkload(String),
+    /// Parameters outside the workload's constructible range.
+    BadParams(String),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::UnknownWorkload(name) => {
+                write!(f, "unknown workload `{name}` (known: ")?;
+                for (i, w) in WORKLOADS.iter().enumerate() {
+                    write!(f, "{}{}", if i > 0 { ", " } else { "" }, w.name)?;
+                }
+                write!(f, ")")
+            }
+            ReproError::BadParams(detail) => write!(f, "bad parameters: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+/// How a workload run is driven.
+enum Driver<'a> {
+    /// A fresh recording run under [`FairScheduler`].
+    Fair { seed: u64, max_steps: u64 },
+    /// Exact strict replay of a script.
+    Strict { choices: &'a [Choice] },
+    /// Lenient replay: skip choices illegal in the (mutated) run.
+    Lenient { choices: &'a [Choice] },
+}
+
+/// What a driven run produced.
+struct RunResult {
+    verdict: String,
+    executed: Vec<Choice>,
+}
+
+// ---- quiet panic capture ------------------------------------------------
+
+thread_local! {
+    static SILENCED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+static INSTALL_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Runs `f`, catching panics without letting the default hook spam
+/// stderr. The replacement hook is installed once and delegates to the
+/// previous hook for every thread that is not inside `quiet_catch`, so
+/// unrelated panics keep their backtraces.
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+    INSTALL_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCED.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+    SILENCED.with(|s| s.set(true));
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    SILENCED.with(|s| s.set(false));
+    r.map_err(|_| ())
+}
+
+// ---- the generic driver -------------------------------------------------
+
+/// Builds the simulation, drives it per `driver`, and computes the
+/// verdict. Panics anywhere in the stepped region (illegal strict choice,
+/// automaton `expect`, checker assertion) become [`PANIC_VERDICT`]; the
+/// executed script is still meaningful because the engine records each
+/// choice *before* stepping the automaton.
+fn drive<A, D>(
+    procs: Vec<A>,
+    pattern: &FailurePattern,
+    faults: &LinkFaultPlan,
+    fd: &D,
+    driver: &Driver<'_>,
+    mut done: impl FnMut(&Simulation<A>) -> bool,
+    verdict: impl FnOnce(&Simulation<A>) -> String,
+) -> RunResult
+where
+    A: Automaton,
+    D: FailureDetector + ?Sized,
+{
+    let mut sim = Simulation::new(procs, pattern.clone());
+    if !faults.is_reliable() {
+        sim.set_link_faults(faults.clone());
+    }
+    let stepped = quiet_catch(std::panic::AssertUnwindSafe(|| {
+        match driver {
+            Driver::Fair { seed, max_steps } => {
+                let mut sched = FairScheduler::new(*seed);
+                sim.run_until(&mut sched, fd, *max_steps, |s| done(s));
+            }
+            Driver::Strict { choices } => {
+                let mut sched = ScriptedScheduler::new(choices.iter().copied()).strict();
+                sim.run(&mut sched, fd, choices.len() as u64);
+            }
+            Driver::Lenient { choices } => {
+                for &c in choices.iter() {
+                    let legal = sim.schedulable_set().contains(c.p)
+                        && c.deliver.is_none_or(|i| i < sim.network().pending_count(c.p));
+                    if legal {
+                        sim.step(c, fd);
+                    }
+                }
+            }
+        };
+    }));
+    let verdict = match stepped {
+        Ok(()) => verdict(&sim),
+        Err(()) => PANIC_VERDICT.to_string(),
+    };
+    RunResult { verdict, executed: sim.script().to_vec() }
+}
+
+fn agreement_verdict<A: Automaton>(sim: &Simulation<A>, n: usize, k: usize) -> String {
+    match check_k_agreement_safety(sim.trace(), &distinct_proposals(n), k) {
+        Ok(()) => "ok".to_string(),
+        Err(v) => format!("violation:{}", v.property),
+    }
+}
+
+fn linearizability_verdict<A: Automaton>(sim: &Simulation<A>) -> String {
+    match check_linearizable(&sim.trace().op_records(), None) {
+        Ok(()) => "ok".to_string(),
+        Err(LinearizabilityViolation::NotLinearizable { .. }) => {
+            "violation:not-linearizable".to_string()
+        }
+        Err(LinearizabilityViolation::HistoryTooLarge { .. }) => {
+            "violation:history-too-large".to_string()
+        }
+        Err(LinearizabilityViolation::Incomplete { .. }) => "violation:incomplete".to_string(),
+    }
+}
+
+fn anti_omega_verdict<A: Automaton>(sim: &Simulation<A>, pattern: &FailurePattern) -> String {
+    match check_anti_omega(sim.trace().emulated_history(), pattern) {
+        Ok(()) => "ok".to_string(),
+        Err(v) => format!("violation:{}", v.property),
+    }
+}
+
+/// The fixed register workload: `p0` writes once, `p1` reads repeatedly
+/// (long enough that late reads start after the write returned).
+fn abd_scripts() -> (ProcessSet, Vec<Vec<OpKind>>) {
+    let s: ProcessSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
+    let scripts = vec![vec![OpKind::Write(Value(7))], vec![OpKind::Read; 6]];
+    (s, scripts)
+}
+
+fn first_ids(count: usize) -> ProcessSet {
+    (0..count as u32).map(ProcessId).collect()
+}
+
+/// Reconstructs the named workload and drives it. Everything a schedule
+/// records — `n`, `k`, `seed`, pattern, faults — plus a driver fully
+/// determines the run.
+fn run_workload(
+    name: &str,
+    n: usize,
+    k: usize,
+    seed: u64,
+    pattern: &FailurePattern,
+    faults: &LinkFaultPlan,
+    driver: &Driver<'_>,
+) -> Result<RunResult, ReproError> {
+    if pattern.n() != n || faults.n() != n {
+        return Err(ReproError::BadParams(format!(
+            "n mismatch: n={n}, pattern over {}, faults over {}",
+            pattern.n(),
+            faults.n()
+        )));
+    }
+    match name {
+        "fig2-sigma" | "fig2-weak-sigma" => {
+            if n < 2 {
+                return Err(ReproError::BadParams(format!("fig2 needs n >= 2, got {n}")));
+            }
+            let procs = fig2_processes(&distinct_proposals(n));
+            let verdict = |sim: &Simulation<_>| agreement_verdict(sim, n, n - 1);
+            if name == "fig2-sigma" {
+                let fd = Sigma::new(ProcessId(0), ProcessId(1), pattern, seed);
+                Ok(drive(procs, pattern, faults, &fd, driver, |_| false, verdict))
+            } else {
+                let fd = WeakSigma::new(ProcessId(0), ProcessId(1));
+                Ok(drive(procs, pattern, faults, &fd, driver, |_| false, verdict))
+            }
+        }
+        "fig4-sigma-k" | "fig4-weak-sigma-k" => {
+            if k < 1 || 2 * k > n {
+                return Err(ReproError::BadParams(format!(
+                    "fig4 needs 1 <= k and 2k <= n, got k={k}, n={n}"
+                )));
+            }
+            let active = first_ids(2 * k);
+            let procs = fig4_processes(&distinct_proposals(n));
+            let verdict = move |sim: &Simulation<_>| agreement_verdict(sim, n, n - k);
+            if name == "fig4-sigma-k" {
+                let fd = SigmaK::new(active, pattern, seed);
+                Ok(drive(procs, pattern, faults, &fd, driver, |_| false, verdict))
+            } else {
+                let fd = WeakSigmaK::new(active);
+                Ok(drive(procs, pattern, faults, &fd, driver, |_| false, verdict))
+            }
+        }
+        "abd-sigma-s" | "abd-weak-quorum" => {
+            if n < 2 {
+                return Err(ReproError::BadParams(format!("abd needs n >= 2, got {n}")));
+            }
+            let (s, scripts) = abd_scripts();
+            let procs = abd_processes(s, n, scripts);
+            // A register emulation never halts; a recording run is done
+            // once both clients drained their scripts.
+            let done = move |sim: &Simulation<sih_registers::AbdRegister>| {
+                s.iter().all(|p| sim.process(p).script_finished())
+            };
+            let verdict = |sim: &Simulation<_>| linearizability_verdict(sim);
+            if name == "abd-sigma-s" {
+                let fd = SigmaS::new(s, pattern, seed);
+                Ok(drive(procs, pattern, faults, &fd, driver, done, verdict))
+            } else {
+                let fd = WeakSigmaS::new(s);
+                Ok(drive(procs, pattern, faults, &fd, driver, done, verdict))
+            }
+        }
+        "fig6-without-change" => {
+            if n < 2 {
+                return Err(ReproError::BadParams(format!("fig6 needs n >= 2, got {n}")));
+            }
+            let procs = (0..n).map(|_| Fig6WithoutChange::new(n)).collect();
+            let fd = Sigma::new(ProcessId(0), ProcessId(1), pattern, seed);
+            // Recording stops once the crossed leader pair has formed —
+            // the stable state that violates anti-Ω's finiteness.
+            let done = |sim: &Simulation<_>| {
+                let h = sim.trace().emulated_history();
+                h.timeline(ProcessId(0)).final_output() == FdOutput::Leader(ProcessId(1))
+                    && h.timeline(ProcessId(1)).final_output() == FdOutput::Leader(ProcessId(0))
+            };
+            let verdict = |sim: &Simulation<_>| anti_omega_verdict(sim, pattern);
+            Ok(drive(procs, pattern, faults, &fd, driver, done, verdict))
+        }
+        other => Err(ReproError::UnknownWorkload(other.to_string())),
+    }
+}
+
+/// The crash pattern a fresh `record` run of the workload uses.
+pub fn default_pattern(name: &str, n: usize) -> FailurePattern {
+    match name {
+        // Fig. 6's crossed pair needs the non-actives to announce and
+        // crash; σ then stabilizes to {p0} at p0.
+        "fig6-without-change" if n >= 4 => FailurePattern::builder(n)
+            .crash_at(ProcessId(2), Time(40))
+            .crash_at(ProcessId(3), Time(40))
+            .build(),
+        _ => FailurePattern::all_correct(n),
+    }
+}
+
+/// The link-fault plan a fresh `record` run of the workload uses.
+pub fn default_faults(name: &str, n: usize) -> LinkFaultPlan {
+    match name {
+        // The planted quorum violation: p0's writeback traffic never
+        // reaches the other replicas, so a singleton-quorum read at p1 is
+        // guaranteed stale (with sound Σ_S the write could not have
+        // completed without a real quorum, so this plan is harmless to
+        // the sound twin).
+        "abd-weak-quorum" => {
+            let mut b = LinkFaultPlan::builder(n);
+            for q in 1..n as u32 {
+                b = b.drop_link(ProcessId(0), ProcessId(q), Time::ZERO, None);
+            }
+            b.build()
+        }
+        _ => LinkFaultPlan::reliable(n),
+    }
+}
+
+/// Parameters of a fresh recording run.
+#[derive(Clone, Debug)]
+pub struct RecordRequest {
+    /// Workload name.
+    pub workload: String,
+    /// System size (`None` = workload default).
+    pub n: Option<usize>,
+    /// Workload parameter `k`.
+    pub k: usize,
+    /// Scheduler + detector seed.
+    pub seed: u64,
+    /// Step bound (`None` = workload default).
+    pub max_steps: Option<u64>,
+}
+
+impl RecordRequest {
+    /// A request for `workload` with every other knob at its default.
+    pub fn new(workload: &str) -> Self {
+        RecordRequest { workload: workload.to_string(), n: None, k: 1, seed: 0, max_steps: None }
+    }
+}
+
+/// Runs the workload once under the fair scheduler and **captures** a
+/// [`Schedule`] iff the checker failed (or the run panicked); `Ok(None)`
+/// means the run was clean — nothing to reproduce.
+pub fn record(req: &RecordRequest) -> Result<Option<Schedule>, ReproError> {
+    let w =
+        workload(&req.workload).ok_or_else(|| ReproError::UnknownWorkload(req.workload.clone()))?;
+    let n = req.n.unwrap_or(w.default_n);
+    let max_steps = req.max_steps.unwrap_or(w.default_steps);
+    let pattern = default_pattern(w.name, n);
+    let faults = default_faults(w.name, n);
+    let rr = run_workload(
+        w.name,
+        n,
+        req.k,
+        req.seed,
+        &pattern,
+        &faults,
+        &Driver::Fair { seed: req.seed, max_steps },
+    )?;
+    if rr.verdict == "ok" {
+        return Ok(None);
+    }
+    Ok(Some(Schedule {
+        checker: w.name.to_string(),
+        n,
+        k: req.k,
+        seed: req.seed,
+        max_steps,
+        pattern,
+        faults,
+        choices: rr.executed,
+        verdict: rr.verdict,
+    }))
+}
+
+/// [`record`] over seeds `0..seed_tries`, returning the first capture.
+/// Deterministic: the ascending seed scan means the same violation is
+/// found every time.
+pub fn record_first_violation(
+    name: &str,
+    k: usize,
+    seed_tries: u64,
+) -> Result<Option<Schedule>, ReproError> {
+    let mut req = RecordRequest::new(name);
+    req.k = k;
+    for seed in 0..seed_tries {
+        req.seed = seed;
+        if let Some(s) = record(&req)? {
+            return Ok(Some(s));
+        }
+    }
+    Ok(None)
+}
+
+/// Captures a schedule from an explicit script — the bridge from the
+/// exhaustive explorer: feed the violating script of an `ExploreResult`
+/// here (with the same pattern/faults the explorer ran under) and the
+/// verdict is computed by a strict replay.
+pub fn capture_from_script(
+    name: &str,
+    n: usize,
+    k: usize,
+    seed: u64,
+    pattern: FailurePattern,
+    faults: LinkFaultPlan,
+    script: Vec<Choice>,
+) -> Result<Schedule, ReproError> {
+    let rr =
+        run_workload(name, n, k, seed, &pattern, &faults, &Driver::Strict { choices: &script })?;
+    Ok(Schedule {
+        checker: name.to_string(),
+        n,
+        k,
+        seed,
+        max_steps: rr.executed.len() as u64,
+        pattern,
+        faults,
+        choices: rr.executed,
+        verdict: rr.verdict,
+    })
+}
+
+/// Replay fidelity mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReplayMode {
+    /// The script must execute exactly (corpus verification).
+    Strict,
+    /// Skip choices that are illegal in the mutated run (shrinking).
+    Lenient,
+}
+
+/// The outcome of replaying a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Verdict the replay produced.
+    pub verdict: String,
+    /// Choices actually executed.
+    pub executed: Vec<Choice>,
+    /// Whether the replay reproduced the schedule: same verdict, and (in
+    /// strict mode) the exact same executed script.
+    pub matches: bool,
+}
+
+/// Replays a schedule through its registered workload.
+pub fn replay(s: &Schedule, mode: ReplayMode) -> Result<ReplayReport, ReproError> {
+    let driver = match mode {
+        ReplayMode::Strict => Driver::Strict { choices: &s.choices },
+        ReplayMode::Lenient => Driver::Lenient { choices: &s.choices },
+    };
+    let rr = run_workload(&s.checker, s.n, s.k, s.seed, &s.pattern, &s.faults, &driver)?;
+    let matches = rr.verdict == s.verdict
+        && match mode {
+            ReplayMode::Strict => rr.executed == s.choices,
+            ReplayMode::Lenient => true,
+        };
+    Ok(ReplayReport { verdict: rr.verdict, executed: rr.executed, matches })
+}
+
+/// Shrinks a failing schedule with the delta-debugging engine, using a
+/// lenient replay of the *same* workload checker as the reproduction
+/// oracle. The accepted canonical form after every mutation is the
+/// actually-executed choice sequence, so the final schedule strict-replays
+/// exactly. Serial and deterministic — thread count never enters.
+pub fn shrink(s: &Schedule) -> Result<(Schedule, ShrinkReport), ReproError> {
+    workload(&s.checker).ok_or_else(|| ReproError::UnknownWorkload(s.checker.clone()))?;
+    let opts = ShrinkOptions { min_n: min_n(&s.checker, s.k), ..ShrinkOptions::default() };
+    let target = s.verdict.clone();
+    let mut eval = |cand: &Schedule| -> Option<Schedule> {
+        let rep = replay(cand, ReplayMode::Lenient).ok()?;
+        (rep.verdict == target).then(|| Schedule { choices: rep.executed, ..cand.clone() })
+    };
+    Ok(shrink_schedule(s, &opts, &mut eval))
+}
+
+/// One corpus entry's verification outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// File name (not path) of the entry.
+    pub file: String,
+    /// Whether the entry reproduced exactly.
+    pub ok: bool,
+    /// The verdict replayed, or what went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for CorpusEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", if self.ok { "PASS" } else { "FAIL" }, self.file, self.detail)
+    }
+}
+
+fn verify_one(file: &str, text: &str) -> CorpusEntry {
+    let s = match Schedule::parse(text) {
+        Ok(s) => s,
+        Err(e) => {
+            return CorpusEntry { file: file.to_string(), ok: false, detail: format!("parse: {e}") }
+        }
+    };
+    match replay(&s, ReplayMode::Strict) {
+        Ok(rep) if rep.matches => CorpusEntry {
+            file: file.to_string(),
+            ok: true,
+            detail: format!("reproduced `{}` in {} steps", s.verdict, s.choices.len()),
+        },
+        Ok(rep) => CorpusEntry {
+            file: file.to_string(),
+            ok: false,
+            detail: if rep.verdict != s.verdict {
+                format!("stale: recorded `{}`, replayed `{}`", s.verdict, rep.verdict)
+            } else {
+                format!(
+                    "stale: replay executed {} of {} scripted choices",
+                    rep.executed.len(),
+                    s.choices.len()
+                )
+            },
+        },
+        Err(e) => CorpusEntry { file: file.to_string(), ok: false, detail: e.to_string() },
+    }
+}
+
+/// Verifies `(file name, file text)` corpus entries, fanning the strict
+/// replays over the deterministic [`Sweep`] engine: the report is
+/// bitwise identical for every `threads` value (including 0 = all cores).
+pub fn verify_corpus(entries: &[(String, String)], threads: usize) -> Vec<CorpusEntry> {
+    verify_corpus_entries(entries.to_vec(), threads)
+}
+
+fn verify_corpus_entries(entries: Vec<(String, String)>, threads: usize) -> Vec<CorpusEntry> {
+    Sweep::new(threads)
+        .run(entries, || |_idx: usize, (file, text): (String, String)| verify_one(&file, &text))
+}
+
+/// Reads every `*.schedule` file under `dir` (sorted by name) and
+/// verifies the lot.
+pub fn verify_corpus_dir(
+    dir: &std::path::Path,
+    threads: usize,
+) -> std::io::Result<Vec<CorpusEntry>> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "schedule"))
+        .collect();
+    files.sort();
+    let mut entries = Vec::new();
+    for path in files {
+        let name = path
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        entries.push((name, std::fs::read_to_string(&path)?));
+    }
+    Ok(verify_corpus_entries(entries, threads))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sound_workloads_record_nothing() {
+        for name in ["fig2-sigma", "fig4-sigma-k", "abd-sigma-s"] {
+            let captured = record(&RecordRequest::new(name)).unwrap();
+            assert!(captured.is_none(), "{name} captured {captured:?}");
+        }
+    }
+
+    #[test]
+    fn weak_workloads_capture_and_replay_bit_identically() {
+        for name in ["fig2-weak-sigma", "fig4-weak-sigma-k", "abd-weak-quorum"] {
+            let s = record_first_violation(name, 1, 64)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{name}: no violation in 64 seeds"));
+            assert!(s.verdict.starts_with("violation:") || s.verdict == PANIC_VERDICT, "{name}");
+            let rep = replay(&s, ReplayMode::Strict).unwrap();
+            assert!(rep.matches, "{name}: {} vs {}", rep.verdict, s.verdict);
+            assert_eq!(rep.executed, s.choices, "{name}");
+        }
+    }
+
+    #[test]
+    fn fig6_without_change_captures_the_finiteness_violation() {
+        let s = record_first_violation("fig6-without-change", 1, 8).unwrap().unwrap();
+        assert_eq!(s.verdict, "violation:finiteness");
+        assert!(replay(&s, ReplayMode::Strict).unwrap().matches);
+    }
+
+    #[test]
+    fn shrunk_schedules_keep_their_verdict_and_get_small() {
+        let s = record_first_violation("abd-weak-quorum", 1, 16).unwrap().unwrap();
+        let (min, rep) = shrink(&s).unwrap();
+        assert_eq!(min.verdict, s.verdict);
+        assert!(rep.final_len <= rep.original_len / 4, "{rep:?}");
+        assert!(replay(&min, ReplayMode::Strict).unwrap().matches);
+    }
+
+    #[test]
+    fn unknown_workloads_and_bad_params_are_typed() {
+        assert!(matches!(record(&RecordRequest::new("nope")), Err(ReproError::UnknownWorkload(_))));
+        let mut req = RecordRequest::new("fig4-weak-sigma-k");
+        req.k = 5; // 2k > default n
+        assert!(matches!(record(&req), Err(ReproError::BadParams(_))));
+    }
+
+    #[test]
+    fn corpus_verifier_flags_tampered_entries() {
+        let s = record_first_violation("fig2-weak-sigma", 1, 16).unwrap().unwrap();
+        let good = ("good.schedule".to_string(), s.to_text());
+        let mut tampered = s.clone();
+        tampered.verdict = "ok".to_string();
+        let bad = ("bad.schedule".to_string(), tampered.to_text());
+        let junk = ("junk.schedule".to_string(), "not a schedule".to_string());
+        let report = verify_corpus(&[good, bad, junk], 1);
+        assert!(report[0].ok, "{}", report[0]);
+        assert!(!report[1].ok && report[1].detail.contains("stale"), "{}", report[1]);
+        assert!(!report[2].ok && report[2].detail.contains("parse"), "{}", report[2]);
+    }
+
+    #[test]
+    fn corpus_verification_is_thread_count_independent() {
+        let s = record_first_violation("fig2-weak-sigma", 1, 16).unwrap().unwrap();
+        let entries: Vec<(String, String)> =
+            (0..6).map(|i| (format!("e{i}.schedule"), s.to_text())).collect();
+        let one = verify_corpus(&entries, 1);
+        let two = verify_corpus(&entries, 2);
+        let eight = verify_corpus(&entries, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+}

@@ -62,6 +62,7 @@ mod explore;
 mod fairness_tests;
 mod fingerprint;
 mod network;
+pub mod repro;
 mod scheduler;
 mod sim;
 mod stack;
@@ -73,7 +74,12 @@ pub use diagram::{column_time, render_diagram, render_summary, MAX_COLUMNS};
 pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResult};
 pub use fingerprint::{fnv1a_64, Fnv64};
 pub use network::Network;
-pub use scheduler::{Choice, FairScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler};
+pub use repro::{
+    shrink_schedule, Schedule, ScheduleError, ShrinkOptions, ShrinkReport, SCHEDULE_VERSION,
+};
+pub use scheduler::{
+    Choice, FairScheduler, RoundRobinScheduler, Scheduler, ScriptExhausted, ScriptedScheduler,
+};
 pub use sim::{
     LivenessVerdict, RunOutcome, SchedState, SimPool, Simulation, StepReport, StopReason,
 };

@@ -188,14 +188,44 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
+/// The typed error a strict [`ScriptedScheduler`] records when its script
+/// runs out: in strict mode exhaustion must *end* the run (as
+/// `StopReason::SchedulerExhausted`), never silently hand over to the
+/// fallback — replay harnesses depend on "every executed step came from
+/// the script" to call a replay bit-identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScriptExhausted {
+    /// Scripted choices performed before the script ran out.
+    pub performed: usize,
+}
+
+impl std::fmt::Display for ScriptExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "script exhausted after {} scripted choices (strict mode)", self.performed)
+    }
+}
+
+impl std::error::Error for ScriptExhausted {}
+
 /// Replays a fixed sequence of choices, then optionally hands over to an
-/// inner scheduler. The engine *skips* scripted choices that are illegal
-/// at replay time only if `strict` is off; by default an illegal scripted
-/// choice is surfaced as an engine panic, because the adversary
-/// constructions depend on scripts being executed exactly.
+/// inner scheduler. An illegal scripted choice is surfaced as an engine
+/// panic, because the adversary constructions depend on scripts being
+/// executed exactly.
+///
+/// In **strict** mode ([`ScriptedScheduler::strict`], or
+/// [`set_strict`](ScriptedScheduler::set_strict) mid-run), script
+/// exhaustion is a hard stop: the fallback is *not* consulted — even if
+/// one was installed — the run ends with `SchedulerExhausted`, and the
+/// typed [`ScriptExhausted`] error is available from
+/// [`exhaustion`](ScriptedScheduler::exhaustion). Without strict mode an
+/// exhausted script silently delegates to the fallback (the historical
+/// behavior, still right for "scripted prefix, then fair" experiments).
 pub struct ScriptedScheduler {
     choices: std::collections::VecDeque<Choice>,
     then: Option<Box<dyn Scheduler>>,
+    performed: usize,
+    strict: bool,
+    exhausted: Option<ScriptExhausted>,
 }
 
 impl std::fmt::Debug for ScriptedScheduler {
@@ -203,6 +233,8 @@ impl std::fmt::Debug for ScriptedScheduler {
         f.debug_struct("ScriptedScheduler")
             .field("remaining", &self.choices.len())
             .field("has_fallback", &self.then.is_some())
+            .field("strict", &self.strict)
+            .field("exhausted", &self.exhausted)
             .finish()
     }
 }
@@ -210,7 +242,13 @@ impl std::fmt::Debug for ScriptedScheduler {
 impl ScriptedScheduler {
     /// A scheduler that performs exactly `choices`, then stops.
     pub fn new(choices: impl IntoIterator<Item = Choice>) -> Self {
-        ScriptedScheduler { choices: choices.into_iter().collect(), then: None }
+        ScriptedScheduler {
+            choices: choices.into_iter().collect(),
+            then: None,
+            performed: 0,
+            strict: false,
+            exhausted: None,
+        }
     }
 
     /// A scheduler that performs `choices`, then delegates to `then`.
@@ -218,7 +256,26 @@ impl ScriptedScheduler {
         choices: impl IntoIterator<Item = Choice>,
         then: impl Scheduler + 'static,
     ) -> Self {
-        ScriptedScheduler { choices: choices.into_iter().collect(), then: Some(Box::new(then)) }
+        ScriptedScheduler { then: Some(Box::new(then)), ..ScriptedScheduler::new(choices) }
+    }
+
+    /// Strict mode: exhaustion ends the run with a typed error instead of
+    /// handing over to the fallback.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Toggles strict mode mid-run. Turning strict on after the script
+    /// already ran out still applies: the *next* `choose` records the
+    /// exhaustion and stops instead of consulting the fallback.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// The typed exhaustion error, if strict mode stopped the run.
+    pub fn exhaustion(&self) -> Option<&ScriptExhausted> {
+        self.exhausted.as_ref()
     }
 
     /// Remaining scripted choices.
@@ -230,7 +287,14 @@ impl ScriptedScheduler {
 impl Scheduler for ScriptedScheduler {
     fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
         match self.choices.pop_front() {
-            Some(c) => Some(c),
+            Some(c) => {
+                self.performed += 1;
+                Some(c)
+            }
+            None if self.strict => {
+                self.exhausted = Some(ScriptExhausted { performed: self.performed });
+                None
+            }
             None => self.then.as_mut().and_then(|s| s.choose(view)),
         }
     }
@@ -245,5 +309,82 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
     fn choose(&mut self, view: &SchedState<'_>) -> Option<Choice> {
         (**self).choose(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Automaton, Effects, Simulation, StepInput, StopReason};
+    use sih_model::{FailurePattern, NoDetector};
+
+    #[derive(Clone, Debug, Default)]
+    struct Idle;
+
+    impl Automaton for Idle {
+        type Msg = ();
+        fn step(&mut self, _input: StepInput<()>, _eff: &mut Effects<()>) {}
+    }
+
+    fn sim(n: usize) -> Simulation<Idle> {
+        Simulation::new(vec![Idle; n], FailurePattern::all_correct(n))
+    }
+
+    fn script(len: usize) -> Vec<Choice> {
+        (0..len).map(|i| Choice::compute(ProcessId((i % 2) as u32))).collect()
+    }
+
+    #[test]
+    fn non_strict_exhaustion_hands_over_to_fallback() {
+        let mut sim = sim(2);
+        let mut sched = ScriptedScheduler::followed_by(script(3), RoundRobinScheduler::new());
+        let outcome = sim.run(&mut sched, &NoDetector, 10);
+        // The fallback keeps the run going until the step bound.
+        assert_eq!(outcome.reason, StopReason::MaxSteps);
+        assert_eq!(sim.script().len(), 10);
+        assert!(sched.exhaustion().is_none());
+    }
+
+    #[test]
+    fn strict_exhaustion_is_a_typed_stop_even_with_a_fallback() {
+        let mut sim = sim(2);
+        let mut sched =
+            ScriptedScheduler::followed_by(script(3), RoundRobinScheduler::new()).strict();
+        let outcome = sim.run(&mut sched, &NoDetector, 10);
+        // The fallback is never consulted: exactly the script executes.
+        assert_eq!(outcome.reason, StopReason::SchedulerExhausted);
+        assert_eq!(sim.script(), &script(3)[..]);
+        let err = sched.exhaustion().expect("strict exhaustion must be recorded");
+        assert_eq!(err.performed, 3);
+        assert!(err.to_string().contains("after 3 scripted choices"));
+    }
+
+    #[test]
+    fn strict_set_mid_run_stops_at_exhaustion() {
+        let mut sim = sim(2);
+        let mut sched = ScriptedScheduler::followed_by(script(4), RoundRobinScheduler::new());
+        // Execute two scripted steps under the lenient default...
+        for _ in 0..2 {
+            let choice = {
+                let view = sim.sched_state();
+                sched.choose(&view).expect("script has choices left")
+            };
+            sim.step(choice, &NoDetector);
+        }
+        // ...then the harness tightens the contract mid-run.
+        sched.set_strict(true);
+        let outcome = sim.run(&mut sched, &NoDetector, 10);
+        assert_eq!(outcome.reason, StopReason::SchedulerExhausted);
+        assert_eq!(sim.script().len(), 4); // the two remaining scripted steps ran
+        assert_eq!(sched.exhaustion(), Some(&ScriptExhausted { performed: 4 }));
+    }
+
+    #[test]
+    fn strict_without_fallback_still_reports() {
+        let mut sim = sim(1);
+        let mut sched = ScriptedScheduler::new(script(0)).strict();
+        let outcome = sim.run(&mut sched, &NoDetector, 5);
+        assert_eq!(outcome.reason, StopReason::SchedulerExhausted);
+        assert_eq!(sched.exhaustion(), Some(&ScriptExhausted { performed: 0 }));
     }
 }

@@ -1,0 +1,272 @@
+//! Differential testing: the randomized **sweep** engine and the bounded
+//! **exhaustive explorer** must agree on violation verdicts for the same
+//! workload, failure pattern and detector — sound detectors are clean in
+//! both engines; weakened detectors are caught by both.
+//!
+//! This is the consistency contract behind the counterexample corpus: a
+//! schedule recorded from one engine replays under the scripted scheduler
+//! regardless of which engine found it, so the two engines must not
+//! disagree about *whether* a violation exists in the first place.
+
+use sih::agreement::{
+    check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes,
+};
+use sih::detectors::{Sigma, SigmaK, WeakSigma, WeakSigmaK};
+use sih::model::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+use sih::runtime::sweep::Sweep;
+use sih::runtime::{explore, FairScheduler, Simulation};
+use sih_lab::repro::{
+    capture_from_script, record_first_violation, replay, ReplayMode, PANIC_VERDICT,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const SEEDS: u64 = 64;
+const MAX_STEPS: u64 = 4_000;
+
+/// Sweeps fig2 over scheduler seeds `0..SEEDS` with the given detector
+/// builder, returning each seed's verdict token. Fanned over the
+/// deterministic sweep engine, so the result is thread-count-invariant.
+fn sweep_fig2<D: FailureDetector + Clone + Send>(
+    pattern: &FailurePattern,
+    det: impl Fn(u64) -> D + Sync,
+    threads: usize,
+) -> Vec<String> {
+    let n = pattern.n();
+    let proposals = distinct_proposals(n);
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    Sweep::new(threads).run(seeds, || {
+        let pattern = pattern.clone();
+        let proposals = proposals.clone();
+        let det = &det;
+        move |_idx: usize, seed: u64| {
+            let mut sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+            let fd = det(seed);
+            sim.run(&mut FairScheduler::new(seed), &fd, MAX_STEPS);
+            match check_k_agreement_safety(sim.trace(), &proposals, n - 1) {
+                Ok(()) => "ok".to_string(),
+                Err(v) => format!("violation:{}", v.property),
+            }
+        }
+    })
+}
+
+/// Same sweep for fig4 with `k = 1` (active pair `{p0, p1}`).
+fn sweep_fig4<D: FailureDetector + Clone + Send>(
+    pattern: &FailurePattern,
+    det: impl Fn(u64) -> D + Sync,
+    threads: usize,
+) -> Vec<String> {
+    let n = pattern.n();
+    let k = 1;
+    let proposals = distinct_proposals(n);
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    Sweep::new(threads).run(seeds, || {
+        let pattern = pattern.clone();
+        let proposals = proposals.clone();
+        let det = &det;
+        move |_idx: usize, seed: u64| {
+            let mut sim = Simulation::new(fig4_processes(&proposals), pattern.clone());
+            let fd = det(seed);
+            sim.run(&mut FairScheduler::new(seed), &fd, MAX_STEPS);
+            match check_k_agreement_safety(sim.trace(), &proposals, n - k) {
+                Ok(()) => "ok".to_string(),
+                Err(v) => format!("violation:{}", v.property),
+            }
+        }
+    })
+}
+
+#[test]
+fn fig2_sound_sigma_both_engines_report_no_violation() {
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let proposals = distinct_proposals(n);
+
+    // Explorer: every schedule up to depth 9 is clean.
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+    };
+    let result = explore(&sim, &sigma, 9, usize::MAX, &mut check);
+    assert!(result.ok(), "explorer found {:?}", result.violation);
+
+    // Sweep: every sampled seed is clean too, at any thread count.
+    let verdicts =
+        sweep_fig2(&pattern, |seed| Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed), 1);
+    assert!(verdicts.iter().all(|v| v == "ok"), "sweep found {verdicts:?}");
+    for threads in [2, 8] {
+        let again = sweep_fig2(
+            &pattern,
+            |seed| Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed),
+            threads,
+        );
+        assert_eq!(verdicts, again, "sweep verdicts differ at threads={threads}");
+    }
+}
+
+#[test]
+fn fig2_sound_sigma_with_active_crash_both_engines_agree() {
+    // Same fault plan on both sides: the active p1 crashes at t = 4.
+    let n = 3;
+    let pattern = FailurePattern::builder(n).crash_at(ProcessId(1), Time(4)).build();
+    let proposals = distinct_proposals(n);
+
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 1);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+    };
+    let result = explore(&sim, &sigma, 9, usize::MAX, &mut check);
+    assert!(result.ok(), "explorer found {:?}", result.violation);
+
+    let verdicts =
+        sweep_fig2(&pattern, |seed| Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed), 0);
+    assert!(verdicts.iter().all(|v| v == "ok"), "sweep found {verdicts:?}");
+}
+
+#[test]
+fn fig2_weak_sigma_both_engines_catch_the_planted_weakness() {
+    // Under weak-σ the planted failure is the Theorem 4 validity panic
+    // (`max{Me, You}` hits ⊥). The explorer hits it while stepping, so
+    // the exploration itself unwinds; the sweep side goes through the
+    // repro harness, which converts the same panic into the stable
+    // `panic` verdict token.
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let proposals = distinct_proposals(n);
+    let weak = WeakSigma::new(ProcessId(0), ProcessId(1));
+
+    let sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+    let explorer_caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut check = |s: &Simulation<_>| {
+            check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+        };
+        let result = explore(&sim, &weak, 6, usize::MAX, &mut check);
+        result.violation.is_some()
+    }))
+    .map_err(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("validity"), "unexpected explorer panic: {msg}");
+        true
+    })
+    .unwrap_or_else(|caught| caught);
+    assert!(explorer_caught, "explorer missed the weak-σ violation up to depth 6");
+
+    let recorded = record_first_violation("fig2-weak-sigma", 1, SEEDS)
+        .expect("workload is registered")
+        .expect("sweep side missed the weak-σ violation");
+    assert_eq!(recorded.verdict, PANIC_VERDICT);
+    let rep = replay(&recorded, ReplayMode::Strict).expect("replay runs");
+    assert!(rep.matches, "sweep recording is not reproducible: {}", rep.verdict);
+}
+
+#[test]
+fn fig4_sound_sigma_k_both_engines_report_no_violation() {
+    let n = 3;
+    let k = 1;
+    let active: ProcessSet = (0..2u32).map(ProcessId).collect();
+    let pattern = FailurePattern::all_correct(n);
+    let proposals = distinct_proposals(n);
+
+    let det = SigmaK::new(active, &pattern, 0);
+    let sim = Simulation::new(fig4_processes(&proposals), pattern.clone());
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - k).map_err(|e| e.to_string())
+    };
+    let result = explore(&sim, &det, 8, 3, &mut check);
+    assert!(result.ok(), "explorer found {:?}", result.violation);
+
+    let verdicts = sweep_fig4(&pattern, |seed| SigmaK::new(active, &pattern, seed), 0);
+    assert!(verdicts.iter().all(|v| v == "ok"), "sweep found {verdicts:?}");
+}
+
+#[test]
+fn fig4_weak_sigma_k_both_engines_find_the_agreement_violation() {
+    // n = 4, k = 1: singleton trusted sets let both actives pass the
+    // until-exit without intersecting, yielding > n−k distinct decisions.
+    let n = 4;
+    let k = 1;
+    let active: ProcessSet = (0..2u32).map(ProcessId).collect();
+    let pattern = FailurePattern::all_correct(n);
+    let proposals = distinct_proposals(n);
+    let weak = WeakSigmaK::new(active);
+
+    let sim = Simulation::new(fig4_processes(&proposals), pattern.clone());
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - k).map_err(|e| e.to_string())
+    };
+    let result = explore(&sim, &weak, 8, usize::MAX, &mut check);
+    let (script, msg) = result.violation.expect("explorer missed the weak-σ_k violation");
+    assert!(msg.contains("agreement"), "unexpected violation: {msg}");
+
+    // Sweep side: at least one sampled seed hits the same verdict, and
+    // the verdict vector is identical across thread counts.
+    let verdicts = sweep_fig4(&pattern, |_| weak, 1);
+    assert!(
+        verdicts.iter().any(|v| v == "violation:agreement"),
+        "sweep missed the weak-σ_k violation: {verdicts:?}"
+    );
+    assert!(verdicts.iter().all(|v| v == "ok" || v == "violation:agreement"), "{verdicts:?}");
+    for threads in [2, 8] {
+        let again = sweep_fig4(&pattern, |_| weak, threads);
+        assert_eq!(verdicts, again, "sweep verdicts differ at threads={threads}");
+    }
+
+    // Bridge: the explorer's violating script becomes a corpus-grade
+    // schedule via `capture_from_script`, and strict-replays unchanged.
+    let captured = capture_from_script(
+        "fig4-weak-sigma-k",
+        n,
+        k,
+        0,
+        pattern.clone(),
+        sih::model::LinkFaultPlan::reliable(n),
+        script,
+    )
+    .expect("capture from the explorer script");
+    assert_eq!(captured.verdict, "violation:agreement");
+    let rep = replay(&captured, ReplayMode::Strict).expect("replay runs");
+    assert!(rep.matches, "explorer capture is not reproducible: {}", rep.verdict);
+    let roundtrip = sih::runtime::Schedule::parse(&captured.to_text()).expect("roundtrip");
+    assert_eq!(roundtrip, captured);
+}
+
+#[test]
+fn engines_agree_that_validity_needs_no_weakening_to_check() {
+    // Negative control for the differential harness itself: a planted
+    // impossible invariant must be reported by both engines with the
+    // same kind of evidence (a schedule/seed reaching it).
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let proposals = distinct_proposals(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+
+    let sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+    let mut check = |s: &Simulation<_>| {
+        if s.trace().decided().len() >= 2 {
+            Err("planted: two processes decided".to_owned())
+        } else {
+            Ok(())
+        }
+    };
+    let result = explore(&sim, &sigma, 9, usize::MAX, &mut check);
+    assert!(result.violation.is_some(), "explorer missed the planted invariant");
+
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    let hits = Sweep::new(0).run(seeds, || {
+        let pattern = pattern.clone();
+        let proposals = proposals.clone();
+        move |_idx: usize, seed: u64| {
+            let mut sim = Simulation::new(fig2_processes(&proposals), pattern.clone());
+            let fd = Sigma::new(ProcessId(0), ProcessId(1), &pattern, seed);
+            sim.run(&mut FairScheduler::new(seed), &fd, MAX_STEPS);
+            sim.trace().decided().len() >= 2
+        }
+    });
+    assert!(hits.iter().any(|&h| h), "sweep missed the planted invariant");
+}
