@@ -71,8 +71,13 @@ enum Stage {
 pub struct Fig4SetAgreement {
     v: Value,
     stage: Stage,
-    /// `T[i]`, indexed by process id.
-    t: Vec<Option<Value>>,
+    /// `T[·]`, stored sparsely as a sorted assoc list `(i, T[i])`. Only
+    /// active-set indices are ever published (lines 15/25/37), so this
+    /// holds at most `2k` entries regardless of `n`; the dense
+    /// `Vec<Option<Value>>` it replaces cost O(n) heap per process —
+    /// O(n²) across a large-`n` run. Sorted order keeps the `Debug`
+    /// rendering (and hence state fingerprints) canonical.
+    t: Vec<(ProcessId, Value)>,
     /// Indices already relayed once (Task 1's "for the first time").
     seen_tags: ProcessSet,
     active: ProcessSet,
@@ -83,11 +88,11 @@ pub struct Fig4SetAgreement {
 
 impl Fig4SetAgreement {
     /// A process proposing `v` in a system of `n` processes.
-    pub fn new(v: Value, n: usize) -> Self {
+    pub fn new(v: Value, _n: usize) -> Self {
         Fig4SetAgreement {
             v,
             stage: Stage::Start,
-            t: vec![None; n],
+            t: Vec::new(),
             seen_tags: ProcessSet::EMPTY,
             active: ProcessSet::EMPTY,
             low: ProcessSet::EMPTY,
@@ -111,7 +116,18 @@ impl Fig4SetAgreement {
 
     /// First `x` in `half` with `T[x] ≠ ⊥` (the pseudocode's `∃x`).
     fn known_value_in(&self, half: ProcessSet) -> Option<(ProcessId, Value)> {
-        half.iter().find_map(|x| self.t[x.index()].map(|v| (x, v)))
+        half.iter().find_map(|x| self.t_get(x).map(|v| (x, v)))
+    }
+
+    fn t_get(&self, i: ProcessId) -> Option<Value> {
+        self.t.binary_search_by_key(&i, |&(p, _)| p).ok().map(|ix| self.t[ix].1)
+    }
+
+    fn t_set(&mut self, i: ProcessId, v: Value) {
+        match self.t.binary_search_by_key(&i, |&(p, _)| p) {
+            Ok(ix) => self.t[ix].1 = v,
+            Err(ix) => self.t.insert(ix, (i, v)),
+        }
     }
 
     /// The `until` exit condition of lines 32/41, against half `other`.
@@ -149,7 +165,7 @@ impl Automaton for Fig4SetAgreement {
                 Fig4Msg::Tagged(v, i) => {
                     if self.seen_tags.insert(i) {
                         eff.send_all(input.n, Fig4Msg::Tagged(v, i));
-                        self.t[i.index()] = Some(v);
+                        self.t_set(i, v);
                     }
                 }
             }
@@ -170,7 +186,7 @@ impl Automaton for Fig4SetAgreement {
                         if self.low.contains(input.me) {
                             // Line 25: A-low publishes its value.
                             eff.send_all(input.n, Fig4Msg::Tagged(self.v, input.me));
-                            self.t[input.me.index()] = Some(self.v);
+                            self.t_set(input.me, self.v);
                             self.seen_tags.insert(input.me);
                         }
                     }
@@ -189,7 +205,7 @@ impl Automaton for Fig4SetAgreement {
                         // Lines 36–40: echo under own index, then decide.
                         eff.send_all(input.n, Fig4Msg::Tagged(w, input.me));
                         if self.seen_tags.insert(input.me) {
-                            self.t[input.me.index()] = Some(w);
+                            self.t_set(input.me, w);
                         }
                         self.decide_and_return(w, input.n, eff);
                     }

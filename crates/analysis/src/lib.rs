@@ -42,6 +42,19 @@ pub const SIM_CRATES: [&str; 8] =
 /// (panics there must carry `expect("invariant: …")` messages).
 pub const UNWRAP_RULE_CRATES: [&str; 2] = ["runtime", "model"];
 
+/// The hot-path modules where `BTreeSet<ProcessId>` / `BTreeMap<ProcessId,
+/// …>` bookkeeping is banned in favor of the `ProcSet` word-array bitset:
+/// the per-message and per-step paths the large-`n` scale tier made O(1).
+/// All of `detectors` (quorum/trust sets) plus the runtime engine files
+/// and the ABD quorum accumulator. A file justifies an exception with
+/// `// sih-analysis: allow(btree-procset)`.
+pub const BTREE_RULE_FILES: [&str; 4] = [
+    "crates/runtime/src/network.rs",
+    "crates/runtime/src/sim.rs",
+    "crates/runtime/src/automaton.rs",
+    "crates/registers/src/abd.rs",
+];
+
 /// Analysis configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -71,7 +84,10 @@ pub fn analyze(config: &Config) -> Report {
                 });
                 continue;
             };
-            let scanned = scan::scan_source(&display_path(root, &path), &src, include_unwrap);
+            let display = display_path(root, &path);
+            let include_btree =
+                krate == "detectors" || BTREE_RULE_FILES.contains(&display.as_str());
+            let scanned = scan::scan_source(&display, &src, include_unwrap, include_btree);
             report.files_scanned += 1;
             report.suppressed += scanned.suppressed;
             report.findings.extend(scanned.findings);

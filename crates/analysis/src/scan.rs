@@ -13,6 +13,7 @@
 //! | `env-read` | `std::env` reads | ambient configuration changes results silently |
 //! | `float` | `f32` / `f64` tokens, float literals | accumulation order changes results; floats need a justification |
 //! | `unwrap-nontest` | `.unwrap()` outside tests | panics without an invariant message (runtime/model only) |
+//! | `btree-procset` | `BTreeSet<ProcessId>` / `BTreeMap<ProcessId, …>` | O(log n) per probe on per-message paths; use the `ProcSet` word-array bitset (hot-path modules only) |
 //!
 //! A file opts out of a rule with a `// sih-analysis: allow(<rule>)`
 //! comment stating *why* the construct is sound there (e.g. a seeded-RNG
@@ -31,6 +32,13 @@ pub const DETERMINISM_RULES: [&str; 5] =
 /// The non-test `.unwrap()` rule name (runtime/model crates only).
 pub const UNWRAP_RULE: &str = "unwrap-nontest";
 
+/// The tree-of-processes rule name (hot-path modules only): quorum /
+/// participant / ack bookkeeping keyed by `ProcessId` must use the
+/// `ProcSet` word-array bitset, not `BTreeSet` / `BTreeMap` — the
+/// large-`n` scale tier depends on O(1) membership on per-message paths,
+/// and this rule keeps the migration from silently regressing.
+pub const BTREE_PROCSET_RULE: &str = "btree-procset";
+
 /// The outcome of scanning one file.
 #[derive(Clone, Debug, Default)]
 pub struct FileScan {
@@ -43,8 +51,15 @@ pub struct FileScan {
 /// Scans one file's source text with the determinism rules; `file` is the
 /// path recorded in findings. When `include_unwrap_rule` is set the
 /// `.unwrap()` rule runs too (reserved for the runtime/model crates whose
-/// panics must carry invariant messages).
-pub fn scan_source(file: &str, src: &str, include_unwrap_rule: bool) -> FileScan {
+/// panics must carry invariant messages). When `include_btree_rule` is
+/// set, `BTreeSet<ProcessId>` / `BTreeMap<ProcessId, …>` are flagged too
+/// (reserved for the hot-path modules that migrated to `ProcSet`).
+pub fn scan_source(
+    file: &str,
+    src: &str,
+    include_unwrap_rule: bool,
+    include_btree_rule: bool,
+) -> FileScan {
     let lexed = lex(src);
     let masked = test_mask(&lexed.tokens);
     let mut scan = FileScan::default();
@@ -106,6 +121,17 @@ pub fn scan_source(file: &str, src: &str, include_unwrap_rule: bool) -> FileScan
                     token.line,
                     format!("{name} in simulation code: float accumulation is order-sensitive; justify with an allow pragma or use integers"),
                 ),
+                "BTreeSet" | "BTreeMap"
+                    if include_btree_rule && generic_head_is(toks, i, "ProcessId") =>
+                {
+                    emit(
+                        BTREE_PROCSET_RULE,
+                        token.line,
+                        format!(
+                            "{name}<ProcessId, …> on a hot path: O(log n) per probe; use the ProcSet word-array bitset (or justify with an allow pragma)"
+                        ),
+                    )
+                }
                 "unwrap"
                     if include_unwrap_rule
                         && i > 0
@@ -136,6 +162,18 @@ fn path_is(toks: &[Token], i: usize, segments: &[&str; 2]) -> bool {
     matches!(&toks[i].tok, Tok::Ident(a) if a == segments[0])
         && toks.get(i + 1).is_some_and(|t| t.tok == Tok::PathSep)
         && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(b)) if b == segments[1])
+}
+
+/// Whether the tokens at `i` open a generic argument list whose first
+/// parameter is the identifier `first` — matches both `BTreeSet<P>` and
+/// the turbofish `BTreeSet::<P>` spelling.
+fn generic_head_is(toks: &[Token], i: usize, first: &str) -> bool {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.tok == Tok::PathSep) {
+        j += 1;
+    }
+    toks.get(j).is_some_and(|t| t.tok == Tok::Punct('<'))
+        && matches!(toks.get(j + 1).map(|t| &t.tok), Some(Tok::Ident(name)) if name == first)
 }
 
 /// The identifier following `toks[i]::`, if any.
@@ -215,7 +253,7 @@ mod tests {
     use super::*;
 
     fn rules_of(src: &str) -> Vec<&'static str> {
-        scan_source("x.rs", src, true).findings.iter().map(|f| f.rule).collect()
+        scan_source("x.rs", src, true, true).findings.iter().map(|f| f.rule).collect()
     }
 
     #[test]
@@ -234,9 +272,30 @@ mod tests {
     fn unwrap_rule_is_opt_in_and_shape_sensitive() {
         let src = "fn f() { x.unwrap(); }";
         assert_eq!(rules_of(src), vec![UNWRAP_RULE]);
-        assert!(scan_source("x.rs", src, false).findings.is_empty());
+        assert!(scan_source("x.rs", src, false, false).findings.is_empty());
         // `unwrap` as a free function name is not the method call.
         assert!(rules_of("fn unwrap() {}").is_empty());
+    }
+
+    #[test]
+    fn btree_procset_rule_is_opt_in_and_key_sensitive() {
+        let set = "let acks: BTreeSet<ProcessId> = BTreeSet::new();";
+        // One finding: the typed binding. The bare `BTreeSet::new()` has
+        // no `<ProcessId` head and is fine.
+        assert_eq!(rules_of(set), vec![BTREE_PROCSET_RULE]);
+        let map = "let t: BTreeMap<ProcessId, Value> = BTreeMap::new();";
+        assert_eq!(rules_of(map), vec![BTREE_PROCSET_RULE]);
+        // Turbofish spelling is caught too.
+        assert_eq!(rules_of("let s = BTreeSet::<ProcessId>::new();"), vec![BTREE_PROCSET_RULE]);
+        // Off the hot path the rule does not run at all.
+        assert!(scan_source("x.rs", set, false, false).findings.is_empty());
+        // Trees keyed by anything else are allowed everywhere.
+        assert!(rules_of("let m: BTreeMap<OpId, OpRecord> = BTreeMap::new();").is_empty());
+        // The escape hatch works and is counted.
+        let allowed = "// sih-analysis: allow(btree-procset)\nlet acks: BTreeSet<ProcessId> = BTreeSet::new();";
+        let scan = scan_source("x.rs", allowed, false, true);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.suppressed, 1);
     }
 
     #[test]
@@ -266,20 +325,25 @@ mod tests {
     #[test]
     fn allow_pragma_suppresses_and_counts() {
         let src = "// sih-analysis: allow(float)\nlet p: f64 = 0.5;";
-        let scan = scan_source("x.rs", src, false);
+        let scan = scan_source("x.rs", src, false, false);
         assert!(scan.findings.is_empty());
         assert_eq!(scan.suppressed, 2);
         // Other rules still fire.
         let src = "// sih-analysis: allow(float)\nlet t = Instant::now();";
         assert_eq!(
-            scan_source("x.rs", src, false).findings.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            scan_source("x.rs", src, false, false)
+                .findings
+                .iter()
+                .map(|f| f.rule)
+                .collect::<Vec<_>>(),
             vec!["wall-clock"]
         );
     }
 
     #[test]
     fn findings_carry_file_and_line() {
-        let scan = scan_source("crates/model/src/x.rs", "\n\nlet m = HashMap::new();", false);
+        let scan =
+            scan_source("crates/model/src/x.rs", "\n\nlet m = HashMap::new();", false, false);
         assert_eq!(scan.findings.len(), 1);
         assert_eq!(scan.findings[0].file, "crates/model/src/x.rs");
         assert_eq!(scan.findings[0].line, 3);

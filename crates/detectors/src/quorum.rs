@@ -14,7 +14,7 @@
 //! This is the constructive half of "`Σ_S` is implementable wherever a
 //! majority is correct" — the substrate Theorem 12's argument runs on.
 
-use sih_model::{FdOutput, ProcessSet};
+use sih_model::{FdOutput, ProcSet, ProcessSet};
 use sih_runtime::{Automaton, Effects, StepInput};
 
 /// Protocol messages of the quorum `Σ` emulation.
@@ -37,7 +37,11 @@ pub struct QuorumSigma {
     s: ProcessSet,
     n: usize,
     round: u64,
-    acks: ProcessSet,
+    // Bitset ack accumulator with an O(1) cached count — the majority
+    // test on every ack is a compare, not a popcount. `ProcSet` renders
+    // `Debug` identically to `ProcessSet`, so explorer fingerprints of
+    // this automaton's state survived the migration bit-for-bit.
+    acks: ProcSet,
     started: bool,
 }
 
@@ -45,7 +49,7 @@ impl QuorumSigma {
     /// A quorum emulator for `Σ_S` in a system of `n` processes.
     pub fn new(s: ProcessSet, n: usize) -> Self {
         assert!(!s.is_empty() && s.is_subset(ProcessSet::full(n)));
-        QuorumSigma { s, n, round: 0, acks: ProcessSet::EMPTY, started: false }
+        QuorumSigma { s, n, round: 0, acks: ProcSet::with_capacity(n), started: false }
     }
 
     /// An emulator for the full multi-writer register detector `Σ_Π`.
@@ -88,9 +92,9 @@ impl Automaton for QuorumSigma {
                 if self.s.contains(input.me) && r == self.round {
                     self.acks.insert(env.from);
                     if self.acks.len() >= self.majority() {
-                        eff.set_output(FdOutput::Trust(self.acks));
+                        eff.set_output(FdOutput::Trust(self.acks.to_process_set()));
                         self.round += 1;
-                        self.acks = ProcessSet::EMPTY;
+                        self.acks.clear();
                         eff.send_all(self.n, QuorumMsg::Ping(self.round));
                     }
                 }

@@ -62,6 +62,14 @@ pub struct Sigma {
     mode: SigmaMode,
     stab: Time,
     seed: u64,
+    // Materialized at construction: the failure pattern is immutable, so
+    // `Correct(F) ∩ A`, the pivot and the non-triviality trigger are
+    // per-run constants. Queries are then O(1) at any `n` — the oracle
+    // never scans the pattern (`correct()` is O(n) and 64-capped) on the
+    // hot path.
+    corr_a: ProcessSet,
+    pivot: Option<ProcessId>,
+    nontrivial: bool,
 }
 
 impl Sigma {
@@ -73,12 +81,17 @@ impl Sigma {
     pub fn new(a0: ProcessId, a1: ProcessId, pattern: &FailurePattern, seed: u64) -> Self {
         assert_ne!(a0, a1, "the active set is a pair of two distinct processes");
         assert!(a0.index() < pattern.n() && a1.index() < pattern.n());
+        let corr_a: ProcessSet = [a0, a1].into_iter().filter(|&a| pattern.is_correct(a)).collect();
         Sigma {
             active: ProcessSet::from_iter([a0, a1]),
             pattern: pattern.clone(),
             mode: SigmaMode::Reticent,
             stab: pattern.last_crash_time().next(),
             seed,
+            corr_a,
+            pivot: corr_a.min(),
+            // Correct(F) ⊆ A ⟺ every correct process is a correct active.
+            nontrivial: pattern.correct_count() == corr_a.len(),
         }
     }
 
@@ -103,12 +116,12 @@ impl Sigma {
     /// The correct pivot in `A`, if any: the least correct active process,
     /// contained in every nonempty output (which yields Intersection).
     fn pivot(&self) -> Option<ProcessId> {
-        self.active.intersection(self.pattern.correct()).min()
+        self.pivot
     }
 
     /// Whether `Correct(F) ⊆ A` (the non-triviality trigger).
     pub fn nontrivial(&self) -> bool {
-        self.pattern.correct().is_subset(self.active)
+        self.nontrivial
     }
 }
 
@@ -123,7 +136,7 @@ impl FailureDetector for Sigma {
             // ∅ never violates intersection).
             return FdOutput::EMPTY_TRUST;
         };
-        let corr_a = self.active.intersection(self.pattern.correct());
+        let corr_a = self.corr_a;
         let mut rng = query_rng(self.seed, p, t);
         if t >= self.stab {
             if self.nontrivial() {

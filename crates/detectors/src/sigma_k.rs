@@ -65,6 +65,11 @@ pub struct SigmaK {
     mode: SigmaKMode,
     stab: Time,
     seed: u64,
+    // Materialized at construction (the pattern is immutable per run):
+    // queries never scan the pattern, so they are O(1) at any `n`.
+    corr_a: ProcessSet,
+    pivot: Option<ProcessId>,
+    nontrivial: bool,
 }
 
 impl SigmaK {
@@ -75,13 +80,24 @@ impl SigmaK {
     /// Panics if `active` is empty or not within `Π`.
     pub fn new(active: ProcessSet, pattern: &FailurePattern, seed: u64) -> Self {
         assert!(!active.is_empty(), "active set must be nonempty");
-        assert!(active.is_subset(pattern.all()), "active set must be within Π");
+        assert!(active.iter().all(|p| p.index() < pattern.n()), "active set must be within Π");
+        let corr_a: ProcessSet = active.iter().filter(|&a| pattern.is_correct(a)).collect();
+        let low = active.smallest(active.len() / 2);
+        let high = active.difference(low);
+        // Correct ⊆ A_low ⟺ every correct process is a correct member of
+        // A_low (counted, so no O(n) correct() materialization).
+        let in_low = low.iter().filter(|&a| pattern.is_correct(a)).count();
+        let in_high = high.iter().filter(|&a| pattern.is_correct(a)).count();
+        let nc = pattern.correct_count();
         SigmaK {
             active,
             pattern: pattern.clone(),
             mode: SigmaKMode::Reticent,
             stab: pattern.last_crash_time().next(),
             seed,
+            corr_a,
+            pivot: corr_a.min(),
+            nontrivial: nc == in_low || nc == in_high,
         }
     }
 
@@ -116,12 +132,11 @@ impl SigmaK {
     /// Whether Definition 9's non-triviality trigger holds
     /// (`Correct ⊆ A_low` or `Correct ⊆ A_high`).
     pub fn nontrivial(&self) -> bool {
-        let c = self.pattern.correct();
-        c.is_subset(self.low_half()) || c.is_subset(self.high_half())
+        self.nontrivial
     }
 
     fn pivot(&self) -> Option<ProcessId> {
-        self.active.intersection(self.pattern.correct()).min()
+        self.pivot
     }
 }
 
@@ -133,7 +148,7 @@ impl FailureDetector for SigmaK {
         let Some(pivot) = self.pivot() else {
             return FdOutput::EMPTY_TRUST; // all actives faulty: ∅ forever
         };
-        let corr_a = self.active.intersection(self.pattern.correct());
+        let corr_a = self.corr_a;
         let mut rng = query_rng(self.seed, p, t);
         let pair = |x: ProcessSet| FdOutput::TrustActive { trust: x, active: self.active };
         if t >= self.stab {

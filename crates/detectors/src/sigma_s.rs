@@ -39,6 +39,11 @@ pub struct SigmaS {
     pivot: ProcessId,
     stab: Time,
     seed: u64,
+    // Materialized once at construction (the pattern is immutable per
+    // run): queries draw from these instead of re-scanning the pattern —
+    // `correct()`/`all()` are O(n) scans that used to run per query.
+    correct: ProcessSet,
+    all: ProcessSet,
 }
 
 impl SigmaS {
@@ -46,11 +51,22 @@ impl SigmaS {
     ///
     /// # Panics
     ///
-    /// Panics if `s` is empty or `pattern` has no correct process.
+    /// Panics if `s` is empty or `pattern` has no correct process. The
+    /// trust lists are [`ProcessSet`]s drawn from `Π`, so `Σ_S` histories
+    /// exist only for `n ≤ ProcessSet::MAX_PROCESSES`; large-`n` register
+    /// emulations use the majority quorum rule instead (no detector).
     pub fn new(s: ProcessSet, pattern: &FailurePattern, seed: u64) -> Self {
         assert!(!s.is_empty(), "S must be nonempty");
-        let pivot = pattern.correct().min().expect("at least one correct process");
-        SigmaS { s, pattern: pattern.clone(), pivot, stab: pattern.last_crash_time().next(), seed }
+        let pivot = pattern.first_correct().expect("at least one correct process");
+        SigmaS {
+            s,
+            pattern: pattern.clone(),
+            pivot,
+            stab: pattern.last_crash_time().next(),
+            seed,
+            correct: pattern.correct(),
+            all: pattern.all(),
+        }
     }
 
     /// Delays stabilization to `stab` (must not precede the last crash;
@@ -80,9 +96,9 @@ impl FailureDetector for SigmaS {
         if !self.pattern.is_alive(p, t) {
             // Paper convention: the list output at a crashed process of S
             // is Π.
-            return FdOutput::Trust(self.pattern.all());
+            return FdOutput::Trust(self.all);
         }
-        let base = if t >= self.stab { self.pattern.correct() } else { self.pattern.all() };
+        let base = if t >= self.stab { self.correct } else { self.all };
         let mut rng = query_rng(self.seed, p, t);
         let mut list = random_subset(&mut rng, base);
         list.insert(self.pivot);

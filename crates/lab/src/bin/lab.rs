@@ -19,6 +19,12 @@
 //! plus the permanent-partition starvation witness) and, with `--json`,
 //! writes the `BENCH_faults.json` artifact.
 //!
+//! `lab scale` runs the large-`n` scaling tier (the majority-quorum ABD
+//! register plus sampled Figure 2/Figure 4 decisions at
+//! `n ∈ {10³, 10⁴, 10⁵}`; add `--huge` for `10⁶`, or lower the ladder
+//! with `--max-n`) and, with `--json`, writes the `BENCH_scale.json`
+//! artifact.
+//!
 //! `lab repro` is the counterexample harness: `record` captures a failing
 //! schedule from a registered workload, `shrink` minimizes it with the
 //! delta-debugging engine, `replay` re-runs one schedule file, and
@@ -26,8 +32,8 @@
 //! `--fresh DIR` to also re-record each planted violation from scratch).
 
 use sih_lab::{
-    render_figure1, repro, run_experiment, run_explore_bench, run_faults_bench, ExperimentReport,
-    ExploreLabConfig, FaultsLabConfig, LabConfig, EXPERIMENT_IDS,
+    render_figure1, repro, run_experiment, run_explore_bench, run_faults_bench, run_scale_bench,
+    ExperimentReport, ExploreLabConfig, FaultsLabConfig, LabConfig, ScaleLabConfig, EXPERIMENT_IDS,
 };
 use sih_runtime::Schedule;
 use std::process::ExitCode;
@@ -37,7 +43,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | faults | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--max-n N] [--sample D] [--huge] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         eprintln!(
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
     let mut cfg = LabConfig::default();
     let mut explore_cfg = ExploreLabConfig::default();
     let mut faults_cfg = FaultsLabConfig::default();
+    let mut scale_cfg = ScaleLabConfig::default();
     let mut json_path: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -81,13 +88,38 @@ fn main() -> ExitCode {
                 cfg.threads = value(&mut it).parse().expect("--threads takes an integer");
                 explore_cfg.threads = cfg.threads;
                 faults_cfg.threads = cfg.threads;
+                scale_cfg.threads = cfg.threads;
             }
+            "--max-n" => {
+                scale_cfg.max_n = value(&mut it).parse().expect("--max-n takes an integer")
+            }
+            "--sample" => {
+                scale_cfg.sample = value(&mut it).parse().expect("--sample takes an integer")
+            }
+            "--huge" => scale_cfg.huge = true,
             "--json" => json_path = Some(value(&mut it)),
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if command == "scale" {
+        let report = run_scale_bench(&scale_cfg);
+        print!("{report}");
+        let ok = report.ok();
+        if let Some(path) = json_path {
+            let json = report.to_json().to_string_pretty();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote scale bench to {path}");
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("UNEXPECTED scale outcome");
+            ExitCode::FAILURE
+        };
     }
 
     if command == "faults" {
@@ -110,6 +142,13 @@ fn main() -> ExitCode {
     if command == "explore" {
         let report = run_explore_bench(&explore_cfg);
         print!("{report}");
+        if report.frontier_regressed() {
+            eprintln!(
+                "warning: frontier_speedup {:.2} < 1.0 — the parallel frontier leg is slower \
+                 than the unreduced baseline (known regression, ROADMAP item 3)",
+                report.frontier_speedup()
+            );
+        }
         let ok = report.verdicts_agree() && report.reduced.ok();
         if let Some(path) = json_path {
             let json = report.to_json().to_string_pretty();
@@ -140,7 +179,9 @@ fn main() -> ExitCode {
         "all" => EXPERIMENT_IDS.iter().map(|id| timed_run(id)).collect(),
         id if EXPERIMENT_IDS.contains(&id) => vec![timed_run(id)],
         other => {
-            eprintln!("unknown command {other}; expected e1..e15, faults, figure1 or all");
+            eprintln!(
+                "unknown command {other}; expected e1..e15, explore, faults, scale, figure1 or all"
+            );
             return ExitCode::FAILURE;
         }
     };

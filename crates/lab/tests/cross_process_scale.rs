@@ -1,0 +1,94 @@
+//! Cross-process determinism of the large-`n` scale tier.
+//!
+//! The `lab scale` acceptance gate requires every non-wall-clock field
+//! of `BENCH_scale.json` to be identical run-to-run and thread-count to
+//! thread-count. The growable `ProcSet` quorums, the event-driven
+//! worklist, and the batched fan-out path must not leak any
+//! address-space or hash-seed dependence into those counters. A
+//! same-process repeat cannot catch a `RandomState` hash-order
+//! dependency, so this test re-executes its own binary twice as child
+//! processes — distinct ASLR layouts, distinct hash seeds — and
+//! compares the digests they print.
+
+use sih_lab::{run_scale_bench, ScaleCell, ScaleLabConfig};
+use std::process::Command;
+
+const CHILD_ENV: &str = "SIH_XPROC_SCALE_CHILD";
+
+/// FNV-1a over the bytes of `s`.
+fn fnv1a(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Every deterministic field of one cell, in canonical order. Wall
+/// clock is the one runner-dependent cell field and is excluded.
+fn cell_line(c: &ScaleCell) -> String {
+    format!(
+        "{} n={} steps={} sent={} delivered={} in_flight={} decided={} ops={} viol={} reason={} heap={} bpp={}\n",
+        c.workload,
+        c.n,
+        c.steps,
+        c.sent,
+        c.delivered,
+        c.in_flight,
+        c.decided,
+        c.ops_complete,
+        c.violations,
+        c.reason,
+        c.heap_bytes,
+        c.bytes_per_process,
+    )
+}
+
+/// The run the digest covers: the full three-workload grid at a rung
+/// past the 64-process `ProcessSet` ceiling, at two different worker
+/// counts (whose deterministic fields must also agree with each other).
+fn digest() -> u64 {
+    let mut transcript = String::new();
+    for threads in [1, 4] {
+        let cfg = ScaleLabConfig { max_n: 200, huge: false, sample: 8, threads };
+        let report = run_scale_bench(&cfg);
+        assert!(report.ok(), "scale grid failed at threads={threads}");
+        for cell in &report.cells {
+            transcript.push_str(&cell_line(cell));
+        }
+    }
+    fnv1a(&transcript)
+}
+
+/// Child entry point: prints the digest and nothing else of interest.
+/// A plain no-op pass when run as part of the normal suite.
+#[test]
+fn xproc_digest_worker() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        println!("DIGEST:{:016x}", digest());
+    }
+}
+
+fn spawn_child() -> u64 {
+    let exe = std::env::current_exe().expect("invariant: test binary path is known");
+    let out = Command::new(exe)
+        .env(CHILD_ENV, "1")
+        .args(["--exact", "xproc_digest_worker", "--nocapture"])
+        .output()
+        .expect("invariant: the test binary re-executes");
+    assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+    // libtest may print its own `test … ...` prefix on the same line, so
+    // locate the marker anywhere and take the 16 hex digits after it.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let at = stdout.find("DIGEST:").expect("invariant: child prints a DIGEST marker") + 7;
+    u64::from_str_radix(&stdout[at..at + 16], 16).expect("invariant: digest is 16 hex digits")
+}
+
+#[test]
+fn scale_counters_agree_across_processes() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        return; // children only run the worker
+    }
+    let a = spawn_child();
+    let b = spawn_child();
+    assert_eq!(a, b, "two ASLR-distinct processes produced different scale digests");
+    // And the parent process agrees too (third distinct hash-seed draw).
+    assert_eq!(a, digest());
+}

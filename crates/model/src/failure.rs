@@ -51,12 +51,17 @@ impl FailurePattern {
     /// Starts building a pattern over `n` processes (all correct unless
     /// crashes are added).
     ///
+    /// Patterns themselves have no size cap (the scaling tier runs
+    /// `n = 10⁶`); only the [`ProcessSet`]-returning views ([`Self::all`],
+    /// [`Self::correct`], …) stay limited to
+    /// [`ProcessSet::MAX_PROCESSES`] — large-`n` callers use the scalar
+    /// accessors ([`Self::is_correct`], [`Self::correct_count`]) instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `n > ProcessSet::MAX_PROCESSES`.
+    /// Panics if `n == 0`.
     pub fn builder(n: usize) -> FailurePatternBuilder {
         assert!(n > 0, "a system has at least one process");
-        assert!(n <= ProcessSet::MAX_PROCESSES, "at most 64 processes supported");
         FailurePatternBuilder { pattern: FailurePattern { n, crash_at: vec![None; n] } }
     }
 
@@ -82,14 +87,37 @@ impl FailurePattern {
     }
 
     /// The full process set `Π`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`ProcessSet::MAX_PROCESSES`]; large-`n`
+    /// code iterates `0..n` directly instead of materializing `Π`.
     #[inline]
     pub fn all(&self) -> ProcessSet {
         ProcessSet::full(self.n)
     }
 
     /// `Correct(F)`: processes that never crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`ProcessSet::MAX_PROCESSES`]; large-`n`
+    /// code uses [`Self::correct_count`] / [`Self::is_correct`].
     pub fn correct(&self) -> ProcessSet {
         (0..self.n as u32).map(ProcessId).filter(|p| self.is_correct(*p)).collect()
+    }
+
+    /// `|Correct(F)|`, at any `n`. One O(n) scan; callers that need it
+    /// per step cache the result (the engine does).
+    pub fn correct_count(&self) -> usize {
+        self.crash_at.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// The smallest correct process, at any `n` (every environment of the
+    /// paper guarantees one exists; returns `None` only for
+    /// [`FailurePatternBuilder::build_unchecked`] patterns without one).
+    pub fn first_correct(&self) -> Option<ProcessId> {
+        self.crash_at.iter().position(Option::is_none).map(|i| ProcessId(i as u32))
     }
 
     /// The faulty processes `Π \ Correct(F)`.
@@ -135,14 +163,14 @@ impl FailurePattern {
     /// failure patterns with this property (environment `E`).
     #[inline]
     pub fn has_correct_process(&self) -> bool {
-        !self.correct().is_empty()
+        self.crash_at.iter().any(Option::is_none)
     }
 
     /// Whether a majority of processes is correct (`|Correct| > n/2`), the
     /// environment in which `Σ` is implementable without synchrony (§2.2).
     #[inline]
     pub fn has_correct_majority(&self) -> bool {
-        self.correct().len() * 2 > self.n
+        self.correct_count() * 2 > self.n
     }
 
     /// The last finite crash time in the pattern, or `Time::ZERO` if none.
@@ -317,6 +345,31 @@ mod tests {
     fn build_unchecked_allows_all_faulty() {
         let f = FailurePattern::builder(1).crash_from_start(ProcessId(0)).build_unchecked();
         assert!(!f.has_correct_process());
+    }
+
+    #[test]
+    fn large_patterns_work_without_process_set_views() {
+        let f = FailurePattern::builder(100_000)
+            .crash_at(ProcessId(77_777), Time(9))
+            .crash_from_start(ProcessId(5))
+            .build();
+        assert_eq!(f.n(), 100_000);
+        assert_eq!(f.correct_count(), 99_998);
+        assert_eq!(f.first_correct(), Some(ProcessId(0)));
+        assert!(f.is_alive(ProcessId(99_999), Time(1_000)));
+        assert!(f.is_alive(ProcessId(77_777), Time(9)));
+        assert!(!f.is_alive(ProcessId(77_777), Time(10)));
+        assert!(!f.is_alive(ProcessId(5), Time::ZERO));
+        assert_eq!(f.last_crash_time(), Time(9));
+    }
+
+    #[test]
+    fn correct_count_matches_correct_set_at_small_n() {
+        let f = FailurePattern::builder(6).crash_at(ProcessId(2), Time(3)).build();
+        assert_eq!(f.correct_count(), f.correct().len());
+        assert_eq!(f.first_correct(), Some(ProcessId(0)));
+        let g = FailurePattern::builder(3).crash_from_start(ProcessId(0)).build();
+        assert_eq!(g.first_correct(), Some(ProcessId(1)));
     }
 
     #[test]

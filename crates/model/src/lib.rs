@@ -46,6 +46,7 @@ mod history;
 mod linkfault;
 mod op;
 mod process;
+mod procset;
 #[cfg(test)]
 mod proptests;
 mod time;
@@ -58,5 +59,6 @@ pub use history::{OutputTimeline, RecordedHistory};
 pub use linkfault::{LinkFault, LinkFaultPlan, LinkFaultPlanBuilder, LinkFaultWindow, SendFate};
 pub use op::{OpId, OpKind, OpRecord};
 pub use process::{ProcessId, ProcessSet, ProcessSetIter};
+pub use procset::ProcSet;
 pub use time::Time;
 pub use value::Value;

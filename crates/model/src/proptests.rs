@@ -4,7 +4,7 @@
 
 #![cfg(test)]
 
-use crate::{FailurePattern, FdOutput, OutputTimeline, ProcessId, ProcessSet, Time};
+use crate::{FailurePattern, FdOutput, OutputTimeline, ProcSet, ProcessId, ProcessSet, Time};
 use proptest::prelude::*;
 
 fn arb_set() -> impl Strategy<Value = ProcessSet> {
@@ -105,5 +105,115 @@ proptest! {
             tl.final_output(),
             sorted.last().map_or(FdOutput::Bot, |&(_, l)| FdOutput::Leader(ProcessId(l)))
         );
+    }
+}
+
+/// Op sequences over ids that straddle several 64-bit words, so the
+/// growable [`ProcSet`] is exercised past the `ProcessSet` ceiling.
+/// Encoded as `(code, id)` pairs: codes 0–7 insert, 8–11 remove,
+/// 12 clears (the vendored proptest has no weighted `prop_oneof`).
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    proptest::collection::vec((0u32..13, 0u32..200), 0..64).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(code, id)| match code {
+                0..=7 => SetOp::Insert(id),
+                8..=11 => SetOp::Remove(id),
+                _ => SetOp::Clear,
+            })
+            .collect()
+    })
+}
+
+/// Replays `ops` against both a [`ProcSet`] and the `BTreeSet` reference
+/// model, checking that each mutation reports the same effect.
+fn materialize(
+    ops: &[SetOp],
+) -> Result<(ProcSet, std::collections::BTreeSet<ProcessId>), TestCaseError> {
+    let mut actual = ProcSet::new();
+    let mut model = std::collections::BTreeSet::new();
+    for &op in ops {
+        match op {
+            SetOp::Insert(i) => {
+                prop_assert_eq!(actual.insert(ProcessId(i)), model.insert(ProcessId(i)));
+            }
+            SetOp::Remove(i) => {
+                prop_assert_eq!(actual.remove(ProcessId(i)), model.remove(&ProcessId(i)));
+            }
+            SetOp::Clear => {
+                actual.clear();
+                model.clear();
+            }
+        }
+    }
+    Ok((actual, model))
+}
+
+proptest! {
+    /// After any op sequence, `ProcSet` agrees with a `BTreeSet` model on
+    /// membership, cardinality, emptiness, minimum, and iteration order.
+    #[test]
+    fn procset_matches_btreeset_model(ops in arb_ops()) {
+        let (actual, model) = materialize(&ops)?;
+        prop_assert_eq!(actual.len(), model.len());
+        prop_assert_eq!(actual.is_empty(), model.is_empty());
+        prop_assert_eq!(actual.first(), model.iter().next().copied());
+        for i in 0..200u32 {
+            prop_assert_eq!(actual.contains(ProcessId(i)), model.contains(&ProcessId(i)));
+        }
+        let iterated: Vec<ProcessId> = actual.iter().collect();
+        let expected: Vec<ProcessId> = model.iter().copied().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// Binary algebra (intersection / union / difference / subset /
+    /// intersects) agrees with the `BTreeSet` reference semantics.
+    #[test]
+    fn procset_algebra_matches_btreeset(a_ops in arb_ops(), b_ops in arb_ops()) {
+        let (a, ma) = materialize(&a_ops)?;
+        let (b, mb) = materialize(&b_ops)?;
+        let inter: Vec<ProcessId> = a.intersection(&b).iter().collect();
+        prop_assert_eq!(inter, ma.intersection(&mb).copied().collect::<Vec<_>>());
+        let uni: Vec<ProcessId> = a.union(&b).iter().collect();
+        prop_assert_eq!(uni, ma.union(&mb).copied().collect::<Vec<_>>());
+        let diff: Vec<ProcessId> = a.difference(&b).iter().collect();
+        prop_assert_eq!(diff, ma.difference(&mb).copied().collect::<Vec<_>>());
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        prop_assert_eq!(a.intersects(&b), !ma.is_disjoint(&mb));
+    }
+
+    /// Structural equality, ordering, and hashing are value-based: two op
+    /// sequences reaching the same member set compare equal even if their
+    /// backing word vectors grew to different lengths.
+    #[test]
+    fn procset_eq_ignores_trailing_capacity(ops in arb_ops(), extra in 200u32..400) {
+        let (mut a, _) = materialize(&ops)?;
+        let mut b = a.clone();
+        // Force `b` to grow extra zero words, then drop the member again.
+        b.insert(ProcessId(extra));
+        b.remove(ProcessId(extra));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        a.insert(ProcessId(extra));
+        prop_assert_ne!(&a, &b);
+    }
+
+    /// For ids under the `ProcessSet` ceiling the two set types are
+    /// interchangeable: round-trip conversion preserves members,
+    /// `contains_all` matches subset semantics, and Debug renders the
+    /// same `{p0,p2,…}` text (explorer fingerprints depend on this).
+    #[test]
+    fn procset_agrees_with_processset_below_64(small in arb_set(), other in arb_set()) {
+        let grown = ProcSet::from_process_set(small);
+        prop_assert_eq!(grown.to_process_set(), small);
+        prop_assert_eq!(grown.len(), small.len());
+        prop_assert_eq!(grown.contains_all(other), other.is_subset(small));
+        prop_assert_eq!(format!("{grown:?}"), format!("{small:?}"));
     }
 }

@@ -292,7 +292,7 @@ mod tests {
             &mut eff,
         );
         // Only the three members receive; the three outsiders are dropped.
-        assert_eq!(eff.sends().len(), 3);
-        assert!(eff.sends().iter().all(|(to, _)| to.index() < 3));
+        assert_eq!(eff.send_count(), 3);
+        assert!(eff.sends().all(|(to, _)| to.index() < 3));
     }
 }

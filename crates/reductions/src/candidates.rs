@@ -468,7 +468,7 @@ mod tests {
             },
             &mut eff,
         );
-        assert!(eff.sends().iter().any(|(to, m)| *to == ProcessId(0) && *m == GossipMsg::Pong));
+        assert!(eff.sends().any(|(to, m)| to == ProcessId(0) && *m == GossipMsg::Pong));
         assert_eq!(eff.emulated(), Some(FdOutput::Bot));
         let _ = NoDetector;
     }

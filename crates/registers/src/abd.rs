@@ -22,7 +22,7 @@
 //!
 //! [`OpRecord`]: sih_model::OpRecord
 
-use sih_model::{OpId, OpKind, ProcessId, ProcessSet, Value};
+use sih_model::{OpId, OpKind, ProcSet, ProcessId, ProcessSet, Value};
 use sih_runtime::{Automaton, Effects, StepInput};
 use std::collections::VecDeque;
 
@@ -80,7 +80,23 @@ struct ActiveOp {
     kind: OpKind,
     tag: u64,
     phase: OpPhase,
-    acks: ProcessSet,
+    // A `ProcSet` rather than a `ProcessSet` so the emulation scales past
+    // 64 replicas; the Debug rendering is identical, so explorer state
+    // fingerprints are unchanged for small n.
+    acks: ProcSet,
+}
+
+/// How a phase decides that enough replicas have answered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuorumRule {
+    /// Repliers must contain some currently-trusted set output by `Σ_S`.
+    /// Requires the failure detector; `Σ_S` trust lists are `ProcessSet`s,
+    /// so this rule exists only for `n ≤ 64`.
+    Sigma,
+    /// Repliers must number at least `m` (classic ABD: `⌊n/2⌋ + 1`). Needs
+    /// no detector, works at any `n`, and is sound whenever a majority of
+    /// replicas is correct.
+    Majority(usize),
 }
 
 /// One process of the ABD register emulation: a replica at every process,
@@ -95,12 +111,30 @@ pub struct AbdRegister {
     current: Option<ActiveOp>,
     next_tag: u64,
     ops_done: u64,
+    rule: QuorumRule,
 }
 
 impl AbdRegister {
     /// A process serving the `S`-register in a system of `n` processes,
-    /// executing `script` operations if it belongs to `S`.
+    /// executing `script` operations if it belongs to `S`. Phases complete
+    /// against `Σ_S` trusted sets ([`QuorumRule::Sigma`]).
     pub fn new(s: ProcessSet, n: usize, script: Vec<OpKind>) -> Self {
+        Self::with_rule(s, n, script, QuorumRule::Sigma)
+    }
+
+    /// Like [`new`](Self::new) but with majority quorums (`⌊n/2⌋ + 1`),
+    /// ignoring the failure detector. This is the rule the large-`n`
+    /// scaling tier uses: it needs no `Σ_S` history (trust lists cap at 64
+    /// processes) and completes phases in O(1) per ack.
+    pub fn majority(s: ProcessSet, n: usize, script: Vec<OpKind>) -> Self {
+        Self::with_rule(s, n, script, QuorumRule::Majority(n / 2 + 1))
+    }
+
+    /// A process with an explicit [`QuorumRule`].
+    pub fn with_rule(s: ProcessSet, n: usize, script: Vec<OpKind>, rule: QuorumRule) -> Self {
+        if let QuorumRule::Majority(m) = rule {
+            assert!(m >= 1 && m <= n, "majority threshold {m} out of range for n = {n}");
+        }
         AbdRegister {
             s,
             n,
@@ -110,6 +144,7 @@ impl AbdRegister {
             current: None,
             next_tag: 0,
             ops_done: 0,
+            rule,
         }
     }
 
@@ -182,16 +217,23 @@ impl Automaton for AbdRegister {
         if !self.s.contains(input.me) {
             return;
         }
-        let Some(trusted) = input.fd.trust() else {
-            // Σ_S outputs lists at members of S; ⊥ here means the detector
-            // is not serving us this step (e.g. an emulated Σ still
-            // initializing) — just wait.
-            return;
-        };
 
-        // Phase completion: repliers ⊇ some currently-trusted set.
-        let completed = matches!(&self.current,
-            Some(op) if !trusted.is_empty() && trusted.is_subset(op.acks));
+        // Phase completion: repliers ⊇ some currently-trusted set (Sigma),
+        // or repliers ≥ the majority threshold (Majority, detector-free).
+        let completed = match (&self.current, self.rule) {
+            (Some(op), QuorumRule::Majority(m)) => op.acks.len() >= m,
+            (Some(op), QuorumRule::Sigma) => {
+                let Some(trusted) = input.fd.trust() else {
+                    // Σ_S outputs lists at members of S; ⊥ here means the
+                    // detector is not serving us this step (e.g. an
+                    // emulated Σ still initializing) — just wait.
+                    return;
+                };
+                !trusted.is_empty() && op.acks.contains_all(trusted)
+            }
+            (None, QuorumRule::Sigma) if input.fd.trust().is_none() => return,
+            (None, _) => false,
+        };
         if completed {
             let op = self.current.take().expect("checked above");
             match op.phase {
@@ -213,7 +255,7 @@ impl Automaton for AbdRegister {
                         kind: op.kind,
                         tag,
                         phase: OpPhase::Update { result },
-                        acks: ProcessSet::EMPTY,
+                        acks: ProcSet::with_capacity(self.n),
                     });
                     eff.send_all(self.n, AbdMsg::Update { tag, ts, v });
                 }
@@ -237,7 +279,7 @@ impl Automaton for AbdRegister {
                     kind,
                     tag,
                     phase: OpPhase::Query { best_ts: Timestamp::default(), best_v: None },
-                    acks: ProcessSet::EMPTY,
+                    acks: ProcSet::with_capacity(self.n),
                 });
                 eff.send_all(self.n, AbdMsg::Query { tag });
             }
@@ -260,12 +302,24 @@ impl Automaton for AbdRegister {
 /// Builds the `n` ABD automata: scripts are assigned to members of `S` in
 /// id order; non-members get empty scripts (replica-only).
 pub fn abd_processes(s: ProcessSet, n: usize, scripts: Vec<Vec<OpKind>>) -> Vec<AbdRegister> {
+    abd_processes_with_rule(s, n, scripts, QuorumRule::Sigma)
+}
+
+/// Like [`abd_processes`] but with an explicit [`QuorumRule`] — pass
+/// `QuorumRule::Majority(n / 2 + 1)` for the detector-free large-`n`
+/// emulation.
+pub fn abd_processes_with_rule(
+    s: ProcessSet,
+    n: usize,
+    scripts: Vec<Vec<OpKind>>,
+    rule: QuorumRule,
+) -> Vec<AbdRegister> {
     assert_eq!(scripts.len(), s.len(), "one script per member of S");
     let mut by_pid: Vec<Vec<OpKind>> = vec![Vec::new(); n];
     for (member, script) in s.iter().zip(scripts) {
         by_pid[member.index()] = script;
     }
-    by_pid.into_iter().map(|script| AbdRegister::new(s, n, script)).collect()
+    by_pid.into_iter().map(|script| AbdRegister::with_rule(s, n, script, rule)).collect()
 }
 
 #[cfg(test)]
@@ -387,6 +441,69 @@ mod tests {
         assert_eq!(ops.len(), 1);
         assert_eq!(ops[0].read_value, None);
         check_linearizable(&ops, None).unwrap();
+    }
+
+    #[test]
+    fn majority_rule_needs_no_detector() {
+        use sih_model::NoDetector;
+        for seed in 0..8 {
+            let s = ProcessSet::from_iter([0, 1].map(ProcessId));
+            let f = FailurePattern::all_correct(5);
+            let procs = abd_processes_with_rule(
+                s,
+                5,
+                vec![
+                    vec![OpKind::Write(Value(4)), OpKind::Read],
+                    vec![OpKind::Read, OpKind::Write(Value(6)), OpKind::Read],
+                ],
+                QuorumRule::Majority(3),
+            );
+            let mut sim = Simulation::new(procs, f.clone());
+            let mut sched = FairScheduler::new(seed);
+            sim.run_until(&mut sched, &NoDetector, 150_000, |sim| {
+                sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+            });
+            let ops = sim.into_trace().op_records();
+            assert_eq!(ops.iter().filter(|o| o.is_complete()).count(), 5, "seed {seed}");
+            check_linearizable(&ops, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn majority_rule_survives_minority_crash() {
+        use sih_model::NoDetector;
+        let s = ProcessSet::singleton(ProcessId(0));
+        let f = FailurePattern::builder(5)
+            .crash_from_start(ProcessId(3))
+            .crash_at(ProcessId(4), Time(20))
+            .build();
+        let procs = abd_processes_with_rule(
+            s,
+            5,
+            vec![vec![OpKind::Write(Value(9)), OpKind::Read, OpKind::Read]],
+            QuorumRule::Majority(3),
+        );
+        let mut sim = Simulation::new(procs, f.clone());
+        let mut sched = FairScheduler::new(11);
+        sim.run_until(&mut sched, &NoDetector, 150_000, |sim| {
+            sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+        });
+        let ops = sim.into_trace().op_records();
+        assert_eq!(ops.iter().filter(|o| o.is_complete()).count(), 3);
+        check_linearizable(&ops, None).unwrap();
+        let read = ops.iter().find(|o| o.kind == OpKind::Read).unwrap();
+        assert_eq!(read.read_value, Some(Value(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn majority_threshold_must_fit_n() {
+        let _ = AbdRegister::with_rule(
+            ProcessSet::singleton(ProcessId(0)),
+            3,
+            vec![],
+            QuorumRule::Majority(4),
+        );
     }
 
     #[test]

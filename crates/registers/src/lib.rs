@@ -33,7 +33,7 @@ mod client;
 mod extraction;
 mod linearizability;
 
-pub use abd::{abd_processes, AbdMsg, AbdRegister, Timestamp};
+pub use abd::{abd_processes, abd_processes_with_rule, AbdMsg, AbdRegister, QuorumRule, Timestamp};
 pub use client::WorkloadSpec;
 pub use extraction::{extracting, SigmaExtractor};
 pub use linearizability::{

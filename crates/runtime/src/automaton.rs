@@ -59,6 +59,44 @@ pub struct StepInput<M> {
     pub fd: FdOutput,
 }
 
+/// One send action queued in an [`Effects`] set.
+///
+/// `send to all` / `send to all except me` are first-class: the payload is
+/// stored **once** per fan-out, not cloned per recipient, and the engine
+/// hands the whole batch to [`Network::broadcast`](crate::Network::broadcast)
+/// which shares one ref-counted payload across all recipient queues. The
+/// per-recipient expansion order (ids increasing, `except` skipped) is
+/// exactly the order the old clone-per-recipient loop pushed, so message
+/// ids — and therefore traces and replays — are unchanged.
+#[derive(Clone, Debug)]
+pub(crate) enum SendOp<M> {
+    /// A single message to one process.
+    To(ProcessId, M),
+    /// One payload to every process in `0..n`, minus `except`.
+    Fanout { n: usize, except: Option<ProcessId>, payload: M },
+}
+
+impl<M> SendOp<M> {
+    /// Number of messages this op expands to.
+    pub(crate) fn count(&self) -> usize {
+        match self {
+            SendOp::To(..) => 1,
+            SendOp::Fanout { n, except, .. } => n - usize::from(except.is_some()),
+        }
+    }
+
+    /// Rewraps the payload, preserving the op shape (wrapper automata tag
+    /// an inner layer's sends without expanding its fan-outs).
+    pub(crate) fn map_payload<N>(self, f: impl FnOnce(M) -> N) -> SendOp<N> {
+        match self {
+            SendOp::To(to, m) => SendOp::To(to, f(m)),
+            SendOp::Fanout { n, except, payload } => {
+                SendOp::Fanout { n, except, payload: f(payload) }
+            }
+        }
+    }
+}
+
 /// The actions a process takes in one atomic step.
 ///
 /// Obtained empty by the engine, filled by [`Automaton::step`], and then
@@ -67,7 +105,7 @@ pub struct StepInput<M> {
 /// pseudocode's `return`).
 #[derive(Clone, Debug, Default)]
 pub struct Effects<M> {
-    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) sends: Vec<SendOp<M>>,
     pub(crate) decision: Option<Value>,
     pub(crate) emulated: Option<FdOutput>,
     pub(crate) op_events: Vec<OpEvent>,
@@ -110,31 +148,27 @@ impl<M> Effects<M> {
 
     /// Sends `payload` to process `to` (may be the sender itself).
     pub fn send(&mut self, to: ProcessId, payload: M) {
-        self.sends.push((to, payload));
+        self.sends.push(SendOp::To(to, payload));
     }
 
-    /// Sends a copy of `payload` to every process in `Π`, including the
-    /// sender (the pseudocode's "send to all").
+    /// Sends `payload` to every process in `Π`, including the sender (the
+    /// pseudocode's "send to all"). The payload is stored once — the
+    /// engine fans it out as a batch sharing one ref-counted copy.
     pub fn send_all(&mut self, n: usize, payload: M)
     where
         M: Clone,
     {
-        for i in 0..n as u32 {
-            self.sends.push((ProcessId(i), payload.clone()));
-        }
+        self.sends.push(SendOp::Fanout { n, except: None, payload });
     }
 
-    /// Sends a copy of `payload` to every process except `me` (the
-    /// pseudocode's "send to every process except p", Figure 2 line 17).
+    /// Sends `payload` to every process except `me` (the pseudocode's
+    /// "send to every process except p", Figure 2 line 17). Stored as one
+    /// batch, like [`Effects::send_all`].
     pub fn send_others(&mut self, n: usize, me: ProcessId, payload: M)
     where
         M: Clone,
     {
-        for i in 0..n as u32 {
-            if ProcessId(i) != me {
-                self.sends.push((ProcessId(i), payload.clone()));
-            }
-        }
+        self.sends.push(SendOp::Fanout { n, except: Some(me), payload });
     }
 
     /// Records the decision of this process (at most one per run).
@@ -170,10 +204,21 @@ impl<M> Effects<M> {
         self.halt = true;
     }
 
-    /// The sends queued so far (read access, e.g. for wrapper automata
-    /// and tests).
-    pub fn sends(&self) -> &[(ProcessId, M)] {
-        &self.sends
+    /// The sends queued so far, expanded per recipient in send order
+    /// (read access, e.g. for wrapper automata and tests). Fan-outs yield
+    /// one `(recipient, &payload)` pair per recipient without cloning.
+    pub fn sends(&self) -> impl Iterator<Item = (ProcessId, &M)> + '_ {
+        self.sends.iter().flat_map(|op| match op {
+            SendOp::To(to, m) => SendIter::One(std::iter::once((*to, m))),
+            SendOp::Fanout { n, except, payload } => {
+                SendIter::Fan { next: 0, n: *n as u32, except: *except, payload }
+            }
+        })
+    }
+
+    /// Total messages the queued sends expand to.
+    pub fn send_count(&self) -> usize {
+        self.sends.iter().map(SendOp::count).sum()
     }
 
     /// The decision recorded this step, if any.
@@ -198,9 +243,39 @@ impl<M> Effects<M> {
 
     /// Drains all queued sends, leaving the list empty — for wrapper
     /// automata (e.g. the Theorem 13 simulation) that translate and
-    /// re-emit an inner automaton's effects.
-    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)> {
-        std::mem::take(&mut self.sends)
+    /// re-emit an inner automaton's effects **per recipient** (a stubborn
+    /// link numbers each link's stream separately, so wrappers genuinely
+    /// need the expansion; they run at explorer-scale `n`, where the
+    /// per-recipient clones are what the old representation always paid).
+    pub fn take_sends(&mut self) -> Vec<(ProcessId, M)>
+    where
+        M: Clone,
+    {
+        let mut out = Vec::with_capacity(self.send_count());
+        for op in self.sends.drain(..) {
+            match op {
+                SendOp::To(to, m) => out.push((to, m)),
+                SendOp::Fanout { n, except, payload } => {
+                    for i in 0..n as u32 {
+                        let to = ProcessId(i);
+                        if Some(to) != except {
+                            out.push((to, payload.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Resets every effect, keeping allocations — the engine reuses one
+    /// `Effects` scratch across steps (no per-step allocation).
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.decision = None;
+        self.emulated = None;
+        self.op_events.clear();
+        self.halt = false;
     }
 
     /// Takes the recorded decision, leaving none.
@@ -228,6 +303,33 @@ impl<M> Effects<M> {
     }
 }
 
+/// Iterator behind [`Effects::sends`]: either a single unicast or a lazy
+/// fan-out expansion.
+enum SendIter<'a, M> {
+    One(std::iter::Once<(ProcessId, &'a M)>),
+    Fan { next: u32, n: u32, except: Option<ProcessId>, payload: &'a M },
+}
+
+impl<'a, M> Iterator for SendIter<'a, M> {
+    type Item = (ProcessId, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            SendIter::One(it) => it.next(),
+            SendIter::Fan { next, n, except, payload } => loop {
+                if next >= n {
+                    return None;
+                }
+                let to = ProcessId(*next);
+                *next += 1;
+                if Some(to) != *except {
+                    return Some((to, *payload));
+                }
+            },
+        }
+    }
+}
+
 /// A deterministic process automaton — one of the `n` automata making up a
 /// distributed algorithm.
 ///
@@ -237,8 +339,12 @@ impl<M> Effects<M> {
 /// randomness or wall-clock state; all nondeterminism lives in the
 /// scheduler and the failure-detector history.
 pub trait Automaton {
-    /// The protocol message type.
-    type Msg: Clone + std::fmt::Debug;
+    /// The protocol message type. `Send + Sync` is required because
+    /// broadcast payloads are stored once and shared (ref-counted) across
+    /// recipient queues, and simulations cross thread boundaries in
+    /// parallel sweeps; protocol messages are plain data, so both hold
+    /// structurally.
+    type Msg: Clone + std::fmt::Debug + Send + Sync;
 
     /// Executes one atomic step.
     fn step(&mut self, input: StepInput<Self::Msg>, eff: &mut Effects<Self::Msg>);
@@ -275,16 +381,46 @@ mod tests {
     fn effects_send_all_includes_self() {
         let mut eff: Effects<u8> = Effects::new();
         eff.send_all(3, 7);
-        assert_eq!(eff.sends.len(), 3);
-        assert!(eff.sends.iter().any(|&(to, _)| to == ProcessId(0)));
+        assert_eq!(eff.send_count(), 3);
+        // One stored payload, three expanded recipients.
+        assert_eq!(eff.sends.len(), 1);
+        assert!(eff.sends().any(|(to, _)| to == ProcessId(0)));
     }
 
     #[test]
     fn effects_send_others_excludes_self() {
         let mut eff: Effects<u8> = Effects::new();
         eff.send_others(3, ProcessId(1), 9);
-        let dests: Vec<ProcessId> = eff.sends.iter().map(|&(to, _)| to).collect();
+        let dests: Vec<ProcessId> = eff.sends().map(|(to, _)| to).collect();
         assert_eq!(dests, vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    fn expansion_order_interleaves_unicasts_and_fanouts() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.send(ProcessId(2), 1);
+        eff.send_all(2, 2);
+        eff.send(ProcessId(0), 3);
+        let pairs: Vec<(ProcessId, u8)> = eff.sends().map(|(to, m)| (to, *m)).collect();
+        assert_eq!(
+            pairs,
+            vec![(ProcessId(2), 1), (ProcessId(0), 2), (ProcessId(1), 2), (ProcessId(0), 3)]
+        );
+        assert_eq!(eff.send_count(), 4);
+        assert_eq!(eff.take_sends(), pairs);
+        assert_eq!(eff.send_count(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything_for_reuse() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.send_all(4, 1);
+        eff.decide(Value(9));
+        eff.op_invoke(OpId(1), OpKind::Read);
+        eff.halt();
+        eff.clear();
+        assert!(eff.is_empty());
+        assert_eq!(eff.send_count(), 0);
     }
 
     #[test]

@@ -26,8 +26,56 @@ use crate::fingerprint::Fnv64;
 use sih_model::{LinkFaultPlan, ProcessId, SendFate, Time};
 use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
-/// A queued envelope plus the memoized fingerprint of its checker-visible
+/// A queued payload: owned for unicasts, ref-counted for fan-outs.
+///
+/// [`Network::broadcast`] enqueues **one** `Arc`'d payload across all
+/// recipient queues — a fanned envelope costs one slot per recipient but
+/// one payload total, instead of the per-recipient clone the old
+/// representation paid. (`Arc`, not `Rc`: simulations move across sweep
+/// worker threads, and every protocol message type is plain data, hence
+/// `Sync`.)
+#[derive(Debug)]
+enum Payload<M> {
+    Inline(M),
+    Shared(Arc<M>),
+}
+
+impl<M> Payload<M> {
+    #[inline]
+    fn get(&self) -> &M {
+        match self {
+            Payload::Inline(m) => m,
+            Payload::Shared(m) => m,
+        }
+    }
+}
+
+impl<M: Clone> Payload<M> {
+    /// The owned payload: moves the inline case; for a shared one,
+    /// unwraps the last reference or clones (one clone per *delivered*
+    /// fanned message, instead of one per *sent* copy).
+    fn into_owned(self) -> M {
+        match self {
+            Payload::Inline(m) => m,
+            Payload::Shared(m) => Arc::try_unwrap(m).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+impl<M: Clone> Clone for Payload<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Inline(m) => Payload::Inline(m.clone()),
+            // Cloning a queue (the explorer's child materialization)
+            // keeps sharing the payload.
+            Payload::Shared(m) => Payload::Shared(Arc::clone(m)),
+        }
+    }
+}
+
+/// A queued message plus the memoized fingerprint of its checker-visible
 /// projection `(from, payload)`.
 ///
 /// The hash is filled lazily on the first [`Network::fingerprint_into`]
@@ -35,11 +83,32 @@ use std::fmt;
 /// `&self`). Payloads are immutable while queued and `Clone` copies them
 /// unchanged, so a cached value stays valid for the clone too — the
 /// exhaustive explorer hashes each message once per *send*, not once per
-/// visited state.
+/// visited state. The destination is not stored: a slot lives in its
+/// destination's queue.
 #[derive(Clone, Debug)]
 struct Slot<M> {
-    env: Envelope<M>,
+    id: MsgId,
+    from: ProcessId,
+    sent_at: Time,
+    payload: Payload<M>,
     fp: Cell<Option<u64>>,
+}
+
+/// A borrowed view of a pending message (what [`Network::pending`]
+/// yields). Like [`Envelope`], minus payload ownership — the queue may be
+/// sharing one fan-out payload across many recipients.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvelopeRef<'a, M> {
+    /// Unique id of the message within the run.
+    pub id: MsgId,
+    /// The sender.
+    pub from: ProcessId,
+    /// The destination.
+    pub to: ProcessId,
+    /// The time of the sending step.
+    pub sent_at: Time,
+    /// The protocol payload.
+    pub payload: &'a M,
 }
 
 /// One process's pending queue: arrival-ordered slots with tombstones.
@@ -101,27 +170,27 @@ impl<M> ArrivalQueue<M> {
         self.alive
     }
 
-    fn front(&self) -> Option<&Envelope<M>> {
+    fn front(&self) -> Option<&Slot<M>> {
         if self.alive == 0 {
             None
         } else {
-            self.slots[self.head].as_ref().map(|s| &s.env)
+            self.slots[self.head].as_ref()
         }
     }
 
-    /// Alive envelopes in arrival order.
-    fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
-        self.slots[self.head..].iter().flatten().map(|s| &s.env)
+    /// Alive slots in arrival order.
+    fn iter(&self) -> impl Iterator<Item = &Slot<M>> {
+        self.slots[self.head..].iter().flatten()
     }
 
-    fn push(&mut self, env: Envelope<M>) {
+    fn push(&mut self, slot: Slot<M>) {
         debug_assert!(
-            env.sent_at >= self.last_sent_at,
+            slot.sent_at >= self.last_sent_at,
             "send times must be nondecreasing per queue ({:?} after {:?})",
-            env.sent_at,
+            slot.sent_at,
             self.last_sent_at,
         );
-        self.last_sent_at = env.sent_at;
+        self.last_sent_at = slot.sent_at;
         if self.alive == 0 {
             // The queue may be all tombstones; restart it so `head` and
             // the tree stay small.
@@ -129,23 +198,22 @@ impl<M> ArrivalQueue<M> {
             self.tree.clear();
             self.head = 0;
         }
-        self.slots.push(Some(Slot { env, fp: Cell::new(None) }));
+        self.slots.push(Some(slot));
         self.fenwick_append_one();
         self.alive += 1;
     }
 
-    /// Removes the `index`-th alive envelope (0 = oldest).
+    /// Removes the `index`-th alive slot (0 = oldest).
     ///
     /// # Panics
     ///
     /// Panics if `index >= self.len()`.
-    fn remove(&mut self, index: usize) -> Envelope<M> {
+    fn remove(&mut self, index: usize) -> Slot<M> {
         assert!(index < self.alive, "delivery index {index} out of range");
         let pos = if index == 0 { self.head } else { self.select(index) };
-        let env = self.slots[pos]
+        let slot = self.slots[pos]
             .take()
-            .expect("invariant: Fenwick selection only ever lands on alive (non-tombstone) slots")
-            .env;
+            .expect("invariant: Fenwick selection only ever lands on alive (non-tombstone) slots");
         self.fenwick_sub_one(pos + 1);
         self.alive -= 1;
         if pos == self.head {
@@ -156,7 +224,7 @@ impl<M> ArrivalQueue<M> {
         if self.slots.len() >= 64 && self.alive * 2 < self.slots.len() {
             self.compact();
         }
-        env
+        slot
     }
 
     /// Drops tombstones, rebuilding the tree over the alive prefix.
@@ -257,6 +325,10 @@ pub struct Network<M> {
     duplicated_count: u64,
     /// The link-fault adversary, if one is installed (`None` = reliable).
     faults: Option<Box<LinkFaultState>>,
+    /// Empty→nonempty queue transitions since the last drain, when wake
+    /// tracking is on (`None` = off, the default — see
+    /// [`Network::set_wake_tracking`]).
+    woken: Option<Vec<ProcessId>>,
 }
 
 // Manual Clone so `clone_from` recycles every per-destination queue.
@@ -270,6 +342,7 @@ impl<M: Clone> Clone for Network<M> {
             dropped_count: self.dropped_count,
             duplicated_count: self.duplicated_count,
             faults: self.faults.clone(),
+            woken: self.woken.clone(),
         }
     }
 
@@ -284,6 +357,7 @@ impl<M: Clone> Clone for Network<M> {
             (Some(dst), Some(src)) => dst.clone_from(src),
             (dst, src) => *dst = src.clone(),
         }
+        self.woken.clone_from(&source.woken);
     }
 }
 
@@ -324,13 +398,15 @@ impl<M: fmt::Debug> Network<M> {
 
 impl<M: fmt::Debug> ArrivalQueue<M> {
     /// Wrapping sum of the alive slots' `(sender, payload)` hashes, each
-    /// memoized in its [`Slot`] on first use.
+    /// memoized in its [`Slot`] on first use. Shared (fanned) payloads
+    /// hash their `Debug` rendering just like inline ones, so the batched
+    /// representation leaves every fingerprint bit-identical.
     fn multiset_fingerprint(&self) -> u64 {
         self.slots[self.head..].iter().flatten().fold(0u64, |acc, s| {
             let fp = s.fp.get().unwrap_or_else(|| {
                 let mut eh = Fnv64::new();
-                eh.write_u64(u64::from(s.env.from.0));
-                eh.write_debug(&s.env.payload);
+                eh.write_u64(u64::from(s.from.0));
+                eh.write_debug(s.payload.get());
                 let fp = eh.finish();
                 s.fp.set(Some(fp));
                 fp
@@ -351,6 +427,7 @@ impl<M: Clone> Network<M> {
             dropped_count: 0,
             duplicated_count: 0,
             faults: None,
+            woken: None,
         }
     }
 
@@ -372,6 +449,7 @@ impl<M: Clone> Network<M> {
         self.dropped_count = 0;
         self.duplicated_count = 0;
         self.faults = None;
+        self.woken = None;
     }
 
     /// Installs a link-fault plan; subsequent sends consult it. Per-link
@@ -426,15 +504,119 @@ impl<M: Clone> Network<M> {
                 self.sent_count += copies;
                 self.duplicated_count += copies - 1;
                 let queue = &mut self.queues[to.index()];
+                let was_empty = queue.len() == 0;
                 for _ in 1..copies {
-                    queue.push(Envelope { id, from, to, sent_at, payload: payload.clone() });
+                    let payload = Payload::Inline(payload.clone());
+                    queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None) });
                 }
                 // The last copy moves the payload: the reliable fast path
                 // (copies == 1) clones nothing.
-                queue.push(Envelope { id, from, to, sent_at, payload });
+                let payload = Payload::Inline(payload);
+                queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None) });
+                if was_empty {
+                    if let Some(tracked) = &mut self.woken {
+                        tracked.push(to);
+                    }
+                }
             }
         }
         id
+    }
+
+    /// Enqueues one payload to every process in `0..n`, minus `except` —
+    /// the batched form of a `send to all`.
+    ///
+    /// Exactly equivalent to calling [`Network::send`] once per recipient
+    /// in increasing id order (ids are assigned in that order, link-fault
+    /// fates are consulted per recipient, every counter moves the same
+    /// way), except that all enqueued copies **share one ref-counted
+    /// payload** instead of cloning it per recipient. Returns the first
+    /// assigned id; recipient `j` (in expansion order) got id
+    /// `first + j`, dropped or not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the network size.
+    pub fn broadcast(
+        &mut self,
+        from: ProcessId,
+        sent_at: Time,
+        payload: M,
+        n: usize,
+        except: Option<ProcessId>,
+    ) -> MsgId {
+        assert!(n <= self.queues.len(), "broadcast fan-out exceeds the network size");
+        let first = MsgId(self.next_id);
+        let shared = Arc::new(payload);
+        for i in 0..n as u32 {
+            let to = ProcessId(i);
+            if Some(to) == except {
+                continue;
+            }
+            let id = MsgId(self.next_id);
+            self.next_id += 1;
+            let fate = match &mut self.faults {
+                None => SendFate::Deliver { copies: 1 },
+                Some(state) => {
+                    let link = from.index() * self.queues.len() + to.index();
+                    let k = state.sends[link];
+                    state.sends[link] += 1;
+                    state.plan.fate(from, to, sent_at, k)
+                }
+            };
+            match fate {
+                SendFate::Dropped => {
+                    self.sent_count += 1;
+                    self.dropped_count += 1;
+                }
+                SendFate::Deliver { copies } => {
+                    self.sent_count += copies;
+                    self.duplicated_count += copies - 1;
+                    let queue = &mut self.queues[to.index()];
+                    let was_empty = queue.len() == 0;
+                    for _ in 0..copies {
+                        queue.push(Slot {
+                            id,
+                            from,
+                            sent_at,
+                            payload: Payload::Shared(Arc::clone(&shared)),
+                            fp: Cell::new(None),
+                        });
+                    }
+                    if was_empty {
+                        if let Some(tracked) = &mut self.woken {
+                            tracked.push(to);
+                        }
+                    }
+                }
+            }
+        }
+        first
+    }
+
+    /// Turns empty→nonempty queue-transition tracking on or off (off by
+    /// default; turning it on clears the log). The event-driven runner
+    /// uses this to learn which processes a step woke without scanning
+    /// all `n` queues.
+    pub fn set_wake_tracking(&mut self, on: bool) {
+        self.woken = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the queues that transitioned empty→nonempty since the last
+    /// drain (in send order; a queue appears once per transition).
+    pub fn drain_woken(&mut self, mut f: impl FnMut(ProcessId)) {
+        if let Some(tracked) = &mut self.woken {
+            // `f` must not touch the network (it only marks worklist
+            // entries), so a temporary take keeps the borrow checker and
+            // the allocation both happy.
+            let mut log = std::mem::take(tracked);
+            for p in log.drain(..) {
+                f(p);
+            }
+            if let Some(tracked) = &mut self.woken {
+                *tracked = log;
+            }
+        }
     }
 
     /// Number of messages pending at `to`.
@@ -443,15 +625,22 @@ impl<M: Clone> Network<M> {
     }
 
     /// The pending messages at `to`, in arrival order (oldest first).
-    pub fn pending(&self, to: ProcessId) -> impl Iterator<Item = &Envelope<M>> {
-        self.queues[to.index()].iter()
+    /// Yields borrowed views — fanned messages share one stored payload.
+    pub fn pending(&self, to: ProcessId) -> impl Iterator<Item = EnvelopeRef<'_, M>> {
+        self.queues[to.index()].iter().map(move |s| EnvelopeRef {
+            id: s.id,
+            from: s.from,
+            to,
+            sent_at: s.sent_at,
+            payload: s.payload.get(),
+        })
     }
 
     /// Send time of the oldest message pending at `to`, if any — used by
     /// fair schedulers to bound delivery delay. O(1): send times are
     /// nondecreasing, so the queue front is the oldest message.
     pub fn oldest_sent_at(&self, to: ProcessId) -> Option<Time> {
-        self.queues[to.index()].front().map(|e| e.sent_at)
+        self.queues[to.index()].front().map(|s| s.sent_at)
     }
 
     /// Index (into the arrival-ordered pending queue) of the oldest
@@ -465,14 +654,24 @@ impl<M: Clone> Network<M> {
         }
     }
 
-    /// Removes and returns the `index`-th pending message at `to`.
+    /// Removes and returns the `index`-th pending message at `to`,
+    /// materializing an owned [`Envelope`] (shared fan-out payloads are
+    /// cloned out at most once per delivery; the last delivery of a batch
+    /// moves the payload).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
     pub fn deliver(&mut self, to: ProcessId, index: usize) -> Envelope<M> {
         self.delivered_count += 1;
-        self.queues[to.index()].remove(index)
+        let slot = self.queues[to.index()].remove(index);
+        Envelope {
+            id: slot.id,
+            from: slot.from,
+            to,
+            sent_at: slot.sent_at,
+            payload: slot.payload.into_owned(),
+        }
     }
 
     /// Total messages sent so far.
@@ -500,6 +699,22 @@ impl<M: Clone> Network<M> {
     pub fn in_flight(&self) -> usize {
         self.queues.iter().map(ArrivalQueue::len).sum()
     }
+
+    /// Approximate heap usage of the queue structures in bytes
+    /// (capacity-based; payload-owned heap data is not counted — shared
+    /// fan-out payloads would otherwise be multiply counted).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.queues.capacity() * size_of::<ArrivalQueue<M>>()
+            + self
+                .queues
+                .iter()
+                .map(|q| {
+                    q.slots.capacity() * size_of::<Option<Slot<M>>>()
+                        + q.tree.capacity() * size_of::<usize>()
+                })
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]
@@ -522,7 +737,7 @@ mod tests {
         let mut net: Network<u8> = Network::new(2);
         net.send(ProcessId(0), ProcessId(1), Time(1), 10);
         net.send(ProcessId(0), ProcessId(1), Time(2), 20);
-        let payloads: Vec<u8> = net.pending(ProcessId(1)).map(|e| e.payload).collect();
+        let payloads: Vec<u8> = net.pending(ProcessId(1)).map(|e| *e.payload).collect();
         assert_eq!(payloads, vec![10, 20]);
         assert_eq!(net.pending_count(ProcessId(1)), 2);
         assert_eq!(net.pending_count(ProcessId(0)), 0);
@@ -607,7 +822,7 @@ mod tests {
             assert_eq!(net.pending_count(to), reference.len(), "round {round}");
             assert_eq!(net.oldest_sent_at(to), reference.iter().map(|&(_, t, _)| t).min(),);
             assert_eq!(net.oldest_index(to), (0..reference.len()).min_by_key(|&i| reference[i].1),);
-            let seen: Vec<u32> = net.pending(to).map(|e| e.payload).collect();
+            let seen: Vec<u32> = net.pending(to).map(|e| *e.payload).collect();
             let expected: Vec<u32> = reference.iter().map(|&(_, _, p)| p).collect();
             assert_eq!(seen, expected, "round {round}");
 

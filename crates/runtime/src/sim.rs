@@ -8,14 +8,15 @@
 //! ([`Simulation::script`]) precisely so adversary constructions can
 //! replay prefixes (Lemmas 7, 11, 15).
 
-use crate::automaton::{Automaton, Effects, StepInput};
+use crate::automaton::{Automaton, Effects, SendOp, StepInput};
 use crate::fingerprint::Fnv64;
 use crate::network::Network;
 use crate::scheduler::{Choice, Scheduler};
 use crate::trace::{Trace, TraceLevel};
 use sih_model::{
-    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, ProcessId, ProcessSet, Time,
+    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, ProcSet, ProcessId, ProcessSet, Time,
 };
+use std::collections::VecDeque;
 use std::fmt;
 
 /// The scheduler's view of the engine before a step.
@@ -167,8 +168,19 @@ pub struct Simulation<A: Automaton> {
     pattern: FailurePattern,
     now: Time,
     trace: Trace,
-    halted: ProcessSet,
+    halted: ProcSet,
+    // Counters shadowing `halted`/`trace.decided()` restricted to correct
+    // processes, so the run-loop termination tests (`all_correct_halted`,
+    // `all_correct_decided`) are O(1) comparisons at any `n` instead of
+    // 64-capped subset tests.
+    halted_correct: usize,
+    decided_correct: usize,
     script: Vec<Choice>,
+    record_script: bool,
+    // Scratch `Effects` reused across steps: at n = 10⁵ a fresh
+    // `Effects::new()` per step is four Vec allocations per step; reusing
+    // one arena makes stepping allocation-free on the fast path.
+    scratch_eff: Effects<A::Msg>,
     // Scratch buffers for SchedState (reused across steps).
     scratch_pending: Vec<usize>,
     scratch_oldest_sent: Vec<Option<Time>>,
@@ -188,8 +200,12 @@ impl<A: Automaton + Clone> Clone for Simulation<A> {
             pattern: self.pattern.clone(),
             now: self.now,
             trace: self.trace.clone(),
-            halted: self.halted,
+            halted: self.halted.clone(),
+            halted_correct: self.halted_correct,
+            decided_correct: self.decided_correct,
             script: self.script.clone(),
+            record_script: self.record_script,
+            scratch_eff: Effects::new(),
             scratch_pending: self.scratch_pending.clone(),
             scratch_oldest_sent: self.scratch_oldest_sent.clone(),
             scratch_oldest_idx: self.scratch_oldest_idx.clone(),
@@ -202,8 +218,11 @@ impl<A: Automaton + Clone> Clone for Simulation<A> {
         self.pattern.clone_from(&source.pattern);
         self.now = source.now;
         self.trace.clone_from(&source.trace);
-        self.halted = source.halted;
+        self.halted.clone_from(&source.halted);
+        self.halted_correct = source.halted_correct;
+        self.decided_correct = source.decided_correct;
         self.script.clone_from(&source.script);
+        self.record_script = source.record_script;
         self.scratch_pending.clone_from(&source.scratch_pending);
         self.scratch_oldest_sent.clone_from(&source.scratch_oldest_sent);
         self.scratch_oldest_idx.clone_from(&source.scratch_oldest_idx);
@@ -236,8 +255,12 @@ impl<A: Automaton> Simulation<A> {
             pattern,
             now: Time::ZERO,
             trace: Trace::new(n, emulated_initial),
-            halted: ProcessSet::EMPTY,
+            halted: ProcSet::with_capacity(n),
+            halted_correct: 0,
+            decided_correct: 0,
             script: Vec::new(),
+            record_script: true,
+            scratch_eff: Effects::new(),
             scratch_pending: vec![0; n],
             scratch_oldest_sent: vec![None; n],
             scratch_oldest_idx: vec![None; n],
@@ -283,7 +306,9 @@ impl<A: Automaton> Simulation<A> {
         self.procs = procs;
         self.pattern.clone_from(pattern);
         self.now = Time::ZERO;
-        self.halted = ProcessSet::EMPTY;
+        self.halted.clear();
+        self.halted_correct = 0;
+        self.decided_correct = 0;
         self.script.clear();
         if self.net.n() == n {
             self.net.reset();
@@ -367,18 +392,34 @@ impl<A: Automaton> Simulation<A> {
     }
 
     /// Processes that have halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ProcessSet::MAX_PROCESSES`; large-`n` callers use
+    /// [`Simulation::is_halted`] / [`Simulation::halted_count`].
     pub fn halted(&self) -> ProcessSet {
-        self.halted
+        self.halted.to_process_set()
     }
 
-    /// Whether every correct process has halted.
+    /// Whether `p` has halted — O(1), any `n`.
+    pub fn is_halted(&self, p: ProcessId) -> bool {
+        self.halted.contains(p)
+    }
+
+    /// Number of halted processes — O(1), any `n`.
+    pub fn halted_count(&self) -> usize {
+        self.halted.len()
+    }
+
+    /// Whether every correct process has halted. O(1): maintained as a
+    /// counter, since the failure pattern is immutable during a run.
     pub fn all_correct_halted(&self) -> bool {
-        self.pattern.correct().is_subset(self.halted)
+        self.halted_correct == self.pattern.correct_count()
     }
 
-    /// Whether every correct process has decided.
+    /// Whether every correct process has decided. O(1), any `n`.
     pub fn all_correct_decided(&self) -> bool {
-        self.pattern.correct().is_subset(self.trace.decided())
+        self.decided_correct == self.pattern.correct_count()
     }
 
     /// The sequence of choices executed so far — replaying it through
@@ -386,6 +427,31 @@ impl<A: Automaton> Simulation<A> {
     /// identically-configured simulation reproduces this run exactly.
     pub fn script(&self) -> &[Choice] {
         &self.script
+    }
+
+    /// Turns choice-script recording on or off (on by default).
+    ///
+    /// A scale run at n = 10⁵ executes millions of steps whose script
+    /// nobody replays; turning recording off caps the engine's memory at
+    /// the live state instead of the run history. Replay-dependent
+    /// workflows (counterexample shrinking, corpus capture) must leave it
+    /// on. The setting survives [`Simulation::reset`].
+    pub fn set_script_recording(&mut self, record: bool) {
+        self.record_script = record;
+    }
+
+    /// Approximate heap footprint of the engine's live state in bytes:
+    /// network queues + trace + script + halted set + scratch buffers.
+    /// Used by the scale lab to report bytes/process; excludes the
+    /// automata themselves (the caller knows its own state layout).
+    pub fn harness_heap_bytes(&self) -> usize {
+        self.net.heap_bytes()
+            + self.trace.heap_bytes()
+            + self.script.capacity() * std::mem::size_of::<Choice>()
+            + self.halted.heap_bytes()
+            + self.scratch_pending.capacity() * std::mem::size_of::<usize>()
+            + self.scratch_oldest_sent.capacity() * std::mem::size_of::<Option<Time>>()
+            + self.scratch_oldest_idx.capacity() * std::mem::size_of::<Option<usize>>()
     }
 
     /// The set of processes allowed to take the next step (alive at the
@@ -429,7 +495,7 @@ impl<A: Automaton> Simulation<A> {
             n: self.n(),
             next_time: next,
             schedulable_set: schedulable,
-            halted: self.halted,
+            halted: self.halted.to_process_set(),
             pending: &self.scratch_pending,
             oldest_sent: &self.scratch_oldest_sent,
             oldest_idx: &self.scratch_oldest_idx,
@@ -458,10 +524,15 @@ impl<A: Automaton> Simulation<A> {
 
         let fd_out = fd.output(p, t);
         self.now = t;
-        self.script.push(choice);
+        if self.record_script {
+            self.script.push(choice);
+        }
         self.trace.push_step(t, p, delivered.as_ref().map(|e| (e.from, e.id)), fd_out);
 
-        let mut eff = Effects::new();
+        // Reuse the scratch arena: the automaton fills the same Vecs every
+        // step instead of allocating fresh ones.
+        let mut eff = std::mem::replace(&mut self.scratch_eff, Effects::new());
+        eff.clear();
         let input = StepInput { me: p, n: self.n(), now: t, delivered, fd: fd_out };
         self.procs[p.index()].step(input, &mut eff);
 
@@ -470,26 +541,40 @@ impl<A: Automaton> Simulation<A> {
             emulated: eff.emulated.is_some(),
             ops: !eff.op_events.is_empty(),
             halted: false,
-            sent: eff.sends.len(),
+            sent: eff.send_count(),
         };
-        for (to, payload) in eff.sends {
-            let id = self.net.send(p, to, t, payload);
-            self.trace.push_send(t, p, to, id);
+        for op in eff.sends.drain(..) {
+            match op {
+                SendOp::To(to, payload) => {
+                    let id = self.net.send(p, to, t, payload);
+                    self.trace.push_send(t, p, to, id);
+                }
+                SendOp::Fanout { n, except, payload } => {
+                    let first = self.net.broadcast(p, t, payload, n, except);
+                    self.trace.push_send_batch(t, p, n, except, first);
+                }
+            }
         }
-        if let Some(v) = eff.decision {
+        if let Some(v) = eff.decision.take() {
             let fresh = self.trace.push_decide(t, p, v);
             assert!(fresh, "{p} decided twice");
+            if self.pattern.is_correct(p) {
+                self.decided_correct += 1;
+            }
         }
-        if let Some(out) = eff.emulated {
+        if let Some(out) = eff.emulated.take() {
             self.trace.push_emulate(t, p, out);
         }
-        for ev in eff.op_events {
+        for ev in eff.op_events.drain(..) {
             self.trace.push_op_event(t, p, ev);
         }
         if eff.halt || self.procs[p.index()].halted() {
-            self.halted.insert(p);
+            if self.halted.insert(p) && self.pattern.is_correct(p) {
+                self.halted_correct += 1;
+            }
             report.halted = true;
         }
+        self.scratch_eff = eff;
         report
     }
 
@@ -538,6 +623,88 @@ impl<A: Automaton> Simulation<A> {
             self.step(choice, fd);
             steps += 1;
         }
+    }
+
+    /// Runs a **message-driven** protocol to completion with an
+    /// event-driven worklist instead of a per-step scheduler scan.
+    ///
+    /// [`Simulation::run_until`] pays O(n) per step (the scheduler view
+    /// rebuilds pending counts for all n processes), which is O(n²) for a
+    /// protocol whose work is O(n) steps — prohibitive at n = 10⁵. This
+    /// runner keeps a FIFO worklist of processes that may have work:
+    ///
+    /// * every alive process is seeded once (its *kickoff* null step —
+    ///   where quorum protocols broadcast their first request);
+    /// * after that, a process re-enters the worklist only when a send
+    ///   makes its queue non-empty (the network's wake log) or it still
+    ///   has pending messages after its step.
+    ///
+    /// Each step delivers the process's oldest pending message (FIFO), or
+    /// takes a null step for the kickoff. The schedule is a deterministic
+    /// function of the run itself, so two runs of the same system produce
+    /// identical traces regardless of host or thread count.
+    ///
+    /// **Soundness**: a process with an empty queue after its kickoff is
+    /// stepped again only when a message arrives, so this runner is only
+    /// complete for protocols whose automata are quiescent-unless-messaged
+    /// after their first step (every fig2/fig4/ABD automaton in this repo
+    /// is). Protocols that need spontaneous null steps must use
+    /// [`Simulation::run`].
+    ///
+    /// Stops when `done` returns true or every correct process halted
+    /// ([`StopReason::AllCorrectHalted`]), the budget runs out
+    /// ([`StopReason::MaxSteps`]), or the worklist drains
+    /// ([`StopReason::Starved`] — no reachable step has an effect).
+    pub fn run_event_driven<D, F>(&mut self, fd: &D, max_steps: u64, mut done: F) -> RunOutcome
+    where
+        D: FailureDetector + ?Sized,
+        F: FnMut(&Simulation<A>) -> bool,
+    {
+        let n = self.n();
+        let mut worklist: VecDeque<ProcessId> = VecDeque::with_capacity(n);
+        let mut queued = vec![false; n];
+        for (i, q) in queued.iter_mut().enumerate() {
+            let p = ProcessId(i as u32);
+            if self.pattern.is_alive(p, self.now.next()) && !self.halted.contains(p) {
+                worklist.push_back(p);
+                *q = true;
+            }
+        }
+        self.net.set_wake_tracking(true);
+        let mut steps = 0;
+        // Hoisted out of the loop: `correct_count()` scans the crash
+        // vector (O(n)), and the pattern is immutable for the whole run.
+        let correct_count = self.pattern.correct_count();
+        let outcome = loop {
+            if self.halted_correct == correct_count || done(self) {
+                break self.outcome(steps, StopReason::AllCorrectHalted);
+            }
+            if steps >= max_steps {
+                break self.outcome(steps, StopReason::MaxSteps);
+            }
+            let Some(p) = worklist.pop_front() else {
+                break self.outcome(steps, StopReason::Starved);
+            };
+            queued[p.index()] = false;
+            if self.halted.contains(p) || !self.pattern.is_alive(p, self.now.next()) {
+                continue;
+            }
+            let deliver = (self.net.pending_count(p) > 0).then_some(0);
+            self.step(Choice { p, deliver }, fd);
+            steps += 1;
+            self.net.drain_woken(|woken| {
+                if !queued[woken.index()] {
+                    queued[woken.index()] = true;
+                    worklist.push_back(woken);
+                }
+            });
+            if !self.halted.contains(p) && self.net.pending_count(p) > 0 && !queued[p.index()] {
+                queued[p.index()] = true;
+                worklist.push_back(p);
+            }
+        };
+        self.net.set_wake_tracking(false);
+        outcome
     }
 }
 
@@ -592,10 +759,16 @@ impl<A: Automaton + fmt::Debug> Simulation<A> {
         h.write_u8(b'T');
         h.write_u64(self.now.0);
         h.write_u8(b'H');
-        h.write_u64(self.halted.bits());
+        // Word 0 first, unconditionally, then any higher trimmed words:
+        // for n ≤ 64 this hashes exactly the single u64 the ProcessSet
+        // representation hashed, so fingerprints survive the migration.
+        h.write_u64(self.halted.word(0));
+        for &w in self.halted.words().iter().skip(1) {
+            h.write_u64(w);
+        }
         h.write_u8(b'F');
         h.write_usize(self.pattern.n());
-        for p in self.pattern.all().iter() {
+        for p in (0..self.pattern.n() as u32).map(ProcessId) {
             match self.pattern.crash_time(p) {
                 None => h.write_u8(0),
                 Some(t) => {

@@ -152,12 +152,14 @@ impl<L: Automaton, U: Automaton> Automaton for Stacked<L, U> {
             let _ = env;
         }
 
-        // Merge effects.
-        for (to, m) in lower_eff.sends {
-            eff.send(to, Layered::Lower(m));
+        // Merge effects. Fan-outs stay fan-outs: wrapping the payload in a
+        // `Layered` tag keeps the batch (and its single stored payload)
+        // intact through the stack.
+        for op in lower_eff.sends {
+            eff.sends.push(op.map_payload(Layered::Lower));
         }
-        for (to, m) in upper_eff.sends {
-            eff.send(to, Layered::Upper(m));
+        for op in upper_eff.sends {
+            eff.sends.push(op.map_payload(Layered::Upper));
         }
         if let Some(v) = upper_eff.decision {
             eff.decide(v);
@@ -372,8 +374,10 @@ impl<A: Automaton> Automaton for Stubborn<A> {
         }
 
         // Wrap the inner sends with fresh sequence numbers and remember
-        // them until cumulatively acked.
-        for (to, m) in inner_eff.sends {
+        // them until cumulatively acked. Fan-outs must be expanded here:
+        // each directed link numbers its stream separately, so every
+        // recipient's copy carries different (seq, cum) framing.
+        for (to, m) in inner_eff.take_sends() {
             let seq = self.next_seq[to.index()];
             self.next_seq[to.index()] += 1;
             self.unacked.insert((to.0, seq), m.clone());
@@ -496,7 +500,7 @@ mod tests {
         assert_eq!(stack.current_output(), FdOutput::Leader(ProcessId(1)));
         assert!(eff.decision.is_none());
         // Lower's send is tagged Lower.
-        assert!(matches!(eff.sends[0].1, Layered::Lower(42)));
+        assert!(matches!(eff.sends().next(), Some((_, Layered::Lower(42)))));
         // Reported emulated output defaults to the lower layer's.
         assert_eq!(eff.emulated, Some(FdOutput::Leader(ProcessId(1))));
 
@@ -579,14 +583,14 @@ mod tests {
         // First step: the inner send goes out wrapped with seq 0... and the
         // period-1 clock immediately re-sends it once more.
         let eff = stubborn_step(&mut s, ProcessId(0), None);
-        let wrapped: Vec<_> = eff.sends().to_vec();
+        let wrapped: Vec<_> = eff.sends().collect();
         assert_eq!(wrapped.len(), 2);
         assert!(matches!(wrapped[0].1, StubbornMsg::Data { seq: 0, payload: "hello", .. }));
         assert!(matches!(wrapped[1].1, StubbornMsg::Data { seq: 0, payload: "hello", .. }));
         assert_eq!(s.unacked_len(), 1);
         // Null steps keep retransmitting.
         let eff = stubborn_step(&mut s, ProcessId(0), None);
-        assert_eq!(eff.sends().len(), 1);
+        assert_eq!(eff.send_count(), 1);
         // An ack covering seq 0 stops the retransmission.
         let ack = Envelope {
             id: crate::automaton::MsgId(9),
@@ -597,7 +601,7 @@ mod tests {
         };
         let eff = stubborn_step(&mut s, ProcessId(0), Some(ack));
         assert_eq!(s.unacked_len(), 0);
-        assert!(eff.sends().is_empty());
+        assert_eq!(eff.send_count(), 0);
     }
 
     #[test]
@@ -610,9 +614,9 @@ mod tests {
         for _ in 0..3 {
             let eff = stubborn_step(&mut s, ProcessId(1), Some(data_env(0, "hello")));
             assert!(
-                matches!(eff.sends()[0], (ProcessId(0), StubbornMsg::Ack { cum: 1 })),
+                matches!(eff.sends().next(), Some((ProcessId(0), StubbornMsg::Ack { cum: 1 }))),
                 "every Data copy is acked: {:?}",
-                eff.sends()
+                eff.sends().collect::<Vec<_>>()
             );
         }
         assert_eq!(s.inner().received, vec!["hello"]);
@@ -620,7 +624,7 @@ mod tests {
         let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(2, "c")));
         let eff = stubborn_step(&mut s, ProcessId(1), Some(data_env(1, "b")));
         // The watermark jumps over the out-of-order hole: cum = 3.
-        assert!(matches!(eff.sends()[0], (ProcessId(0), StubbornMsg::Ack { cum: 3 })));
+        assert!(matches!(eff.sends().next(), Some((ProcessId(0), StubbornMsg::Ack { cum: 3 }))));
         let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(2, "c")));
         let _ = stubborn_step(&mut s, ProcessId(1), Some(data_env(1, "b")));
         assert_eq!(s.inner().received, vec!["hello", "c", "b"]);

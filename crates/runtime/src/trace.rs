@@ -110,6 +110,7 @@ pub struct Trace {
     emulated: RecordedHistory,
     steps_taken: Vec<u64>,
     sent: u64,
+    decided_count: usize,
     last_step_time: Time,
 }
 
@@ -126,6 +127,7 @@ impl Clone for Trace {
             emulated: self.emulated.clone(),
             steps_taken: self.steps_taken.clone(),
             sent: self.sent,
+            decided_count: self.decided_count,
             last_step_time: self.last_step_time,
         }
     }
@@ -138,6 +140,7 @@ impl Clone for Trace {
         self.emulated.clone_from(&source.emulated);
         self.steps_taken.clone_from(&source.steps_taken);
         self.sent = source.sent;
+        self.decided_count = source.decided_count;
         self.last_step_time = source.last_step_time;
     }
 }
@@ -156,6 +159,7 @@ impl Trace {
             emulated: RecordedHistory::new(n, emulated_initial),
             steps_taken: vec![0; n],
             sent: 0,
+            decided_count: 0,
             last_step_time: Time::ZERO,
         }
     }
@@ -186,6 +190,7 @@ impl Trace {
         self.steps_taken.clear();
         self.steps_taken.resize(n, 0);
         self.sent = 0;
+        self.decided_count = 0;
         self.last_step_time = Time::ZERO;
     }
 
@@ -210,11 +215,41 @@ impl Trace {
         }
     }
 
+    /// Records a fan-out of one payload to every process except `except`.
+    /// Message ids are sequential per recipient in increasing-id order
+    /// starting at `first_id` — exactly the ids [`crate::Network::broadcast`]
+    /// assigned — so a `Full` trace is byte-identical to the per-recipient
+    /// `push_send` loop it replaces. At [`TraceLevel::Light`] only the
+    /// aggregate counter moves: O(1) per broadcast instead of O(n).
+    pub(crate) fn push_send_batch(
+        &mut self,
+        t: Time,
+        from: ProcessId,
+        n: usize,
+        except: Option<ProcessId>,
+        first_id: MsgId,
+    ) {
+        let count = n - except.is_some() as usize;
+        self.sent += count as u64;
+        if self.level == TraceLevel::Full {
+            let mut id = first_id.0;
+            for i in 0..n as u32 {
+                let to = ProcessId(i);
+                if Some(to) == except {
+                    continue;
+                }
+                self.events.push(Event::Send { t, from, to, id: MsgId(id) });
+                id += 1;
+            }
+        }
+    }
+
     pub(crate) fn push_decide(&mut self, t: Time, p: ProcessId, value: Value) -> bool {
         if self.decisions[p.index()].is_some() {
             return false;
         }
         self.decisions[p.index()] = Some((t, value));
+        self.decided_count += 1;
         self.events.push(Event::Decide { t, p, value });
         true
     }
@@ -249,8 +284,18 @@ impl Trace {
     }
 
     /// The set of processes that decided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ProcessSet::MAX_PROCESSES`; large-`n` callers use
+    /// [`Trace::decided_count`] or [`Trace::decision_of`] instead.
     pub fn decided(&self) -> ProcessSet {
         (0..self.n as u32).map(ProcessId).filter(|p| self.decision_of(*p).is_some()).collect()
+    }
+
+    /// Number of processes that decided — O(1), any `n`.
+    pub fn decided_count(&self) -> usize {
+        self.decided_count
     }
 
     /// The distinct decided values, sorted.
@@ -281,6 +326,16 @@ impl Trace {
     /// Total messages sent in the run.
     pub fn messages_sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Approximate heap usage of the trace in bytes (capacity-based; the
+    /// emulated-history timelines are not counted — they are empty in
+    /// scale runs, which never emulate a detector).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.events.capacity() * size_of::<Event>()
+            + self.decisions.capacity() * size_of::<Option<(Time, Value)>>()
+            + self.steps_taken.capacity() * size_of::<u64>()
     }
 
     /// Assembles the register-operation records of the run by pairing

@@ -45,7 +45,7 @@ fn delivery_survives_full_tombstone_compaction_and_restart() {
             let env = net.deliver(P0, idx);
             assert_eq!(env.payload, expected.remove(idx));
             // The queue's alive view must match the reference exactly.
-            let alive: Vec<u32> = net.pending(P0).map(|e| e.payload).collect();
+            let alive: Vec<u32> = net.pending(P0).map(|e| *e.payload).collect();
             assert_eq!(alive, expected);
         }
         assert_eq!(net.pending_count(P0), 0);
@@ -108,7 +108,7 @@ proptest! {
             // oldest_index is always the front of the alive sequence.
             if let Some(&(_, payload)) = reference.first() {
                 prop_assert_eq!(net.oldest_index(P0), Some(0));
-                prop_assert_eq!(net.pending(P0).next().map(|e| e.payload), Some(payload));
+                prop_assert_eq!(net.pending(P0).next().map(|e| *e.payload), Some(payload));
             } else {
                 prop_assert_eq!(net.oldest_index(P0), None);
             }
