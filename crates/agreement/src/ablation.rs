@@ -79,7 +79,8 @@ impl Automaton for Fig2WithoutPhase2 {
             if let Some(w) = self.got_phase1 {
                 self.you = Some(w);
             }
-            let w = std::cmp::max(Some(self.v), self.you).expect("own value present");
+            let w = std::cmp::max(Some(self.v), self.you)
+                .expect("invariant: own value v is always present");
             eff.send_all(input.n, Fig2Msg::Decision(w));
             eff.decide(w);
             eff.halt();

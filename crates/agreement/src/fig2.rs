@@ -174,7 +174,7 @@ impl Automaton for Fig2SetAgreement {
                     }
                     // Phase 3, lines 26–27: max with ⊥ < v.
                     let w = std::cmp::max(self.me, self.you).expect(
-                        "validity (Theorem 4): max{Me, You} is never ⊥ under a legal σ history",
+                        "invariant: validity (Theorem 4) keeps max{Me, You} non-⊥ under a legal σ history",
                     );
                     self.decide_and_return(w, input.n, eff);
                 }

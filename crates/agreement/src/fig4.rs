@@ -86,6 +86,8 @@ pub struct Fig4SetAgreement {
     decided: Option<Value>,
 }
 
+// sih-analysis: allow(index-reachable) — t_get/t_set index with positions returned by
+// binary_search on the same vector, in range by definition.
 impl Fig4SetAgreement {
     /// A process proposing `v` in a system of `n` processes.
     pub fn new(v: Value, _n: usize) -> Self {

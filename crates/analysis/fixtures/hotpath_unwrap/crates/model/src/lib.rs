@@ -1,0 +1,14 @@
+//! Planted violation: panic and indexing sites on the hot path. The free
+//! fn name `fingerprint` is a reachability root, so everything it calls
+//! is hot. The sanctioned `expect("invariant: …")` form must NOT be a
+//! finding.
+
+pub fn fingerprint(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("should not happen");
+    let fine = xs.last().expect("invariant: fingerprint input is nonempty");
+    if *first > 10 {
+        panic!("bad input");
+    }
+    xs[2] + first + second + fine
+}

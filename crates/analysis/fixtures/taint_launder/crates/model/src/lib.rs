@@ -1,0 +1,31 @@
+//! Planted violation: every nondeterminism source, laundered through a
+//! chain of helper fns so only whole-call-graph reachability can see it.
+//! The old token-level rules would have flagged the sources regardless of
+//! reachability; the taint pass must flag them *because* `deeper` is
+//! transitively reachable from `Automaton::step`.
+
+pub struct Proto;
+
+impl Automaton for Proto {
+    fn step(&mut self) {
+        helper();
+    }
+}
+
+fn helper() {
+    deeper();
+}
+
+fn deeper() {
+    let _rng = thread_rng();
+    let _now = std::time::Instant::now();
+    let _cfg = std::env::var("SEED");
+    let _map: HashMap<u32, u32> = HashMap::new();
+    let _tid = std::thread::current();
+}
+
+/// Not reachable from any hot-path root: its source must NOT be a
+/// finding — that is the false-positive reduction over token rules.
+pub fn offline_tooling() {
+    let _t = SystemTime::now();
+}

@@ -1,0 +1,26 @@
+//! Planted violation: the workload's `Msg` enum declares a variant its
+//! automaton never matches (`Lost`), and the automaton matches a variant
+//! the enum no longer declares (`Stale`). `Pong` is handled through a
+//! helper fn, which only call-graph closure can credit.
+
+pub enum WorkMsg {
+    Ping(u32),
+    Pong(u32),
+    Lost,
+}
+
+pub struct Proto;
+
+impl Automaton for Proto {
+    type Msg = WorkMsg;
+    fn step(&mut self) {
+        match msg {
+            WorkMsg::Ping(v) => on_ping(v),
+            WorkMsg::Stale => {}
+        }
+    }
+}
+
+fn on_ping(v: u32) {
+    let _reply = WorkMsg::Pong(v);
+}

@@ -20,8 +20,12 @@ pub enum Tok {
     Int,
     /// A floating-point literal (`0.5`, `1e3`, `2f64`).
     Float,
-    /// A string, byte-string, raw-string or char literal.
+    /// A char or byte literal.
     Literal,
+    /// A string, byte-string or raw-string literal, with its contents
+    /// (escapes left as written — the panic-reachability pass only needs
+    /// prefix checks such as `"invariant:"`).
+    Str(String),
     /// The path separator `::`.
     PathSep,
     /// Any other single punctuation character.
@@ -37,14 +41,36 @@ pub struct Token {
     pub line: u32,
 }
 
+/// One `// sih-analysis: allow(rule, …)` pragma found in a comment.
+///
+/// The line anchors the pragma's *scope*: a pragma in the file header
+/// (before the first item) suppresses file-wide, while a pragma inside or
+/// directly above an item suppresses only within that item (see
+/// `parse::PragmaTable`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The rule names listed in the `allow(…)` argument.
+    pub rules: Vec<String>,
+}
+
 /// The result of lexing one file: the token stream plus any
-/// `sih-analysis: allow(…)` pragma rule names found in comments.
+/// `sih-analysis: allow(…)` pragmas found in comments.
 #[derive(Clone, Debug, Default)]
 pub struct Lexed {
     /// Tokens in source order (comments and whitespace removed).
     pub tokens: Vec<Token>,
-    /// Rule names suppressed for this file via allow pragmas.
-    pub allowed: Vec<String>,
+    /// Allow pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Lexed {
+    /// All rule names allowed anywhere in the file (scope ignored) —
+    /// convenience for callers that only need file-wide semantics.
+    pub fn allowed_rules(&self) -> impl Iterator<Item = &str> + '_ {
+        self.pragmas.iter().flat_map(|p| p.rules.iter().map(String::as_str))
+    }
 }
 
 /// Lexes Rust source text.
@@ -106,15 +132,17 @@ impl Lexer {
 
     fn line_comment(&mut self) {
         let start = self.pos;
+        let line = self.line;
         while self.peek(0).is_some_and(|c| c != '\n') {
             self.pos += 1;
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.collect_pragma(&text);
+        self.collect_pragma(&text, line);
     }
 
     fn block_comment(&mut self) {
         let start = self.pos;
+        let line = self.line;
         self.pos += 2;
         let mut depth = 1usize;
         while depth > 0 {
@@ -136,12 +164,14 @@ impl Lexer {
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.collect_pragma(&text);
+        self.collect_pragma(&text, line);
     }
 
     /// Records the rule names of every `sih-analysis: allow(a, b)` marker
-    /// in `text`.
-    fn collect_pragma(&mut self, text: &str) {
+    /// in `text` as one pragma anchored at `line` (the comment's first
+    /// line).
+    fn collect_pragma(&mut self, text: &str, line: u32) {
+        let mut rules = Vec::new();
         let mut rest = text;
         while let Some(at) = rest.find("sih-analysis:") {
             rest = &rest[at + "sih-analysis:".len()..];
@@ -151,24 +181,25 @@ impl Lexer {
                     for rule in args[..close].split(',') {
                         let rule = rule.trim();
                         if !rule.is_empty() {
-                            self.out.allowed.push(rule.to_string());
+                            rules.push(rule.to_string());
                         }
                     }
                 }
             }
+        }
+        if !rules.is_empty() {
+            self.out.pragmas.push(Pragma { line, rules });
         }
     }
 
     fn string_literal(&mut self) {
         let line = self.line;
         self.pos += 1; // opening quote
+        let start = self.pos;
         while let Some(c) = self.peek(0) {
             match c {
                 '\\' => self.pos += 2,
-                '"' => {
-                    self.pos += 1;
-                    break;
-                }
+                '"' => break,
                 '\n' => {
                     self.line += 1;
                     self.pos += 1;
@@ -176,7 +207,11 @@ impl Lexer {
                 _ => self.pos += 1,
             }
         }
-        self.out.tokens.push(Token { tok: Tok::Literal, line });
+        let content: String = self.chars[start..self.pos.min(self.chars.len())].iter().collect();
+        if self.peek(0) == Some('"') {
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token { tok: Tok::Str(content), line });
     }
 
     /// Whether the cursor sits on `r"`, `r#`, `br"` or `br#`.
@@ -207,6 +242,8 @@ impl Lexer {
             return;
         }
         self.pos += 1; // opening quote
+        let start = self.pos;
+        let mut end = self.chars.len();
         'outer: while let Some(c) = self.peek(0) {
             if c == '\n' {
                 self.line += 1;
@@ -218,12 +255,14 @@ impl Lexer {
                         continue 'outer;
                     }
                 }
+                end = self.pos;
                 self.pos += 1 + hashes;
                 break;
             }
             self.pos += 1;
         }
-        self.out.tokens.push(Token { tok: Tok::Literal, line });
+        let content: String = self.chars[start..end].iter().collect();
+        self.out.tokens.push(Token { tok: Tok::Str(content), line });
     }
 
     /// A `'` is either a lifetime (`'a`) or a char literal (`'a'`,
@@ -345,13 +384,25 @@ mod tests {
     }
 
     #[test]
-    fn pragmas_are_collected_from_comments_only() {
+    fn pragmas_are_collected_from_comments_only_with_lines() {
         let src = r#"
             // sih-analysis: allow(float, hash-container)
             let s = "sih-analysis: allow(wall-clock)";
         "#;
         let lexed = lex(src);
-        assert_eq!(lexed.allowed, vec!["float".to_string(), "hash-container".to_string()]);
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].line, 2);
+        assert_eq!(lexed.pragmas[0].rules, vec!["float".to_string(), "hash-container".to_string()]);
+        assert_eq!(lexed.allowed_rules().collect::<Vec<_>>(), vec!["float", "hash-container"]);
+    }
+
+    #[test]
+    fn string_tokens_carry_their_content() {
+        let toks = lex(r#"x.expect("invariant: queue nonempty")"#).tokens;
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Str(s) if s.starts_with("invariant:"))));
+        // Raw strings too, hashes stripped.
+        let toks = lex(r###"let s = r#"a "quoted" b"#;"###).tokens;
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Str(s) if s == "a \"quoted\" b")));
     }
 
     #[test]
@@ -387,5 +438,98 @@ mod tests {
         let lexed = lex("a\nb\n\nc");
         let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    // ---- stream-skew regression fixtures -------------------------------
+    //
+    // Each of these once risked desynchronizing the token stream: a
+    // mis-lexed literal or comment makes every *later* token attribute to
+    // the wrong line (or swallows real code entirely), which silently
+    // blinds the graph passes. The assertions pin both the classification
+    // and that the stream resynchronizes after the construct.
+
+    #[test]
+    fn raw_strings_with_hashes_and_inner_quotes_resync() {
+        // `"#` inside a `##`-delimited raw string must not close it.
+        let src = "let a = r##\"one \"# two\"##; let after = 1;";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| matches!(&t.tok, Tok::Str(s) if s == "one \"# two")));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn raw_byte_strings_and_byte_literals() {
+        let src = "let a = br#\"bytes \" here\"#; let b = b\"esc\\\"aped\"; let c = b'x'; done";
+        let lexed = lex(src);
+        let strs: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["bytes \" here", "esc\\\"aped"]);
+        assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count(), 1); // b'x'
+        assert!(idents(src).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert_eq!(idents("let r#fn = r#match;"), vec!["let", "fn", "match"]);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_swallow_code() {
+        let src = "/* a /* b /* c */ */ still comment */ live /* tail */";
+        assert_eq!(idents(src), vec!["live"]);
+        // Unterminated nesting tolerated without panicking.
+        assert_eq!(idents("/* open /* deeper */ never closed"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn block_comment_lines_advance_the_counter() {
+        let lexed = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime_disambiguation() {
+        // Labeled loops and anonymous lifetimes are lifetimes; quoted
+        // chars (including quote/backslash escapes) are literals.
+        let src = "'outer: loop { break 'outer; } let a: &'_ str = x; let c = '\\''; let d = ' ';";
+        let lexed = lex(src);
+        let lifetimes = lexed.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count();
+        assert_eq!(lifetimes, 3, "{:?}", lexed.tokens);
+        assert_eq!(chars, 2, "{:?}", lexed.tokens);
+    }
+
+    #[test]
+    fn multichar_char_likes_are_literals_not_lifetimes() {
+        // `'ab'` is not valid Rust, but the lexer must stay in sync: the
+        // closing quote ends the literal.
+        let lexed = lex("let c = 'ab'; after");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.tok == Tok::Literal).count(), 1);
+        assert!(idents("let c = 'ab'; after").contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_newlines_resync() {
+        let src = "let s = \"a\\\"b\\\\\"; let t = \"line1\nline2\"; tail";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens.iter().filter(|t| matches!(t.tok, Tok::Str(_))).count(), 2);
+        // The newline inside the second string advanced the line counter.
+        let tail = lexed.tokens.last().expect("tail token");
+        assert!(matches!(&tail.tok, Tok::Ident(n) if n == "tail"));
+        assert_eq!(tail.line, 2);
+    }
+
+    #[test]
+    fn unterminated_string_at_eof_is_tolerated() {
+        let lexed = lex("let s = \"never closed");
+        assert!(
+            matches!(&lexed.tokens.last().expect("token").tok, Tok::Str(s) if s == "never closed")
+        );
     }
 }

@@ -1,17 +1,23 @@
 //! `sih-analysis` — the workspace's self-contained static-analysis pass.
 //!
 //! Run as `cargo run -p sih-analysis` (CI runs it with `--format json`
-//! and fails the build on findings). Three checks:
+//! and fails the build on findings). The checks:
 //!
-//! 1. **Determinism lint** ([`scan`]) — token-level rules over the
-//!    simulation crates banning per-process iteration order, wall-clock
-//!    reads, ambient RNG, environment reads, and unjustified floats.
-//! 2. **Claim-registry completeness** ([`claims`]) — every paper claim
+//! 1. **Token lint** ([`scan`]) — lexical rules over the simulation
+//!    crates (unjustified floats, bare `.unwrap()`, `BTreeSet<ProcessId>`
+//!    on hot paths).
+//! 2. **Call-graph passes** ([`graph`], [`taint`]) — an intra-workspace
+//!    call graph rooted at the simulator's hot path drives the
+//!    determinism-taint, panic-reachability, and handler-exhaustiveness
+//!    checks; `// sih-analysis: allow(…)` pragmas are honored at item
+//!    granularity, and a pragma that suppresses nothing is itself a
+//!    finding (`unused-allow`).
+//! 3. **Claim-registry completeness** ([`claims`]) — every paper claim
 //!    R1–R10 must have a checker, a lab experiment, and a PAPER_MAP.md
 //!    entry.
-//! 3. **Lint hygiene** ([`hygiene`]) — crate-level `forbid(unsafe_code)`
+//! 4. **Lint hygiene** ([`hygiene`]) — crate-level `forbid(unsafe_code)`
 //!    and `warn(missing_docs)` attributes everywhere they belong.
-//! 4. **Replay-corpus validity** ([`corpus`]) — every committed
+//! 5. **Replay-corpus validity** ([`corpus`]) — every committed
 //!    `tests/corpus/*.schedule` counterexample parses as a versioned
 //!    schedule naming a registered workload checker.
 //!
@@ -24,11 +30,15 @@
 
 pub mod claims;
 pub mod corpus;
+pub mod graph;
 pub mod hygiene;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod scan;
+pub mod taint;
 
+use graph::{CallGraph, FileSource};
 use report::Report;
 use std::path::{Path, PathBuf};
 
@@ -62,11 +72,21 @@ pub struct Config {
     pub root: PathBuf,
 }
 
-/// Runs all three checks against the workspace at `config.root`.
+/// Runs all checks against the workspace at `config.root`.
 pub fn analyze(config: &Config) -> Report {
+    analyze_with_graph(config).0
+}
+
+/// Like [`analyze`], also returning the call graph and the analyzed
+/// sources (for `--graph-out` dumps and programmatic inspection).
+pub fn analyze_with_graph(config: &Config) -> (Report, CallGraph, Vec<FileSource>) {
     let root = &config.root;
     let mut report = Report::default();
 
+    // Phase 1: load, lex, and parse every non-test source of the
+    // simulation crates once; all passes share the result.
+    let mut files: Vec<FileSource> = Vec::new();
+    let mut flags: Vec<(bool, bool)> = Vec::new(); // (unwrap rule, btree rule)
     for krate in SIM_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         let include_unwrap = UNWRAP_RULE_CRATES.contains(&krate);
@@ -87,19 +107,61 @@ pub fn analyze(config: &Config) -> Report {
             let display = display_path(root, &path);
             let include_btree =
                 krate == "detectors" || BTREE_RULE_FILES.contains(&display.as_str());
-            let scanned = scan::scan_source(&display, &src, include_unwrap, include_btree);
+            let lexed = lexer::lex(&src);
+            let items = parse::parse_items(&lexed);
+            files.push(FileSource { display, lexed, items });
+            flags.push((include_unwrap, include_btree));
             report.files_scanned += 1;
-            report.suppressed += scanned.suppressed;
-            report.findings.extend(scanned.findings);
         }
     }
 
+    let mut pragmas = parse::PragmaTable::default();
+    for file in &files {
+        pragmas.add_file(&file.display, &file.lexed, &file.items);
+    }
+
+    // Phase 2: token rules.
+    for (file, (include_unwrap, include_btree)) in files.iter().zip(&flags) {
+        let scanned = scan::scan_tokens(
+            &file.display,
+            &file.lexed,
+            *include_unwrap,
+            *include_btree,
+            &mut pragmas,
+        );
+        report.suppressed += scanned.suppressed;
+        report.findings.extend(scanned.findings);
+    }
+
+    // Phase 3: call graph + reachability passes.
+    let call_graph = CallGraph::build(&files);
+    let tainted = taint::taint_pass(&call_graph, &files, &mut pragmas);
+    report.suppressed += tainted.suppressed;
+    report.findings.extend(tainted.findings);
+    let panics = taint::panic_pass(&call_graph, &files, &mut pragmas);
+    report.suppressed += panics.suppressed;
+    report.findings.extend(panics.findings);
+    let (handler_findings, handler_suppressed) =
+        graph::check_handlers(&call_graph, &files, &mut pragmas);
+    report.suppressed += handler_suppressed;
+    report.findings.extend(handler_findings);
+
+    // Phase 4: a pragma that suppressed nothing is dead weight — after
+    // every suppressing pass has run, what is left unused is a finding.
+    report.findings.extend(pragmas.unused_findings());
+
+    report.graph_fns = call_graph.nodes.len();
+    report.graph_edges = call_graph.edge_count();
+    report.graph_roots = call_graph.roots.len();
+    report.graph_reachable = call_graph.reachable_count();
+
+    // Phase 5: workspace-structure checks (registry, hygiene, corpus).
     report.findings.extend(hygiene::check_hygiene(root));
     report.findings.extend(corpus::check_corpus(root));
     let (evidence, claim_findings) = claims::check_claims(root);
     report.claims = evidence;
     report.findings.extend(claim_findings);
-    report
+    (report, call_graph, files)
 }
 
 /// All `.rs` files under `dir`, recursively, in sorted (deterministic)
@@ -142,10 +204,45 @@ mod tests {
     #[test]
     fn the_real_workspace_passes() {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        let report = analyze(&Config { root });
+        let (report, graph, files) = analyze_with_graph(&Config { root });
         assert!(report.ok(), "analysis failed:\n{}", report.render_text());
         assert!(report.files_scanned > 20, "scanned only {} files", report.files_scanned);
         assert_eq!(report.claims.len(), 10);
+        // The graph must actually cover the workspace: hundreds of fns,
+        // multiple hot-path roots (Automaton impls, Simulation stepping,
+        // fingerprints, LinkFaultPlan), and a non-trivial reachable set.
+        assert!(graph.nodes.len() > 300, "only {} fns in the graph", graph.nodes.len());
+        assert!(graph.roots.len() > 10, "only {} roots", graph.roots.len());
+        assert!(
+            graph.reachable_count() > graph.roots.len(),
+            "reachability did not propagate past the roots"
+        );
+        assert_eq!(files.len(), report.files_scanned);
+    }
+
+    #[test]
+    fn the_simulation_step_reaches_the_detectors_and_network() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let (_, graph, files) = analyze_with_graph(&Config { root });
+        let reachable_files: std::collections::BTreeSet<&str> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| graph.reachable[*id])
+            .map(|(_, n)| files[n.file].display.as_str())
+            .collect();
+        for expected in [
+            "crates/runtime/src/sim.rs",
+            "crates/runtime/src/network.rs",
+            "crates/model/src/linkfault.rs",
+            "crates/detectors/src/omega.rs",
+            "crates/agreement/src/fig2.rs",
+        ] {
+            assert!(
+                reachable_files.contains(expected),
+                "{expected} has no hot-path-reachable fn; reachable files: {reachable_files:#?}"
+            );
+        }
     }
 
     #[test]

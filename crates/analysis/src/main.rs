@@ -1,17 +1,19 @@
 //! CLI entry point for the static-analysis pass.
 //!
 //! ```text
-//! sih-analysis [--root <dir>] [--format text|json] [--out <file>]
+//! sih-analysis [--root <dir>] [--format text|json] [--out <file>] [--graph-out <file>]
 //! ```
 //!
 //! Exits 0 when the analysis passes, 1 on findings or incomplete claims,
 //! 2 on usage errors. `--out` writes the report to a file (CI uploads it
-//! as an artifact) in addition to printing it.
+//! as an artifact) in addition to printing it. `--graph-out` dumps the
+//! workspace call graph — Graphviz DOT when the path ends in `.dot`,
+//! JSON otherwise.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sih_analysis::{analyze, Config};
+use sih_analysis::{analyze_with_graph, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = "text".to_string();
     let mut out: Option<PathBuf> = None;
+    let mut graph_out: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -38,6 +41,10 @@ fn main() -> ExitCode {
                 Some(v) => out = Some(PathBuf::from(v)),
                 None => return usage("--out requires a file path"),
             },
+            "--graph-out" => match it.next() {
+                Some(v) => graph_out = Some(PathBuf::from(v)),
+                None => return usage("--graph-out requires a file path"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -48,7 +55,7 @@ fn main() -> ExitCode {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
     });
 
-    let report = analyze(&Config { root });
+    let (report, graph, files) = analyze_with_graph(&Config { root });
     let rendered = match format.as_str() {
         "json" => report.to_json(),
         _ => report.render_text(),
@@ -56,6 +63,17 @@ fn main() -> ExitCode {
     print!("{rendered}");
     if let Some(path) = out {
         if let Err(err) = std::fs::write(&path, &rendered) {
+            eprintln!("sih-analysis: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = graph_out {
+        let dump = if path.extension().is_some_and(|e| e == "dot") {
+            graph.to_dot(&files)
+        } else {
+            graph.to_json(&files)
+        };
+        if let Err(err) = std::fs::write(&path, &dump) {
             eprintln!("sih-analysis: cannot write {}: {err}", path.display());
             return ExitCode::from(2);
         }
@@ -69,6 +87,8 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("sih-analysis: {problem}");
-    eprintln!("usage: sih-analysis [--root <dir>] [--format text|json] [--out <file>]");
+    eprintln!(
+        "usage: sih-analysis [--root <dir>] [--format text|json] [--out <file>] [--graph-out <file>]"
+    );
     ExitCode::from(2)
 }

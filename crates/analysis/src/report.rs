@@ -53,6 +53,14 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings suppressed by `allow` pragmas.
     pub suppressed: usize,
+    /// Number of fns in the workspace call graph.
+    pub graph_fns: usize,
+    /// Number of call edges in the graph.
+    pub graph_edges: usize,
+    /// Number of hot-path root fns.
+    pub graph_roots: usize,
+    /// Number of fns transitively reachable from the roots.
+    pub graph_reachable: usize,
 }
 
 impl Report {
@@ -67,6 +75,11 @@ impl Report {
         let _ = writeln!(out, "  \"ok\": {},", self.ok());
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(
+            out,
+            "  \"graph\": {{\"fns\": {}, \"edges\": {}, \"roots\": {}, \"reachable\": {}}},",
+            self.graph_fns, self.graph_edges, self.graph_roots, self.graph_reachable
+        );
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -121,6 +134,11 @@ impl Report {
                 mark(c.doc_ok),
             );
         }
+        let _ = writeln!(
+            out,
+            "call graph: {} fn(s), {} edge(s), {} hot-path root(s), {} reachable",
+            self.graph_fns, self.graph_edges, self.graph_roots, self.graph_reachable,
+        );
         let _ = writeln!(
             out,
             "{}: {} finding(s), {} claim(s) checked, {} file(s) scanned, {} suppressed",
@@ -186,6 +204,10 @@ mod tests {
             }],
             files_scanned: 3,
             suppressed: 1,
+            graph_fns: 4,
+            graph_edges: 3,
+            graph_roots: 1,
+            graph_reachable: 2,
         }
     }
 
@@ -216,6 +238,13 @@ mod tests {
         let text = sample().render_text();
         assert!(text.contains("crates/model/src/x.rs:7: [hash-container]"));
         assert!(text.contains("doc:MISSING"));
+        assert!(text.contains("call graph: 4 fn(s), 3 edge(s), 1 hot-path root(s), 2 reachable"));
         assert!(text.contains("FAIL: 1 finding(s), 1 claim(s) checked"));
+    }
+
+    #[test]
+    fn json_carries_graph_stats() {
+        let json = sample().to_json();
+        assert!(json.contains(r#""graph": {"fns": 4, "edges": 3, "roots": 1, "reachable": 2}"#));
     }
 }

@@ -1,33 +1,24 @@
-//! The determinism lint: token-pattern rules over the simulation crates.
+//! The token-level lint rules over the simulation crates.
 //!
-//! The parallel sweep engine's headline guarantee — bitwise-identical
-//! output for any thread count — rests on the simulation crates being
-//! deterministic *by construction*. These rules flag the constructs that
-//! silently break that property:
+//! Since the call-graph passes took over nondeterminism detection (see
+//! [`crate::taint`]), only the rules that are genuinely *lexical* — a
+//! construct is wrong wherever it appears, reachable or not — stay here:
 //!
 //! | rule | flags | why |
 //! |---|---|---|
-//! | `hash-container` | `HashMap` / `HashSet` | iteration order varies per process (`RandomState`) |
-//! | `wall-clock` | `SystemTime` / `Instant` | wall-clock reads differ across runs |
-//! | `ambient-rng` | `thread_rng` / `ThreadRng` / `rand::random` | OS-seeded randomness; only seeded `ChaCha8Rng` is reproducible |
-//! | `env-read` | `std::env` reads | ambient configuration changes results silently |
 //! | `float` | `f32` / `f64` tokens, float literals | accumulation order changes results; floats need a justification |
 //! | `unwrap-nontest` | `.unwrap()` outside tests | panics without an invariant message (runtime/model only) |
 //! | `btree-procset` | `BTreeSet<ProcessId>` / `BTreeMap<ProcessId, …>` | O(log n) per probe on per-message paths; use the `ProcSet` word-array bitset (hot-path modules only) |
 //!
-//! A file opts out of a rule with a `// sih-analysis: allow(<rule>)`
-//! comment stating *why* the construct is sound there (e.g. a seeded-RNG
-//! probability constant). `#[cfg(test)]`-gated items and `*_tests.rs` /
-//! `proptests.rs` files are exempt: test code may use richer std
-//! machinery, and the proptest/seeded harnesses are already
-//! deterministic.
+//! A `// sih-analysis: allow(<rule>)` pragma suppresses a rule — file-wide
+//! from the header, item-scoped elsewhere (see [`crate::parse::PragmaTable`]).
+//! `#[cfg(test)]`-gated items and `*_tests.rs` / `proptests.rs` files are
+//! exempt: test code may use richer std machinery, and the proptest/seeded
+//! harnesses are already deterministic.
 
-use crate::lexer::{lex, Tok, Token};
+use crate::lexer::{Lexed, Tok, Token};
+use crate::parse::PragmaTable;
 use crate::report::Finding;
-
-/// All determinism rule names, in report order.
-pub const DETERMINISM_RULES: [&str; 5] =
-    ["hash-container", "wall-clock", "ambient-rng", "env-read", "float"];
 
 /// The non-test `.unwrap()` rule name (runtime/model crates only).
 pub const UNWRAP_RULE: &str = "unwrap-nontest";
@@ -48,23 +39,23 @@ pub struct FileScan {
     pub suppressed: usize,
 }
 
-/// Scans one file's source text with the determinism rules; `file` is the
-/// path recorded in findings. When `include_unwrap_rule` is set the
-/// `.unwrap()` rule runs too (reserved for the runtime/model crates whose
-/// panics must carry invariant messages). When `include_btree_rule` is
-/// set, `BTreeSet<ProcessId>` / `BTreeMap<ProcessId, …>` are flagged too
+/// Scans one lexed file with the token rules; `file` is the path recorded
+/// in findings. When `include_unwrap_rule` is set the `.unwrap()` rule
+/// runs too (reserved for the runtime/model crates whose panics must
+/// carry invariant messages). When `include_btree_rule` is set,
+/// `BTreeSet<ProcessId>` / `BTreeMap<ProcessId, …>` are flagged too
 /// (reserved for the hot-path modules that migrated to `ProcSet`).
-pub fn scan_source(
+pub fn scan_tokens(
     file: &str,
-    src: &str,
+    lexed: &Lexed,
     include_unwrap_rule: bool,
     include_btree_rule: bool,
+    pragmas: &mut PragmaTable,
 ) -> FileScan {
-    let lexed = lex(src);
     let masked = test_mask(&lexed.tokens);
     let mut scan = FileScan::default();
-    let mut emit = |rule: &'static str, line: u32, message: String| {
-        if lexed.allowed.iter().any(|a| a == rule) {
+    let mut emit = |rule: &'static str, line: u32, message: String, pragmas: &mut PragmaTable| {
+        if pragmas.suppress(rule, file, line) {
             scan.suppressed += 1;
         } else {
             scan.findings.push(Finding { rule, file: file.to_string(), line, message });
@@ -78,48 +69,11 @@ pub fn scan_source(
         }
         match &token.tok {
             Tok::Ident(name) => match name.as_str() {
-                "HashMap" | "HashSet" => emit(
-                    "hash-container",
-                    token.line,
-                    format!("{name} has per-process iteration order; use BTreeMap/BTreeSet or a seeded hasher"),
-                ),
-                "SystemTime" | "Instant" => emit(
-                    "wall-clock",
-                    token.line,
-                    format!("{name} reads the wall clock; simulation time must come from the model's Time"),
-                ),
-                "thread_rng" | "ThreadRng" => emit(
-                    "ambient-rng",
-                    token.line,
-                    format!("{name} is OS-seeded; use a seeded ChaCha8Rng so runs replay"),
-                ),
-                "rand" if path_is(toks, i, &["rand", "random"]) => emit(
-                    "ambient-rng",
-                    token.line,
-                    "rand::random is OS-seeded; use a seeded ChaCha8Rng so runs replay".to_string(),
-                ),
-                "std" if path_is(toks, i, &["std", "env"]) => emit(
-                    "env-read",
-                    token.line,
-                    "std::env reads ambient configuration; thread parameters through explicitly"
-                        .to_string(),
-                ),
-                "env"
-                    if matches!(
-                        path_tail(toks, i).as_deref(),
-                        Some("var" | "vars" | "var_os" | "vars_os" | "args" | "args_os")
-                    ) =>
-                {
-                    emit(
-                        "env-read",
-                        token.line,
-                        "environment reads are ambient configuration; thread parameters through explicitly".to_string(),
-                    )
-                }
                 "f32" | "f64" => emit(
                     "float",
                     token.line,
                     format!("{name} in simulation code: float accumulation is order-sensitive; justify with an allow pragma or use integers"),
+                    pragmas,
                 ),
                 "BTreeSet" | "BTreeMap"
                     if include_btree_rule && generic_head_is(toks, i, "ProcessId") =>
@@ -130,6 +84,7 @@ pub fn scan_source(
                         format!(
                             "{name}<ProcessId, …> on a hot path: O(log n) per probe; use the ProcSet word-array bitset (or justify with an allow pragma)"
                         ),
+                        pragmas,
                     )
                 }
                 "unwrap"
@@ -142,6 +97,7 @@ pub fn scan_source(
                         UNWRAP_RULE,
                         token.line,
                         ".unwrap() in non-test code: use ? / typed errors or expect(\"invariant: …\")".to_string(),
+                        pragmas,
                     )
                 }
                 _ => {}
@@ -150,6 +106,7 @@ pub fn scan_source(
                 "float",
                 token.line,
                 "float literal in simulation code: float arithmetic is order-sensitive; justify with an allow pragma or use integers".to_string(),
+                pragmas,
             ),
             _ => {}
         }
@@ -158,7 +115,7 @@ pub fn scan_source(
 }
 
 /// Whether tokens at `i` start the exact path `segments[0]::segments[1]`.
-fn path_is(toks: &[Token], i: usize, segments: &[&str; 2]) -> bool {
+pub(crate) fn path_is(toks: &[Token], i: usize, segments: &[&str; 2]) -> bool {
     matches!(&toks[i].tok, Tok::Ident(a) if a == segments[0])
         && toks.get(i + 1).is_some_and(|t| t.tok == Tok::PathSep)
         && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Ident(b)) if b == segments[1])
@@ -177,7 +134,7 @@ fn generic_head_is(toks: &[Token], i: usize, first: &str) -> bool {
 }
 
 /// The identifier following `toks[i]::`, if any.
-fn path_tail(toks: &[Token], i: usize) -> Option<String> {
+pub(crate) fn path_tail(toks: &[Token], i: usize) -> Option<String> {
     if toks.get(i + 1).is_some_and(|t| t.tok == Tok::PathSep) {
         if let Some(Tok::Ident(name)) = toks.get(i + 2).map(|t| &t.tok) {
             return Some(name.clone());
@@ -251,28 +208,33 @@ pub fn is_test_file(file_name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn scan(src: &str, include_unwrap: bool, include_btree: bool) -> FileScan {
+        let lexed = lex(src);
+        let items = parse_items(&lexed);
+        let mut pragmas = PragmaTable::default();
+        pragmas.add_file("x.rs", &lexed, &items);
+        scan_tokens("x.rs", &lexed, include_unwrap, include_btree, &mut pragmas)
+    }
 
     fn rules_of(src: &str) -> Vec<&'static str> {
-        scan_source("x.rs", src, true, true).findings.iter().map(|f| f.rule).collect()
+        scan(src, true, true).findings.iter().map(|f| f.rule).collect()
     }
 
     #[test]
-    fn flags_each_banned_construct() {
-        assert_eq!(rules_of("use std::collections::HashMap;"), vec!["hash-container"]);
-        assert_eq!(rules_of("let s: HashSet<u32> = HashSet::new();").len(), 2);
-        assert_eq!(rules_of("let t = Instant::now();"), vec!["wall-clock"]);
-        assert_eq!(rules_of("let t = SystemTime::now();"), vec!["wall-clock"]);
-        assert_eq!(rules_of("let r = thread_rng();"), vec!["ambient-rng"]);
-        assert_eq!(rules_of("let x: u8 = rand::random();"), vec!["ambient-rng"]);
-        assert_eq!(rules_of("let v = std::env::var(\"X\");").len(), 2); // std::env + env::var
+    fn flags_floats_both_ways() {
         assert_eq!(rules_of("let p: f64 = 0.5;").len(), 2); // type + literal
+        assert_eq!(rules_of("let p = 1e-3;"), vec!["float"]);
+        assert!(rules_of("let n = 0x2f;").is_empty());
     }
 
     #[test]
     fn unwrap_rule_is_opt_in_and_shape_sensitive() {
         let src = "fn f() { x.unwrap(); }";
         assert_eq!(rules_of(src), vec![UNWRAP_RULE]);
-        assert!(scan_source("x.rs", src, false, false).findings.is_empty());
+        assert!(scan(src, false, false).findings.is_empty());
         // `unwrap` as a free function name is not the method call.
         assert!(rules_of("fn unwrap() {}").is_empty());
     }
@@ -288,24 +250,23 @@ mod tests {
         // Turbofish spelling is caught too.
         assert_eq!(rules_of("let s = BTreeSet::<ProcessId>::new();"), vec![BTREE_PROCSET_RULE]);
         // Off the hot path the rule does not run at all.
-        assert!(scan_source("x.rs", set, false, false).findings.is_empty());
+        assert!(scan(set, false, false).findings.is_empty());
         // Trees keyed by anything else are allowed everywhere.
         assert!(rules_of("let m: BTreeMap<OpId, OpRecord> = BTreeMap::new();").is_empty());
         // The escape hatch works and is counted.
         let allowed = "// sih-analysis: allow(btree-procset)\nlet acks: BTreeSet<ProcessId> = BTreeSet::new();";
-        let scan = scan_source("x.rs", allowed, false, true);
-        assert!(scan.findings.is_empty());
-        assert_eq!(scan.suppressed, 1);
+        let scanned = scan(allowed, false, true);
+        assert!(scanned.findings.is_empty());
+        assert_eq!(scanned.suppressed, 1);
     }
 
     #[test]
     fn strings_comments_and_test_items_are_exempt() {
-        assert!(rules_of("// HashMap\nlet s = \"Instant::now\";").is_empty());
+        assert!(rules_of("// f64\nlet s = \"0.5 f32\";").is_empty());
         let src = r#"
             #[cfg(test)]
             mod tests {
-                use std::collections::HashMap;
-                fn f() { x.unwrap(); }
+                fn f() { let p: f64 = 0.5; x.unwrap(); }
             }
             fn live() {}
         "#;
@@ -316,37 +277,46 @@ mod tests {
     fn cfg_test_gated_fn_is_exempt_but_following_code_is_not() {
         let src = r#"
             #[cfg(test)]
-            fn helper() { let m = HashMap::new(); }
-            fn live() { let m = HashSet::new(); }
+            fn helper() { let p: f32 = 0.5; }
+            fn live() { let q: f32 = 1.5; }
         "#;
-        assert_eq!(rules_of(src), vec!["hash-container"]);
+        assert_eq!(rules_of(src), vec!["float", "float"]);
     }
 
     #[test]
     fn allow_pragma_suppresses_and_counts() {
         let src = "// sih-analysis: allow(float)\nlet p: f64 = 0.5;";
-        let scan = scan_source("x.rs", src, false, false);
-        assert!(scan.findings.is_empty());
-        assert_eq!(scan.suppressed, 2);
+        let scanned = scan(src, false, false);
+        assert!(scanned.findings.is_empty());
+        assert_eq!(scanned.suppressed, 2);
         // Other rules still fire.
-        let src = "// sih-analysis: allow(float)\nlet t = Instant::now();";
+        let src = "// sih-analysis: allow(float)\nfn f() { x.unwrap(); }";
         assert_eq!(
-            scan_source("x.rs", src, false, false)
-                .findings
-                .iter()
-                .map(|f| f.rule)
-                .collect::<Vec<_>>(),
-            vec!["wall-clock"]
+            scan(src, true, false).findings.iter().map(|f| f.rule).collect::<Vec<_>>(),
+            vec![UNWRAP_RULE]
         );
     }
 
     #[test]
+    fn item_scoped_pragma_does_not_leak_to_siblings() {
+        let src = r#"
+            fn first() {}
+            // sih-analysis: allow(float) — this item only
+            fn second() { let p: f32 = 0.5; }
+            fn third() { let q: f32 = 1.5; }
+        "#;
+        let scanned = scan(src, false, false);
+        assert_eq!(scanned.suppressed, 2);
+        assert_eq!(scanned.findings.len(), 2);
+        assert!(scanned.findings.iter().all(|f| f.line == 5));
+    }
+
+    #[test]
     fn findings_carry_file_and_line() {
-        let scan =
-            scan_source("crates/model/src/x.rs", "\n\nlet m = HashMap::new();", false, false);
-        assert_eq!(scan.findings.len(), 1);
-        assert_eq!(scan.findings[0].file, "crates/model/src/x.rs");
-        assert_eq!(scan.findings[0].line, 3);
+        let scanned = scan("\n\nlet p: f32 = 0.5;", false, false);
+        assert_eq!(scanned.findings.len(), 2);
+        assert_eq!(scanned.findings[0].file, "x.rs");
+        assert_eq!(scanned.findings[0].line, 3);
     }
 
     #[test]

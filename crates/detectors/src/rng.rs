@@ -41,7 +41,7 @@ pub(crate) fn random_subset(rng: &mut ChaCha8Rng, base: ProcessSet) -> ProcessSe
 /// Panics if `base` is empty.
 pub(crate) fn random_member(rng: &mut ChaCha8Rng, base: ProcessSet) -> ProcessId {
     let k = rng.gen_range(0..base.len());
-    base.iter().nth(k).expect("nonempty set")
+    base.iter().nth(k).expect("invariant: callers pass a nonempty base set")
 }
 
 #[cfg(test)]

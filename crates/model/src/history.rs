@@ -10,6 +10,8 @@
 //!    then hand them to the simulator as the oracle — `RecordedHistory`
 //!    implements [`FailureDetector`].
 
+// sih-analysis: allow(index-reachable) — timeline and record slots are sized to the model's n
+// at construction and indexed only by ProcessId/Time values drawn from that model.
 use crate::{FailureDetector, FdOutput, ProcessId, Time};
 
 /// The output of one process over time, as a step function.

@@ -19,6 +19,8 @@
 //! quorum-threshold tests (`|acks| ≥ ⌈(n+1)/2⌉`) are the hot path this
 //! type exists for.
 
+// sih-analysis: allow(index-reachable) — word indices are in range by the growable-bitset
+// invariant: insert() grows `words` first, and every reader iterates 0..words.len().
 use crate::{ProcessId, ProcessSet};
 use std::fmt;
 

@@ -93,12 +93,13 @@ impl Automaton for Fig6WithoutChange {
         let known = self.active.union(self.nonactive);
         let all = ProcessSet::full(self.n);
         if known != all {
-            let missing = all.difference(known).min().expect("nonempty");
+            let missing =
+                all.difference(known).min().expect("invariant: known != all has a missing process");
             self.emit(FdOutput::Leader(missing), eff);
             return;
         }
-        let min = self.active.min().expect("two actives");
-        let max = self.active.max().expect("two actives");
+        let min = self.active.min().expect("invariant: σ marks two processes active");
+        let max = self.active.max().expect("invariant: σ marks two processes active");
         if self.settled {
             return;
         }

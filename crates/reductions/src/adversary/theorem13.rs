@@ -49,6 +49,7 @@ impl<A: Automaton> Theorem13Transform<A> {
         Theorem13Transform { inner, members, big_n }
     }
 
+    // sih-analysis: allow(index-reachable) — members.len() == small n, checked in new().
     fn to_big(&self, small: ProcessId) -> ProcessId {
         self.members[small.index()]
     }

@@ -194,6 +194,8 @@ impl AntiOmegaAgreementCandidate {
     }
 }
 
+// sih-analysis: allow(index-reachable) — heard is an n-sized array indexed by sender ids the
+// simulator already validated.
 impl Automaton for AntiOmegaAgreementCandidate {
     type Msg = Value;
 
@@ -338,6 +340,8 @@ impl QuorumMinXCandidate {
     }
 }
 
+// sih-analysis: allow(index-reachable) — vals is an n-sized array indexed by ProcessIds from
+// the trusted quorum, all < n by the detector's construction.
 impl Automaton for QuorumMinXCandidate {
     type Msg = (ProcessId, Value);
 
@@ -374,7 +378,7 @@ impl Automaton for QuorumMinXCandidate {
                     wait_set.iter().filter_map(|p| self.received[p.index()]).collect();
                 if vals.len() == wait_set.len() {
                     self.done = true;
-                    let w = vals.into_iter().min().expect("nonempty");
+                    let w = vals.into_iter().min().expect("invariant: wait_set is nonempty here");
                     eff.decide(w);
                     eff.halt();
                 }

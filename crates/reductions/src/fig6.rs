@@ -139,11 +139,14 @@ impl Automaton for Fig6AntiOmegaFromSigma {
                 let all = ProcessSet::full(self.n);
                 if known != all {
                     // Line 20.
-                    let missing = all.difference(known).min().expect("nonempty difference");
+                    let missing = all
+                        .difference(known)
+                        .min()
+                        .expect("invariant: known != all has a missing process");
                     self.emit(FdOutput::Leader(missing), eff);
                 } else {
                     // Lines 21–23.
-                    let min = self.active.min().expect("σ marks two processes active");
+                    let min = self.active.min().expect("invariant: σ marks two processes active");
                     self.emit(FdOutput::Leader(min), eff);
                     self.stage =
                         if input.me == min { Stage::MinPolling } else { Stage::AwaitChange };
@@ -152,7 +155,7 @@ impl Automaton for Fig6AntiOmegaFromSigma {
             Stage::MinPolling => {
                 // Line 25: `while queryFD() ≠ {p_i}`.
                 if input.fd == FdOutput::Trust(ProcessSet::singleton(input.me)) {
-                    let max = self.active.max().expect("nonempty active set");
+                    let max = self.active.max().expect("invariant: σ marks two processes active");
                     self.emit(FdOutput::Leader(max), eff);
                     eff.send(max, Fig6Msg::Change);
                     self.stage = Stage::Settled;
@@ -161,7 +164,7 @@ impl Automaton for Fig6AntiOmegaFromSigma {
             Stage::AwaitChange => {
                 // Lines 29–30.
                 if self.change_received {
-                    let max = self.active.max().expect("nonempty active set");
+                    let max = self.active.max().expect("invariant: σ marks two processes active");
                     self.emit(FdOutput::Leader(max), eff);
                     self.stage = Stage::Settled;
                 }

@@ -235,7 +235,7 @@ impl Automaton for AbdRegister {
             (None, _) => false,
         };
         if completed {
-            let op = self.current.take().expect("checked above");
+            let op = self.current.take().expect("invariant: current checked Some above");
             match op.phase {
                 OpPhase::Query { best_ts, best_v } => {
                     // Move to phase 2.

@@ -21,6 +21,9 @@
 //! old `Vec::remove` O(queue) memmove, with an O(1) front fast path and
 //! amortized O(1) compaction.
 
+// sih-analysis: allow(index-reachable) — queues and per-link counters are n/n²-sized arrays
+// indexed by ProcessId and link ids validated at construction; Fenwick offsets stay in range
+// by the tree's size invariant (see ArrivalQueue docs).
 use crate::automaton::{Envelope, MsgId};
 use crate::fingerprint::Fnv64;
 use sih_model::{LinkFaultPlan, ProcessId, SendFate, Time};

@@ -13,6 +13,8 @@
 // sih-analysis: allow(float) — deliver_prob is a single Bernoulli
 // parameter fed to a seeded ChaCha8Rng; no accumulation, replay-safe.
 
+// sih-analysis: allow(index-reachable) — choose() indexes the n-sized pending/age arrays of
+// SchedState, which the simulation builds for exactly its own process count.
 use crate::sim::SchedState;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;

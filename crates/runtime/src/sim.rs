@@ -8,6 +8,8 @@
 //! ([`Simulation::script`]) precisely so adversary constructions can
 //! replay prefixes (Lemmas 7, 11, 15).
 
+// sih-analysis: allow(index-reachable) — procs/pending/decisions are n-sized arrays indexed
+// by ProcessId from the scheduler's own choice set, which is bounded by n at construction.
 use crate::automaton::{Automaton, Effects, SendOp, StepInput};
 use crate::fingerprint::Fnv64;
 use crate::network::Network;

@@ -21,6 +21,8 @@
 //!
 //! [`Effects::set_output`]: crate::Effects::set_output
 
+// sih-analysis: allow(index-reachable) — Stubborn's per-link seq/ack tables are n²-sized at
+// construction and indexed by link ids derived from validated ProcessIds.
 use crate::automaton::{Automaton, Effects, Envelope, StepInput};
 use sih_model::{FdOutput, ProcessId};
 use std::collections::{BTreeMap, BTreeSet};

@@ -6,6 +6,8 @@
 //! σ/Σ specifications, linearizability) are all functions of a trace plus
 //! the run's failure pattern.
 
+// sih-analysis: allow(index-reachable) — per-process trace lanes are n-sized at construction
+// and indexed by the stepping process's own id.
 use crate::automaton::{MsgId, OpEvent};
 use crate::fingerprint::Fnv64;
 use sih_model::{

@@ -125,7 +125,7 @@ impl<A: SharedAlgorithm> SharedOverAbd<A> {
     fn begin_op(&mut self, action: SharedAction, me: ProcessId, eff: &mut Effects<BridgeMsg>) {
         let reg = match action {
             SharedAction::Read(r) | SharedAction::Write(r, _) => r,
-            _ => unreachable!("only register ops become quorum ops"),
+            _ => unreachable!("invariant: only register ops become quorum ops"),
         };
         let tag = self.fresh_tag(me);
         self.current = Some(ActiveOp {
@@ -138,6 +138,8 @@ impl<A: SharedAlgorithm> SharedOverAbd<A> {
     }
 }
 
+// sih-analysis: allow(index-reachable) — pending_read/decisions are n-sized arrays indexed by
+// the stepping process's own id.
 impl<A: SharedAlgorithm> Automaton for SharedOverAbd<A> {
     type Msg = BridgeMsg;
 
@@ -192,19 +194,19 @@ impl<A: SharedAlgorithm> Automaton for SharedOverAbd<A> {
         // Phase completion?
         if let Some(op) = &self.current {
             if trusted.is_subset(op.acks) {
-                let op = self.current.take().expect("checked");
+                let op = self.current.take().expect("invariant: current checked Some above");
                 match op.phase {
                     OpPhase::Query { best } => {
                         let reg = match op.action {
                             SharedAction::Read(r) | SharedAction::Write(r, _) => r,
-                            _ => unreachable!(),
+                            _ => unreachable!("invariant: quorum ops carry only register actions"),
                         };
                         let (ts, v, read_result) = match op.action {
                             SharedAction::Write(_, w) => {
                                 (Ts { num: best.0.num + 1, pid: input.me.0 }, Some(w), None)
                             }
                             SharedAction::Read(_) => (best.0, best.1, Some(best.1)),
-                            _ => unreachable!(),
+                            _ => unreachable!("invariant: quorum ops carry only register actions"),
                         };
                         let tag = self.fresh_tag(input.me);
                         self.current = Some(ActiveOp {

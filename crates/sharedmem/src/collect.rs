@@ -64,6 +64,8 @@ impl CollectMin {
     }
 }
 
+// sih-analysis: allow(index-reachable) — seen is an n-sized array and the cursor is reduced
+// mod n before every access.
 impl SharedAlgorithm for CollectMin {
     fn step(&mut self, me: u32, n: usize, last_read: Option<Option<Value>>) -> SharedAction {
         match self.phase {
@@ -83,7 +85,13 @@ impl SharedAlgorithm for CollectMin {
                 if self.filled() >= n - self.f {
                     self.phase = Phase::Done;
                     self.done = true;
-                    let min = self.seen.iter().flatten().min().copied().expect("own slot filled");
+                    let min = self
+                        .seen
+                        .iter()
+                        .flatten()
+                        .min()
+                        .copied()
+                        .expect("invariant: own slot is filled");
                     return SharedAction::Decide(min);
                 }
                 let r = RegisterId(self.cursor);

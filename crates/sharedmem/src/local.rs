@@ -22,6 +22,8 @@ pub struct LocalSharedSim<A: SharedAlgorithm> {
     steps: u64,
 }
 
+// sih-analysis: allow(index-reachable) — memory/decisions/pending_read are sized to the
+// register count and n at construction; step() asserts the process is in range.
 impl<A: SharedAlgorithm> LocalSharedSim<A> {
     /// A run of `procs` over `registers` zero-initialized (⊥) registers.
     ///
