@@ -30,9 +30,16 @@ pub struct FileSource {
 /// names) are where the determinism contract bites, so reachability
 /// starts from them. See DESIGN.md §6.
 const ROOT_TRAIT_METHODS: [(&str, &str); 1] = [("Automaton", "step")];
-const ROOT_OWNER_METHODS: [(&str, &[&str]); 2] =
-    [("Simulation", &["step", "run", "run_until"]), ("LinkFaultPlan", &["fate", "active_at"])];
-const ROOT_FN_NAMES: [&str; 2] = ["fingerprint", "fingerprint_into"];
+const ROOT_OWNER_METHODS: [(&str, &[&str]); 4] = [
+    ("Simulation", &["step", "run", "run_until"]),
+    ("LinkFaultPlan", &["fate", "active_at"]),
+    // The DPOR explorer's happens-before shadow: every explored edge
+    // runs these, and a nondeterminism bug here silently unsounds the
+    // source-set reduction.
+    ("VClock", &["tick", "merge", "leq"]),
+    ("HbState", &["apply", "send_races"]),
+];
+const ROOT_FN_NAMES: [&str; 3] = ["fingerprint", "fingerprint_into", "wake_races"];
 
 /// Rust keywords that can precede `(` or `[` without being a call or an
 /// indexing base.

@@ -58,6 +58,10 @@ fn bench_reduction(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("reduced", depth), |b| {
         b.iter(|| black_box(run_explore(&sim, &sigma, &proposals, &reduced_cfg)));
     });
+    let dpor_cfg = ExploreConfig::new(depth).dpor(true);
+    group.bench_function(BenchmarkId::new("dpor", depth), |b| {
+        b.iter(|| black_box(run_explore(&sim, &sigma, &proposals, &dpor_cfg)));
+    });
     group.finish();
 }
 
@@ -97,5 +101,43 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reduction, bench_parallel);
+/// Frontier scaling under source-DPOR with the auto-sized frontier
+/// (`frontier_depth = 0`): the prefix is grown until there are enough
+/// subtree jobs to keep the worker pool busy, so this row tracks the
+/// coarse-job work-stealing path end to end. Bitwise equality with the
+/// serial run is asserted every iteration.
+fn bench_frontier_scaling(c: &mut Criterion) {
+    let (sim, sigma, proposals) = fig2_setup(3);
+    let depth = 8;
+    let n = proposals.len();
+    let base = ExploreConfig::new(depth).dpor(true);
+
+    let mut check = |s: &Fig2Sim| {
+        check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+    };
+    let serial: ExploreResult = explore_with(&sim, &sigma, &base, &mut check);
+
+    let mut group = c.benchmark_group("explore_frontier_dpor_fig2_n3");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(serial.states));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &workers| {
+            let cfg = base.threads(workers);
+            b.iter(|| {
+                let result = explore_par(&sim, &sigma, &cfg, || {
+                    let proposals = proposals.clone();
+                    move |s: &Fig2Sim| {
+                        check_k_agreement_safety(s.trace(), &proposals, n - 1)
+                            .map_err(|e| e.to_string())
+                    }
+                });
+                assert_eq!(result, serial, "worker count changed the result");
+                black_box(result.states)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_parallel, bench_frontier_scaling);
 criterion_main!(benches);

@@ -43,7 +43,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | faults | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--max-n N] [--sample D] [--huge] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--frontier-depth K] [--max-n N] [--sample D] [--huge] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         eprintln!(
@@ -83,6 +83,10 @@ fn main() -> ExitCode {
             }
             "--depth" => {
                 explore_cfg.depth = value(&mut it).parse().expect("--depth takes an integer")
+            }
+            "--frontier-depth" => {
+                explore_cfg.frontier_depth =
+                    value(&mut it).parse().expect("--frontier-depth takes an integer (0 = auto)")
             }
             "--threads" => {
                 cfg.threads = value(&mut it).parse().expect("--threads takes an integer");
@@ -144,8 +148,8 @@ fn main() -> ExitCode {
         print!("{report}");
         if report.frontier_regressed() {
             eprintln!(
-                "warning: frontier_speedup {:.2} < 1.0 — the parallel frontier leg is slower \
-                 than the unreduced baseline (known regression, ROADMAP item 3)",
+                "error: frontier_speedup {:.2} < 1.0 — the parallel frontier leg is slower than \
+                 the unreduced baseline; CI fails the explore job on this (release artifact only)",
                 report.frontier_speedup()
             );
         }

@@ -15,54 +15,83 @@
 //! * **Fingerprint dedup** ([`ExploreConfig::dedup`]) — every state is
 //!   hashed into a canonical 64-bit fingerprint
 //!   ([`Simulation::fingerprint`]) of its checker-visible projection; a
-//!   state revisited with the same or less remaining depth is skipped.
-//!   This is sound even though failure-detector histories are
-//!   time-dependent, because global time *is* the step count: all states
-//!   at one tree depth share `now`, `now` is hashed, and detector
-//!   outputs are pure functions of `(process, time)`.
+//!   state revisited under the same sleep context with the same or less
+//!   remaining depth is skipped. This is sound even though
+//!   failure-detector histories are time-dependent, because global time
+//!   *is* the step count: all states at one tree depth share `now`,
+//!   `now` is hashed, and detector outputs are pure functions of
+//!   `(process, time)`.
+//! * **Canonical content-ordered expansion** — each process's delivery
+//!   menu is enumerated sorted by memoized envelope fingerprint (ties
+//!   oldest-first), and sleep sets key on *content*
+//!   ([`crate::dpor::SleepKey`]: process + envelope fingerprint), never
+//!   on queue position. Two states whose queues are permutations of each
+//!   other therefore expand pairwise fingerprint-equal children with
+//!   *identical* sleep sets — the whole expansion is a pure function of
+//!   the multiset fingerprint, which is what keeps dedup on the
+//!   order-insensitive hash sound with sleep sets and delivery caps on.
 //! * **Sleep-set partial-order reduction** ([`ExploreConfig::por`]) —
 //!   when two adjacent steps of *different* processes both produce no
 //!   time-stamped checker events ([`StepReport::quiet`]) and their
 //!   detector outputs are stable across the two step times, the two
 //!   orders are check-equivalent; only the canonical order is explored.
+//! * **Source-DPOR** ([`ExploreConfig::dpor`]) — upgrades the sleep
+//!   sets from depth-1 to *persistent*: a sleeping choice stays asleep
+//!   down the path until a step it is dependent with executes, judged
+//!   with happens-before vector clocks ([`crate::hb`]) — a send into a
+//!   sleeping process's queue whose stamp is concurrent with that
+//!   process's clock is a *race* and wakes it (see [`crate::dpor`]).
+//!   The choices actually expanded at a node — enabled minus sleeping —
+//!   form its source set. Strictly stronger pruning than `por`.
+//! * **Shared sharded fingerprint table** — dedup claims go through one
+//!   table shared by every worker, sharded by fingerprint high bits so
+//!   workers rarely contend. A claim is a pure function of the key
+//!   `(state fingerprint, sleep-context fingerprint)`: whichever visit
+//!   arrives first expands the identical subtree, so every counter is a
+//!   sum of per-key contributions and the full [`ExploreResult`] is
+//!   bitwise identical for any thread count, frontier depth, or visit
+//!   order.
 //! * **Parallel frontier** ([`ExploreConfig::frontier_depth`],
-//!   [`explore_par`]) — the root is expanded breadth-first to a
-//!   `k`-step prefix frontier and the subtrees fan out across the
-//!   deterministic [`Sweep`] engine; results merge in canonical prefix
-//!   order, so the full [`ExploreResult`] — counters and the violation
-//!   script — is bitwise identical for any thread count.
+//!   [`explore_par`]) — the root is expanded breadth-first into subtree
+//!   jobs (auto-sized to the worker count when `frontier_depth == 0`)
+//!   that fan out across the deterministic [`Sweep`] engine,
+//!   work-stealing off its atomic cursor. Thanks to the shared table the
+//!   partition never changes the counters; if any worker finds a
+//!   violation, the exploration is re-run serially so the reported
+//!   violation is the canonical (first in DFS order) one.
 //! * **No per-node double clone** — children are materialized with
-//!   allocation-reusing [`Clone::clone_from`] into a free-list pool, and
-//!   choice enumeration uses the non-mutating
-//!   [`Simulation::schedulable_set`] view instead of cloning a probe.
+//!   allocation-reusing [`Clone::clone_from`] into free-list pools
+//!   (simulations, happens-before shadows, sleep sets), and choice
+//!   enumeration uses the non-mutating [`Simulation::schedulable_set`]
+//!   view instead of cloning a probe.
 //!
-//! Both reductions assume every pending message is a candidate
-//! delivery. A finite [`ExploreConfig::max_deliveries`] cap samples the
-//! first `cap` messages in **arrival order** — a projection that
-//! multiset-equal fingerprints do not determine and that sleep-set
-//! reorderings do not preserve — so a finite cap forces `dedup` and
-//! `por` off and the run is the plain capped enumeration (see
-//! [`ExploreConfig::max_deliveries`]).
-//!
-//! The reported violation is the first one in the reduced canonical
-//! search order; with reductions off it is exactly the
-//! lexicographically-least violating choice script (see [`Choice`]'s
-//! order). For a fixed [`ExploreConfig`] the result never depends on the
-//! thread count or the process's hash seed; counters *do* legitimately
-//! differ across configs (dedup on/off, frontier depth) — reduction
-//! changes how many states exist, not which verdict is reached.
+//! The reported violation is the first one in the canonical search
+//! order: processes ascending, per process "no delivery" first and then
+//! the deliveries in content order. (With reductions off and at most
+//! one delivery candidate per step this coincides with the
+//! lexicographically-least violating [`Choice`] script.) For a fixed
+//! [`ExploreConfig`] the result never depends on the
+//! thread count, the frontier depth, or the process's hash seed;
+//! counters *do* legitimately differ across configs (dedup on/off, por
+//! vs dpor) — reduction changes how many states exist, not which verdict
+//! is reached.
 //!
 //! [`Sweep`]: crate::sweep::Sweep
 //! [`StepReport::quiet`]: crate::StepReport::quiet
 
 use crate::automaton::Automaton;
+use crate::dpor::{self, SleepKey, SleepSet};
+use crate::hb::HbState;
 use crate::scheduler::Choice;
 use crate::sim::Simulation;
 use crate::sweep::Sweep;
-use sih_model::FailureDetector;
+use sih_model::{FailureDetector, ProcessId};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::mem;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// Tuning knobs of an exploration. Construct with [`ExploreConfig::new`]
 /// and refine with the builder methods.
@@ -71,49 +100,58 @@ pub struct ExploreConfig {
     /// Maximum further steps from the root (tree depth bound).
     pub depth: usize,
     /// Per step, how many distinct pending messages are tried as the
-    /// delivery (always including "no delivery", always oldest-first);
-    /// `usize::MAX` tries every pending message.
+    /// delivery (always including "no delivery"); `usize::MAX` tries
+    /// every pending message.
     ///
-    /// A finite cap samples the first `cap` messages in **arrival
-    /// order**. The reductions cannot see that order: the fingerprint
-    /// hashes queues as order-insensitive multisets, and a sleep-set
-    /// reordering permutes arrivals, so two states the reductions treat
-    /// as equivalent can expand *different* capped child sets — dedup or
-    /// POR could then skip the only capped path to a violation. Both
-    /// reductions are therefore forced **off** whenever
-    /// `max_deliveries < usize::MAX`; `dedup`/`por` are ignored and the
-    /// run is the plain capped enumeration.
+    /// A finite cap samples the first `cap` messages of the **canonical
+    /// content order** (sorted by envelope fingerprint, ties
+    /// oldest-first) — a prefix the order-insensitive multiset
+    /// fingerprint fully determines, so dedup stays sound at any cap.
+    /// Sleep sets are cap-sound too: they key on content
+    /// ([`crate::dpor::SleepKey`]), and a commuting sibling step never
+    /// removes the sleeping message — hence **both reductions stay on
+    /// under finite caps** (they were forced off before the canonical
+    /// enumeration existed).
     pub max_deliveries: usize,
-    /// Skip states whose canonical fingerprint was already explored at
-    /// equal or greater remaining depth.
+    /// Skip states whose canonical fingerprint was already explored
+    /// under the same sleep context at equal or greater remaining depth.
     pub dedup: bool,
     /// Sleep-set partial-order reduction: skip the non-canonical order
     /// of commuting adjacent step pairs.
     pub por: bool,
+    /// Source-DPOR: persistent sleep sets with happens-before race
+    /// wake-ups (see [`crate::dpor`]). Supersedes `por` — when set, the
+    /// depth-1 sleep sets of `por` are carried down the path and woken
+    /// only by dependent steps, pruning strictly more.
+    pub dpor: bool,
     /// Worker threads for the parallel frontier (`0` = one per core);
     /// only consulted by [`explore_par`], and never changes the result.
     pub threads: usize,
     /// Prefix depth expanded breadth-first into parallel subtree jobs;
-    /// `0` explores the whole tree as one serial job.
+    /// `0` lets [`explore_par`] auto-size the frontier to its worker
+    /// count. Never changes the result — the shared fingerprint table
+    /// makes every counter partition-independent.
     pub frontier_depth: usize,
 }
 
 impl ExploreConfig {
-    /// Defaults: explore to `depth`, try every delivery, both reductions
-    /// on, serial (no frontier).
+    /// Defaults: explore to `depth`, try every delivery, dedup and
+    /// sleep-set reduction on, serial (no frontier).
     pub fn new(depth: usize) -> Self {
         ExploreConfig {
             depth,
             max_deliveries: usize::MAX,
             dedup: true,
             por: true,
+            dpor: false,
             threads: 1,
             frontier_depth: 0,
         }
     }
 
-    /// Sets the per-step delivery cap. A finite cap forces both
-    /// reductions off — see [`ExploreConfig::max_deliveries`].
+    /// Sets the per-step delivery cap. Reductions stay on — the capped
+    /// menu is a canonical content-order prefix the multiset
+    /// fingerprint determines (see [`ExploreConfig::max_deliveries`]).
     #[must_use]
     pub fn max_deliveries(mut self, cap: usize) -> Self {
         self.max_deliveries = cap;
@@ -134,6 +172,14 @@ impl ExploreConfig {
         self
     }
 
+    /// Enables or disables source-DPOR (persistent sleep sets with
+    /// happens-before race wake-ups).
+    #[must_use]
+    pub fn dpor(mut self, on: bool) -> Self {
+        self.dpor = on;
+        self
+    }
+
     /// Sets the worker-thread count (`0` = one per core).
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
@@ -141,24 +187,17 @@ impl ExploreConfig {
         self
     }
 
-    /// Sets the parallel-frontier prefix depth.
+    /// Sets the parallel-frontier prefix depth (`0` = auto-size to the
+    /// worker count).
     #[must_use]
     pub fn frontier_depth(mut self, k: usize) -> Self {
         self.frontier_depth = k;
         self
     }
 
-    /// The configuration the engine actually runs: a finite delivery cap
-    /// forces both reductions off, because capped enumeration samples
-    /// queues by arrival order — a projection neither the multiset
-    /// fingerprint nor sleep-set reordering preserves (see
-    /// [`ExploreConfig::max_deliveries`]).
-    fn effective(&self) -> ExploreConfig {
-        if self.max_deliveries == usize::MAX {
-            *self
-        } else {
-            ExploreConfig { dedup: false, por: false, ..*self }
-        }
+    /// Whether any sleep-set machinery (depth-1 or persistent) is on.
+    fn sleep_on(&self) -> bool {
+        self.por || self.dpor
     }
 }
 
@@ -176,11 +215,15 @@ pub struct ExploreResult {
     pub truncated: u64,
     /// Revisited states skipped by fingerprint dedup.
     pub deduped: u64,
-    /// Child branches skipped by the partial-order reduction.
+    /// Child branches skipped because they were asleep (covered by an
+    /// earlier branch).
     pub pruned: u64,
-    /// Approximate payload size of the dedup tables: entries ×
-    /// `(key + value)` bytes, summed over subtrees (tree overhead of the
-    /// `BTreeMap` itself is not counted).
+    /// Sleeping choices woken by a dependent (racing) step — nonzero
+    /// only under [`ExploreConfig::dpor`].
+    pub races: u64,
+    /// Approximate payload size of the shared dedup table: entries ×
+    /// `(key + value)` bytes (tree overhead of the shard maps is not
+    /// counted).
     pub table_bytes: u64,
     /// First violation in canonical search order, if any: the choice
     /// script reaching it (from the exploration root) and the checker's
@@ -195,6 +238,7 @@ impl ExploreResult {
         truncated: 0,
         deduped: 0,
         pruned: 0,
+        races: 0,
         table_bytes: 0,
         violation: None,
     };
@@ -203,6 +247,105 @@ impl ExploreResult {
     pub fn ok(&self) -> bool {
         self.violation.is_none()
     }
+
+    /// Adds `sub`'s counters into `self` (violations are handled by the
+    /// drivers, never merged).
+    fn absorb(&mut self, sub: &ExploreResult) {
+        self.states += sub.states;
+        self.terminals += sub.terminals;
+        self.truncated += sub.truncated;
+        self.deduped += sub.deduped;
+        self.pruned += sub.pruned;
+        self.races += sub.races;
+    }
+}
+
+/// Number of shards in the shared fingerprint table — a power of two
+/// comfortably above any realistic worker count, so two workers rarely
+/// claim in the same shard at once.
+const TABLE_SHARDS: usize = 64;
+
+/// Bytes per table entry reported in [`ExploreResult::table_bytes`].
+const TABLE_ENTRY_BYTES: u64 = (mem::size_of::<(u64, u64)>() + mem::size_of::<usize>()) as u64;
+
+/// The shared dedup table: `(state fingerprint, sleep-context
+/// fingerprint) → largest remaining depth already claimed`, sharded by
+/// fingerprint high bits so concurrent claims rarely touch the same
+/// lock.
+///
+/// `BTreeMap` per shard, not `HashMap`: iteration-order determinism and
+/// no process-seeded hasher (DESIGN.md §6). The claim outcome is a pure
+/// function of the key — equal state fingerprints imply equal `now`,
+/// hence equal tree depth, hence equal remaining budget — so *which*
+/// visit claims first never changes what gets explored, only who
+/// explores it. That is the property that makes the shared table safe
+/// to use from any number of workers without a merge step.
+struct SharedTable {
+    shards: Vec<Mutex<BTreeMap<(u64, u64), usize>>>,
+}
+
+impl SharedTable {
+    fn new() -> Self {
+        SharedTable { shards: (0..TABLE_SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect() }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<BTreeMap<(u64, u64), usize>> {
+        &self.shards[(fp >> 58) as usize]
+    }
+
+    /// Claims `(fp, ctx)` at `remaining`: returns `true` when the caller
+    /// should expand the node (first visit, or a revisit with a strictly
+    /// larger remaining budget), `false` when it is a dedup skip.
+    fn claim(&self, fp: u64, ctx: u64, remaining: usize) -> bool {
+        let mut map = self
+            .shard(fp)
+            .lock()
+            .expect("invariant: table shards are never poisoned (worker panics propagate)");
+        match map.entry((fp, ctx)) {
+            Entry::Occupied(mut e) => {
+                if *e.get() >= remaining {
+                    false
+                } else {
+                    *e.get_mut() = remaining;
+                    true
+                }
+            }
+            Entry::Vacant(v) => {
+                v.insert(remaining);
+                true
+            }
+        }
+    }
+
+    /// Upgrades a claimed entry to "dead end": its (empty) future is
+    /// covered at any revisit depth.
+    fn mark_dead_end(&self, fp: u64, ctx: u64) {
+        let mut map = self
+            .shard(fp)
+            .lock()
+            .expect("invariant: table shards are never poisoned (worker panics propagate)");
+        map.insert((fp, ctx), usize::MAX);
+    }
+
+    fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("invariant: table shards are never poisoned (worker panics propagate)")
+                    .len() as u64
+            })
+            .sum()
+    }
+
+    #[cfg(test)]
+    fn get(&self, fp: u64, ctx: u64) -> Option<usize> {
+        self.shard(fp)
+            .lock()
+            .expect("invariant: table shards are never poisoned (worker panics propagate)")
+            .get(&(fp, ctx))
+            .copied()
+    }
 }
 
 /// Exhaustively explores all schedules of `sim` up to `depth` further
@@ -210,12 +353,8 @@ impl ExploreResult {
 /// violation.
 ///
 /// Thin wrapper over [`explore_with`] with the [`ExploreConfig::new`]
-/// defaults — both reductions **on**, serial. Pass a config with
+/// defaults — reductions **on**, serial. Pass a config with
 /// `.dedup(false).por(false)` for the unreduced enumeration.
-///
-/// A finite `max_branch_deliveries` forces the reductions off (see
-/// [`ExploreConfig::max_deliveries`]), so capped legacy calls enumerate
-/// exactly the schedules the original unreduced explorer did.
 pub fn explore<A, D, F>(
     sim: &Simulation<A>,
     fd: &D,
@@ -233,12 +372,10 @@ where
 
 /// Explores under an explicit [`ExploreConfig`], single-threaded.
 ///
-/// Honors `cfg.frontier_depth` (running the subtree jobs serially in
-/// canonical order, stopping at the first violating subtree), so its
-/// result is bitwise identical to [`explore_par`] with the same config
-/// at any thread count. `cfg.threads` is ignored here. A finite
-/// `cfg.max_deliveries` forces `dedup` and `por` off (see
-/// [`ExploreConfig::max_deliveries`]).
+/// Runs the canonical depth-first search; `cfg.threads` and
+/// `cfg.frontier_depth` are ignored here, and thanks to the shared
+/// fingerprint table the result is bitwise identical to [`explore_par`]
+/// with the same config at any thread count or frontier depth.
 pub fn explore_with<A, D, F>(
     sim: &Simulation<A>,
     fd: &D,
@@ -250,37 +387,34 @@ where
     D: FailureDetector + ?Sized,
     F: FnMut(&Simulation<A>) -> Result<(), String>,
 {
-    let cfg = &cfg.effective();
-    let frontier = expand_frontier(sim, fd, cfg, check);
-    if frontier.partial.violation.is_some() {
-        return frontier.partial;
-    }
-    let remaining = cfg.depth - cfg.frontier_depth.min(cfg.depth);
-    let mut acc = frontier.partial;
-    for (prefix, root) in frontier.jobs {
-        let sub = run_subtree(&root, fd, cfg, remaining, check);
-        // Stopping at the first violating subtree keeps the serial
-        // driver's early exit *and* matches the parallel merge exactly.
-        if merge_one(&mut acc, prefix, sub) {
-            break;
-        }
-    }
-    acc
+    let table = SharedTable::new();
+    let mut dfs = Dfs::new(fd, cfg, &table, None, check);
+    let hb = cfg.dpor.then(|| HbState::new(sim.n()));
+    let sleep = SleepSet::new();
+    dfs.node(sim, hb.as_ref(), cfg.depth, &sleep);
+    let mut result = dfs.result;
+    result.table_bytes = table.entries() * TABLE_ENTRY_BYTES;
+    result
 }
 
-/// Explores with the parallel frontier: the `cfg.frontier_depth`-step
-/// prefix tree is expanded serially, its subtrees fan out across
-/// [`Sweep::new`]`(cfg.threads)`, and the results merge in canonical
-/// prefix order.
+/// Explores with the parallel frontier: a breadth-first prefix of the
+/// tree is expanded into subtree jobs (exactly
+/// `cfg.frontier_depth` levels, or auto-sized to the worker count when
+/// it is `0`) that fan out across [`Sweep::new`]`(cfg.threads)`,
+/// work-stealing off its atomic cursor. All workers share one sharded
+/// fingerprint table, so the counters are sums of per-key contributions
+/// and the merged result is bitwise identical to [`explore_with`] for
+/// any `cfg.threads` and any frontier depth.
 ///
 /// `make_check` is called once per worker to build its checker closure;
 /// a checker must be a pure function of the checker-visible state (see
 /// [`Simulation::fingerprint`]), which is what makes the fan-out sound.
-/// The merged result — every counter and the violation script — is
-/// bitwise identical for any `cfg.threads`, including `1`: when a
-/// violation exists, it is taken from the first violating subtree in
-/// canonical order and the counters of all later subtrees are discarded
-/// (not merely "whatever finished before the abort").
+/// When any worker finds a violation the parallel counters are
+/// discarded and the exploration re-runs serially, so the reported
+/// violation script and every counter are exactly [`explore_with`]'s —
+/// not "whatever finished before the abort". (Violating explorations
+/// stop at the first violation, so the serial re-run is cheap relative
+/// to a full sweep of the state space.)
 pub fn explore_par<A, D, W, C>(
     sim: &Simulation<A>,
     fd: &D,
@@ -294,190 +428,212 @@ where
     W: Fn() -> C + Sync,
     C: FnMut(&Simulation<A>) -> Result<(), String>,
 {
-    let cfg = &cfg.effective();
+    let table = SharedTable::new();
+    let abort = AtomicBool::new(false);
+
+    // Phase 1: expand the frontier breadth-first on this thread, using
+    // the same per-node gate (claim, check, classify) as the DFS so the
+    // prefix contributes to the shared table and counters identically.
     let mut root_check = make_check();
-    let frontier = expand_frontier(sim, fd, cfg, &mut root_check);
-    drop(root_check);
-    if frontier.partial.violation.is_some() {
-        return frontier.partial;
+    let mut partial;
+    let jobs;
+    let used_levels;
+    {
+        let mut bfs = Dfs::new(fd, cfg, &table, Some(&abort), &mut root_check);
+        let (lvls, lvl_jobs) = expand_frontier(&mut bfs, sim, cfg);
+        partial = bfs.result;
+        jobs = lvl_jobs;
+        used_levels = lvls;
     }
-    let remaining = cfg.depth - cfg.frontier_depth.min(cfg.depth);
-    let (prefixes, roots): (Vec<_>, Vec<_>) = frontier.jobs.into_iter().unzip();
-    let results = Sweep::new(cfg.threads).run(roots, || {
-        let mut check = make_check();
-        move |_idx: usize, root: Simulation<A>| run_subtree(&root, fd, cfg, remaining, &mut check)
+    if partial.violation.is_some() {
+        // Canonical script + counters come from the serial driver.
+        return explore_with(sim, fd, cfg, &mut make_check());
+    }
+    let remaining = cfg.depth - used_levels;
+
+    // Phase 2: fan the subtree jobs across the sweep pool. Each worker
+    // keeps one Dfs (checker, pools) for all the jobs it steals.
+    let results = Sweep::new(cfg.threads).run(jobs, || {
+        let mut dfs = Dfs::new(fd, cfg, &table, Some(&abort), make_check());
+        move |_idx: usize, job: Job<A>| {
+            dfs.result = ExploreResult::EMPTY;
+            dfs.node(&job.sim, job.hb.as_ref(), remaining, &job.sleep);
+            mem::replace(&mut dfs.result, ExploreResult::EMPTY)
+        }
     });
-    merge(frontier.partial, prefixes.into_iter().zip(results))
+
+    if results.iter().any(|r| r.violation.is_some()) {
+        return explore_with(sim, fd, cfg, &mut make_check());
+    }
+    for sub in &results {
+        partial.absorb(sub);
+    }
+    partial.table_bytes = table.entries() * TABLE_ENTRY_BYTES;
+    partial
 }
 
-/// The serially-expanded prefix tree: counters for its internal nodes
-/// plus the frontier subtree roots in canonical (lexicographic-prefix)
-/// order.
-struct Frontier<A: Automaton> {
-    partial: ExploreResult,
-    jobs: Vec<(Vec<Choice>, Simulation<A>)>,
+/// A frontier subtree job: the state to explore plus its inherited
+/// happens-before shadow and sleep context.
+struct Job<A: Automaton> {
+    sim: Simulation<A>,
+    hb: Option<HbState>,
+    sleep: SleepSet,
 }
 
-/// Expands the root breadth-first to `cfg.frontier_depth` steps,
-/// checking (and counting) every internal node. Internal levels use no
-/// dedup or POR — the prefix tree is tiny and keeping it reduction-free
-/// keeps subtree jobs independent of each other, which is what makes
-/// the fan-out thread-count-deterministic.
+/// Expands the root breadth-first through the shared-table gate,
+/// returning `(levels expanded, jobs)`. With `cfg.frontier_depth > 0`
+/// exactly that many levels are expanded; with `0` the frontier grows
+/// until there are enough jobs to keep the worker pool busy (at least
+/// [`JOBS_PER_WORKER`] per worker), the level empties, or the depth
+/// budget runs out.
 fn expand_frontier<A, D, F>(
+    bfs: &mut Dfs<'_, A, D, F>,
     sim: &Simulation<A>,
-    fd: &D,
     cfg: &ExploreConfig,
-    check: &mut F,
-) -> Frontier<A>
+) -> (usize, Vec<Job<A>>)
 where
     A: Automaton + Clone + fmt::Debug,
     D: FailureDetector + ?Sized,
     F: FnMut(&Simulation<A>) -> Result<(), String>,
 {
-    let k = cfg.frontier_depth.min(cfg.depth);
-    let mut partial = ExploreResult::EMPTY;
-    let mut level: Vec<(Vec<Choice>, Simulation<A>)> = vec![(Vec::new(), sim.clone())];
-    for _ in 0..k {
-        let mut next: Vec<(Vec<Choice>, Simulation<A>)> = Vec::new();
-        for (prefix, node) in level {
-            partial.states += 1;
-            if let Err(msg) = check(&node) {
-                partial.violation = Some((prefix, msg));
-                return Frontier { partial, jobs: Vec::new() };
+    let target = if cfg.frontier_depth > 0 {
+        0 // explicit depth: the level count is the only stop condition
+    } else {
+        JOBS_PER_WORKER * Sweep::new(cfg.threads).effective_threads(usize::MAX)
+    };
+    let k = if cfg.frontier_depth > 0 { cfg.frontier_depth.min(cfg.depth) } else { cfg.depth };
+
+    let mut level = vec![Job {
+        sim: sim.clone(),
+        hb: cfg.dpor.then(|| HbState::new(sim.n())),
+        sleep: SleepSet::new(),
+    }];
+    let mut used = 0;
+    while used < k {
+        if cfg.frontier_depth == 0 && (level.len() >= target || level.is_empty()) {
+            break;
+        }
+        let remaining = cfg.depth - used;
+        let mut next: Vec<Job<A>> = Vec::new();
+        for job in level {
+            if bfs.result.violation.is_some() {
+                return (used, Vec::new());
             }
-            if node.all_correct_halted() {
-                partial.terminals += 1;
-                continue;
-            }
-            let schedulable = node.schedulable_set();
-            if schedulable.is_empty() {
-                partial.terminals += 1;
-                continue;
-            }
-            for p in schedulable.iter() {
-                let tried = node.network().pending_count(p).min(cfg.max_deliveries);
-                for d in 0..=tried {
-                    let choice = Choice { p, deliver: d.checked_sub(1) };
-                    let mut child = node.clone();
-                    child.step(choice, fd);
-                    let mut cp = prefix.clone();
-                    cp.push(choice);
-                    next.push((cp, child));
-                }
+            if let Gate::Expand = bfs.gate(&job.sim, remaining, &job.sleep) {
+                let mut kids = Vec::new();
+                bfs.expand_into(&job.sim, job.hb.as_ref(), &job.sleep, &mut kids);
+                next.extend(kids.into_iter().map(|c| Job { sim: c.sim, hb: c.hb, sleep: c.sleep }));
             }
         }
         level = next;
+        used += 1;
     }
-    debug_assert!(
-        level.windows(2).all(|w| w[0].0 < w[1].0),
-        "frontier prefixes must come out in canonical lexicographic order"
-    );
-    Frontier { partial, jobs: level }
+    (used, level)
 }
 
-/// Runs the reduced serial DFS over one subtree.
-fn run_subtree<A, D, F>(
-    root: &Simulation<A>,
-    fd: &D,
-    cfg: &ExploreConfig,
-    remaining: usize,
-    check: &mut F,
-) -> ExploreResult
-where
-    A: Automaton + Clone + fmt::Debug,
-    D: FailureDetector + ?Sized,
-    F: FnMut(&Simulation<A>) -> Result<(), String>,
-{
-    let mut dfs = Dfs {
-        fd,
-        max_deliveries: cfg.max_deliveries,
-        dedup: cfg.dedup,
-        por: cfg.por,
-        check,
-        table: BTreeMap::new(),
-        pool: Vec::new(),
-        path: Vec::new(),
-        result: ExploreResult::EMPTY,
-    };
-    dfs.node(root, remaining, &[]);
-    dfs.result.table_bytes =
-        dfs.table.len() as u64 * (mem::size_of::<u64>() + mem::size_of::<usize>()) as u64;
-    dfs.result
+/// Frontier auto-sizing: jobs per worker to aim for, so the
+/// work-stealing cursor can rebalance uneven subtrees.
+const JOBS_PER_WORKER: usize = 8;
+
+/// What the per-node gate (dedup claim → check → classify) decided.
+enum Gate {
+    /// Skipped: already claimed under this context at this depth.
+    Deduped,
+    /// Checked and found violating (recorded in the result).
+    Violation,
+    /// Checked; a terminal state (all correct halted / none schedulable).
+    Terminal,
+    /// Checked; out of depth budget.
+    Truncated,
+    /// Checked; expand the children.
+    Expand,
 }
 
-/// Folds subtree results into the frontier's partial result in canonical
-/// order. The first violating subtree contributes its (partial) counters
-/// and its violation, prefixed with the subtree's choice prefix; all
-/// later subtrees are discarded so the merged result is independent of
-/// how many of them happened to run.
-fn merge(
-    mut acc: ExploreResult,
-    subs: impl IntoIterator<Item = (Vec<Choice>, ExploreResult)>,
-) -> ExploreResult {
-    for (prefix, sub) in subs {
-        if merge_one(&mut acc, prefix, sub) {
-            break;
-        }
-    }
-    acc
+/// A materialized child edge: the choice taken and the child's state,
+/// happens-before shadow and sleep set (all drawn from the owning
+/// [`Dfs`]'s pools; return them with [`Dfs::recycle`]).
+struct ChildEdge<A: Automaton> {
+    choice: Choice,
+    sim: Simulation<A>,
+    hb: Option<HbState>,
+    sleep: SleepSet,
 }
 
-/// Accumulates one subtree result; returns whether it carried the
-/// violation that ends the merge.
-fn merge_one(acc: &mut ExploreResult, prefix: Vec<Choice>, sub: ExploreResult) -> bool {
-    acc.states += sub.states;
-    acc.terminals += sub.terminals;
-    acc.truncated += sub.truncated;
-    acc.deduped += sub.deduped;
-    acc.pruned += sub.pruned;
-    acc.table_bytes += sub.table_bytes;
-    if let Some((script, msg)) = sub.violation {
-        let mut full = prefix;
-        full.extend(script);
-        acc.violation = Some((full, msg));
-        return true;
-    }
-    false
-}
-
-/// The serial reduced depth-first search over one subtree.
+/// The reduced depth-first search engine. One per worker; the dedup
+/// table is shared, everything else (pools, path, counters) is local.
 struct Dfs<'a, A: Automaton, D: ?Sized, F> {
     fd: &'a D,
-    max_deliveries: usize,
-    dedup: bool,
-    por: bool,
-    check: &'a mut F,
-    /// Fingerprint → largest remaining depth already explored from it
-    /// (`usize::MAX` for dead ends, whose future is empty at any depth).
-    /// `BTreeMap`, not `HashMap`: iteration-order determinism and no
-    /// process-seeded hasher (DESIGN.md §6).
-    table: BTreeMap<u64, usize>,
-    /// Free list of simulation buffers, recycled across tree edges.
-    pool: Vec<Simulation<A>>,
+    cfg: &'a ExploreConfig,
+    check: F,
+    table: &'a SharedTable,
+    /// Cooperative stop flag for the parallel driver: set on the first
+    /// violation, checked at node entry. `None` in the serial driver
+    /// (whose early exit is the canonical one).
+    abort: Option<&'a AtomicBool>,
+    /// Free lists recycled across tree edges.
+    sim_pool: Vec<Simulation<A>>,
+    hb_pool: Vec<HbState>,
+    sleep_pool: Vec<SleepSet>,
+    edge_pool: Vec<Vec<ChildEdge<A>>>,
+    /// Scratch: per-destination pending counts before / queue growth
+    /// across the current step (dpor only).
+    pending_before: Vec<usize>,
+    grew: Vec<usize>,
+    /// Scratch: one process's delivery menu as `(envelope fp, alive
+    /// index)` pairs, sorted into canonical content order per expansion.
+    menu: Vec<(u64, usize)>,
     path: Vec<Choice>,
     result: ExploreResult,
 }
 
-impl<A, D, F> Dfs<'_, A, D, F>
+impl<'a, A, D, F> Dfs<'a, A, D, F>
 where
     A: Automaton + Clone + fmt::Debug,
     D: FailureDetector + ?Sized,
     F: FnMut(&Simulation<A>) -> Result<(), String>,
 {
-    /// Visits one state: dedup, check, classify, expand. `skip` is the
-    /// sleep set inherited from the parent — sibling choices whose
-    /// reordering with the step that reached this node is already
-    /// covered by an earlier branch.
-    fn node(&mut self, sim: &Simulation<A>, remaining: usize, skip: &[Choice]) {
-        let fp = if self.dedup {
+    fn new(
+        fd: &'a D,
+        cfg: &'a ExploreConfig,
+        table: &'a SharedTable,
+        abort: Option<&'a AtomicBool>,
+        check: F,
+    ) -> Self {
+        Dfs {
+            fd,
+            cfg,
+            check,
+            table,
+            abort,
+            sim_pool: Vec::new(),
+            hb_pool: Vec::new(),
+            sleep_pool: Vec::new(),
+            edge_pool: Vec::new(),
+            pending_before: Vec::new(),
+            grew: Vec::new(),
+            menu: Vec::new(),
+            path: Vec::new(),
+            result: ExploreResult::EMPTY,
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.abort.is_some_and(|a| a.load(Ordering::Relaxed))
+    }
+
+    /// The per-node gate: dedup claim, state count, property check,
+    /// terminal/truncation classification. Exactly one gate runs per
+    /// visit, in both the DFS and the frontier BFS, which is what keeps
+    /// their counters interchangeable.
+    fn gate(&mut self, sim: &Simulation<A>, remaining: usize, sleep: &SleepSet) -> Gate {
+        let claimed = if self.cfg.dedup {
             let fp = sim.fingerprint();
-            if let Some(&seen) = self.table.get(&fp) {
-                if seen >= remaining {
-                    self.result.deduped += 1;
-                    return;
-                }
+            let ctx = sleep.fingerprint();
+            if !self.table.claim(fp, ctx, remaining) {
+                self.result.deduped += 1;
+                return Gate::Deduped;
             }
-            Some(fp)
+            Some((fp, ctx))
         } else {
             None
         };
@@ -485,39 +641,119 @@ where
         self.result.states += 1;
         if let Err(msg) = (self.check)(sim) {
             self.result.violation = Some((self.path.clone(), msg));
-            return;
+            if let Some(abort) = self.abort {
+                abort.store(true, Ordering::Relaxed);
+            }
+            return Gate::Violation;
         }
 
-        let schedulable = sim.schedulable_set();
-        let dead_end = sim.all_correct_halted() || schedulable.is_empty();
-        if let Some(fp) = fp {
-            // A dead end's (empty) future is covered at any revisit depth.
-            self.table.insert(fp, if dead_end { usize::MAX } else { remaining });
-        }
+        let dead_end = sim.all_correct_halted() || sim.schedulable_set().is_empty();
         if dead_end {
+            if let Some((fp, ctx)) = claimed {
+                // A dead end's (empty) future is covered at any depth.
+                self.table.mark_dead_end(fp, ctx);
+            }
             self.result.terminals += 1;
-            return;
+            return Gate::Terminal;
         }
         if remaining == 0 {
             self.result.truncated += 1;
+            return Gate::Truncated;
+        }
+        Gate::Expand
+    }
+
+    /// Visits one state: gate, then expand and recurse in canonical
+    /// child order. `sleep` is the sleep context inherited along the
+    /// path (empty unless `por`/`dpor`); `hb` is the happens-before
+    /// shadow (`Some` iff `cfg.dpor`).
+    fn node(
+        &mut self,
+        sim: &Simulation<A>,
+        hb: Option<&HbState>,
+        remaining: usize,
+        sleep: &SleepSet,
+    ) {
+        if self.aborted() {
             return;
         }
+        if !matches!(self.gate(sim, remaining, sleep), Gate::Expand) {
+            return;
+        }
+        let mut kids = self.edge_pool.pop().unwrap_or_default();
+        self.expand_into(sim, hb, sleep, &mut kids);
+        for kid in kids.drain(..) {
+            if self.result.violation.is_none() && !self.aborted() {
+                self.path.push(kid.choice);
+                self.node(&kid.sim, kid.hb.as_ref(), remaining - 1, &kid.sleep);
+                self.path.pop();
+            }
+            self.recycle(kid);
+        }
+        self.edge_pool.push(kids);
+    }
 
+    /// Returns a child's buffers to the free lists.
+    fn recycle(&mut self, kid: ChildEdge<A>) {
+        self.sim_pool.push(kid.sim);
+        if let Some(hb) = kid.hb {
+            self.hb_pool.push(hb);
+        }
+        self.sleep_pool.push(kid.sleep);
+    }
+
+    /// Materializes every child of `sim` not asleep under `sleep`, in
+    /// canonical order (processes ascending; per process the no-delivery
+    /// step, then deliveries sorted by envelope fingerprint), computing
+    /// each child's sleep set (and happens-before shadow under dpor).
+    /// Updates the `pruned`/`races` counters.
+    fn expand_into(
+        &mut self,
+        sim: &Simulation<A>,
+        hb: Option<&HbState>,
+        sleep: &SleepSet,
+        out: &mut Vec<ChildEdge<A>>,
+    ) {
+        let schedulable = sim.schedulable_set();
         let t1 = sim.now().next();
         let t2 = t1.next();
-        // Earlier siblings at this node, with their quietness — the raw
-        // material of the children's sleep sets.
-        let mut earlier: Vec<(Choice, bool)> = Vec::new();
-        let mut child_skip: Vec<Choice> = Vec::new();
+        let sleep_on = self.cfg.sleep_on();
+        let n = sim.n();
+        if self.cfg.dpor {
+            self.pending_before.clear();
+            for i in 0..n {
+                self.pending_before.push(sim.network().pending_count(ProcessId(i as u32)));
+            }
+        }
+        // Earlier siblings at this node, keyed by content, with their
+        // quietness — the raw material of the children's sleep sets.
+        let mut earlier: Vec<(SleepKey, bool)> = Vec::new();
+        let mut menu = mem::take(&mut self.menu);
         for p in schedulable.iter() {
-            let tried = sim.network().pending_count(p).min(self.max_deliveries);
+            // Canonical content-ordered delivery menu: the pending
+            // messages sorted by envelope fingerprint, ties
+            // oldest-first. A finite cap keeps a prefix of *this* order,
+            // so the menu — and every sleep key derived from it — is a
+            // pure function of the queue's content multiset, never of
+            // arrival order. The concrete alive index still rides along
+            // for [`Simulation::step`] and the replayable script.
+            menu.clear();
+            menu.extend(sim.network().pending_envelope_fps(p).enumerate().map(|(i, fp)| (fp, i)));
+            menu.sort_unstable();
+            let tried = menu.len().min(self.cfg.max_deliveries);
             for d in 0..=tried {
-                let choice = Choice { p, deliver: d.checked_sub(1) };
-                if self.por && skip.contains(&choice) {
+                let (key, choice) = match d.checked_sub(1) {
+                    None => (SleepKey { p, deliver: None }, Choice { p, deliver: None }),
+                    Some(k) => {
+                        let (efp, idx) = menu[k];
+                        (SleepKey { p, deliver: Some(efp) }, Choice { p, deliver: Some(idx) })
+                    }
+                };
+                if sleep_on && sleep.contains(key) {
                     self.result.pruned += 1;
                     continue;
                 }
-                let mut child = match self.pool.pop() {
+                let mut child = match self.sim_pool.pop() {
                     Some(mut buf) => {
                         buf.clone_from(sim);
                         buf
@@ -526,40 +762,83 @@ where
                 };
                 let report = child.step(choice, self.fd);
 
-                // Sleep set for this child: every *earlier* quiet sibling
-                // of a different process, when both steps' detector
-                // outputs are stable across {t1, t2} and both processes
-                // are still alive at t2. Then `choice · sibling` reaches
-                // a state check-equivalent to `sibling · choice`, whose
-                // subtree an earlier branch already explored at the same
-                // remaining depth — see DESIGN.md for the full argument.
-                child_skip.clear();
-                if self.por
-                    && report.quiet()
+                // Whether this step commutes with quiet siblings: quiet
+                // itself, its process survives the swap window, and its
+                // detector output is stable across the two step times.
+                let commutes = report.quiet()
                     && sim.pattern().is_alive(p, t2)
-                    && self.fd.output(p, t1) == self.fd.output(p, t2)
-                {
+                    && self.fd.output(p, t1) == self.fd.output(p, t2);
+
+                // Happens-before shadow of the child (dpor only): apply
+                // the delivery and the observed queue growth.
+                let child_hb = hb.map(|parent| {
+                    self.grew.clear();
+                    for i in 0..n {
+                        let pid = ProcessId(i as u32);
+                        let after = child.network().pending_count(pid);
+                        let before = self.pending_before[i];
+                        let delivered = usize::from(choice.deliver.is_some() && pid == p);
+                        self.grew.push(after + delivered - before);
+                    }
+                    let mut h = match self.hb_pool.pop() {
+                        Some(mut buf) => {
+                            buf.clone_from(parent);
+                            buf
+                        }
+                        None => parent.clone(),
+                    };
+                    h.apply(p, choice.deliver, &self.grew);
+                    h
+                });
+
+                // The child's sleep set. Depth-1 part (por and dpor):
+                // every *earlier* quiet sibling of a different process,
+                // when both steps' detector outputs are stable across
+                // {t1, t2} and both processes survive — then
+                // `choice · sibling` reaches a state check-equivalent to
+                // `sibling · choice`, whose subtree the earlier branch
+                // already explored at the same remaining depth (see
+                // DESIGN.md). Persistent part (dpor only): inherited
+                // sleepers are carried down while the executed step
+                // commutes with them, and woken by program order or a
+                // happens-before race ([`dpor::wake_races`]).
+                let mut child_sleep = self.sleep_pool.pop().unwrap_or_default();
+                child_sleep.clear();
+                if self.cfg.dpor && commutes && !sleep.is_empty() {
+                    child_sleep.copy_from(sleep);
+                    // Sleepers whose own commutation window broke (fd
+                    // drift or crash) are dropped, not raced.
+                    child_sleep.retain(|s| {
+                        sim.pattern().is_alive(s.p, t2)
+                            && self.fd.output(s.p, t1) == self.fd.output(s.p, t2)
+                    });
+                    let woken = dpor::wake_races(
+                        &mut child_sleep,
+                        child_hb
+                            .as_ref()
+                            .expect("invariant: dpor mode always carries an hb shadow"),
+                        p,
+                        &self.grew,
+                    );
+                    self.result.races += woken;
+                }
+                if sleep_on && commutes {
                     for &(prev, prev_quiet) in &earlier {
                         if prev_quiet
                             && prev.p != p
                             && sim.pattern().is_alive(prev.p, t2)
                             && self.fd.output(prev.p, t1) == self.fd.output(prev.p, t2)
                         {
-                            child_skip.push(prev);
+                            child_sleep.insert(prev);
                         }
                     }
                 }
 
-                self.path.push(choice);
-                self.node(&child, remaining - 1, &child_skip);
-                self.path.pop();
-                self.pool.push(child);
-                if self.result.violation.is_some() {
-                    return;
-                }
-                earlier.push((choice, report.quiet()));
+                out.push(ChildEdge { choice, sim: child, hb: child_hb, sleep: child_sleep });
+                earlier.push((key, report.quiet()));
             }
         }
+        self.menu = menu;
     }
 }
 
@@ -608,6 +887,7 @@ mod tests {
         assert_eq!(res.truncated, 0);
         assert_eq!(res.deduped, 0);
         assert_eq!(res.pruned, 0);
+        assert_eq!(res.races, 0);
         assert_eq!(res.table_bytes, 0);
     }
 
@@ -672,31 +952,35 @@ mod tests {
     }
 
     #[test]
-    fn finite_delivery_cap_forces_reductions_off() {
-        // Capped enumeration samples the first `cap` pending messages in
-        // arrival order — a projection the multiset fingerprint does not
-        // determine and sleep-set reordering does not preserve — so a
-        // config requesting the reductions under a finite cap must run
-        // the plain capped enumeration instead.
+    fn finite_delivery_cap_keeps_reductions_on_and_sound() {
+        // Under a finite cap the reductions used to be forced off; with
+        // the canonical content-ordered menu they now run — and must
+        // agree with both the capped and the *uncapped* unreduced
+        // enumeration on the verdict.
         let pattern = FailurePattern::all_correct(2);
         let sim = Simulation::new(vec![Sender::default(); 2], pattern);
         let mut c1 = |_: &Simulation<Sender>| Ok(());
-        let requested =
+        let reduced_capped =
             explore_with(&sim, &NoDetector, &ExploreConfig::new(4).max_deliveries(1), &mut c1);
         let mut c2 = |_: &Simulation<Sender>| Ok(());
-        let explicit = explore_with(&sim, &NoDetector, &unreduced(4).max_deliveries(1), &mut c2);
-        assert_eq!(requested, explicit);
-        assert_eq!(requested.deduped, 0);
-        assert_eq!(requested.pruned, 0);
-        assert_eq!(requested.table_bytes, 0);
-        // Same forcing on the parallel-frontier path.
+        let plain_capped =
+            explore_with(&sim, &NoDetector, &unreduced(4).max_deliveries(1), &mut c2);
+        let mut c3 = |_: &Simulation<Sender>| Ok(());
+        let plain_uncapped = explore_with(&sim, &NoDetector, &unreduced(4), &mut c3);
+        assert_eq!(reduced_capped.ok(), plain_capped.ok());
+        assert_eq!(reduced_capped.ok(), plain_uncapped.ok());
+        // The reductions really ran and really reduced.
+        assert!(reduced_capped.deduped + reduced_capped.pruned > 0);
+        assert!(reduced_capped.table_bytes > 0);
+        assert!(reduced_capped.states < plain_capped.states);
+        // And the parallel driver agrees bitwise with the serial one.
         let par = explore_par(
             &sim,
             &NoDetector,
             &ExploreConfig::new(4).max_deliveries(1).frontier_depth(2).threads(2),
             || |_: &Simulation<Sender>| Ok(()),
         );
-        assert_eq!(par, explicit);
+        assert_eq!(par, reduced_capped);
     }
 
     #[test]
@@ -714,6 +998,37 @@ mod tests {
         assert!(por_only.pruned > 0);
         assert!(por_only.states < full.states);
         assert_eq!(por_only.ok(), full.ok());
+    }
+
+    #[test]
+    fn dpor_prunes_at_least_as_much_as_sleep_sets() {
+        let pattern = FailurePattern::all_correct(2);
+        let sim = Simulation::new(vec![Sender::default(); 2], pattern);
+        let mut c1 = |_: &Simulation<Sender>| Ok(());
+        let full = explore_with(&sim, &NoDetector, &unreduced(5), &mut c1);
+        let mut c2 = |_: &Simulation<Sender>| Ok(());
+        let por = explore_with(&sim, &NoDetector, &ExploreConfig::new(5), &mut c2);
+        let mut c3 = |_: &Simulation<Sender>| Ok(());
+        let dpor = explore_with(&sim, &NoDetector, &ExploreConfig::new(5).dpor(true), &mut c3);
+        assert_eq!(dpor.ok(), full.ok());
+        assert!(dpor.states <= por.states, "dpor {} !<= por {}", dpor.states, por.states);
+        assert!(dpor.states < full.states);
+        // Persistent sleep sets carried past a send into the sleeper's
+        // queue must record the race that woke them.
+        assert!(dpor.races > 0, "expected happens-before race wake-ups");
+    }
+
+    #[test]
+    fn dpor_terminals_match_the_unreduced_enumeration() {
+        // Every Mazurkiewicz trace must still be represented: the
+        // deciders' four distinct decision-time terminals all survive
+        // dpor (same assertion the por reduction honors).
+        let pattern = FailurePattern::all_correct(2);
+        let sim = Simulation::new(vec![TwoStepDecider::default(); 2], pattern);
+        let mut c = |_: &Simulation<TwoStepDecider>| Ok(());
+        let dpor = explore_with(&sim, &NoDetector, &ExploreConfig::new(4).dpor(true), &mut c);
+        assert!(dpor.ok());
+        assert!(dpor.terminals >= 4);
     }
 
     #[test]
@@ -749,7 +1064,7 @@ mod tests {
             }
         };
         let res = explore_with(&sim, &NoDetector, &unreduced(6), &mut check);
-        let (script, _) = res.violation.expect("must find the violation");
+        let (script, _) = res.violation.clone().expect("must find the violation");
         // Unreduced DFS visits scripts in lexicographic order (ascending
         // siblings, prefixes first), so the first violation found is the
         // lex-least violating script: p0 halts after two steps, making
@@ -758,8 +1073,8 @@ mod tests {
         let expected: Vec<Choice> =
             [0, 0, 1, 1].into_iter().map(|p| Choice { p: ProcessId(p), deliver: None }).collect();
         assert_eq!(script, expected);
-        // The frontier fan-out's canonical merge must settle on the same
-        // script.
+        // The parallel driver re-runs serially on violation, so it must
+        // settle on the same script (and identical counters).
         let par =
             explore_par(&sim, &NoDetector, &unreduced(6).frontier_depth(2).threads(2), || {
                 |s: &Simulation<TwoStepDecider>| {
@@ -770,25 +1085,37 @@ mod tests {
                     }
                 }
             });
-        let (par_script, _) = par.violation.expect("must find the violation");
-        assert_eq!(script, par_script);
+        assert_eq!(par.violation.as_ref().map(|(s, _)| s.as_slice()), Some(expected.as_slice()));
+        assert_eq!(par, res);
     }
 
     #[test]
     fn frontier_and_thread_count_leave_the_result_identical() {
         let pattern = FailurePattern::all_correct(2);
         let sim = Simulation::new(vec![Sender::default(); 2], pattern);
-        let cfg = ExploreConfig::new(5).frontier_depth(2);
         let make_check = || |_: &Simulation<Sender>| Ok(());
-        let reference = explore_par(&sim, &NoDetector, &cfg.threads(1), make_check);
-        for threads in [2, 4, 8] {
-            let out = explore_par(&sim, &NoDetector, &cfg.threads(threads), make_check);
-            assert_eq!(out, reference, "threads = {threads}");
+        for cfg in [
+            ExploreConfig::new(5),
+            ExploreConfig::new(5).dpor(true),
+            unreduced(5),
+            ExploreConfig::new(5).max_deliveries(1),
+        ] {
+            let mut serial_check = make_check();
+            let serial = explore_with(&sim, &NoDetector, &cfg, &mut serial_check);
+            // Explicit frontier depths and the auto-sized frontier
+            // (frontier_depth 0) must all match the serial counters.
+            for frontier in [0, 2, 3] {
+                for threads in [1, 2, 8] {
+                    let out = explore_par(
+                        &sim,
+                        &NoDetector,
+                        &cfg.frontier_depth(frontier).threads(threads),
+                        make_check,
+                    );
+                    assert_eq!(out, serial, "cfg {cfg:?} frontier {frontier} threads {threads}");
+                }
+            }
         }
-        // The serial driver agrees with the parallel one, config held fixed.
-        let mut serial_check = |_: &Simulation<Sender>| Ok(());
-        let serial = explore_with(&sim, &NoDetector, &cfg, &mut serial_check);
-        assert_eq!(serial, reference);
     }
 
     #[test]
@@ -814,6 +1141,7 @@ mod tests {
         let pattern = FailurePattern::all_correct(2);
         let sim = Simulation::new(vec![TwoStepDecider::default(); 2], pattern);
         let fp = sim.fingerprint();
+        let ctx = SleepSet::new().fingerprint();
         // "p1 decided" needs two p1 steps — unreachable within 1 step.
         let mut check = |s: &Simulation<TwoStepDecider>| {
             if s.trace().decision_of(ProcessId(1)).is_some() {
@@ -822,23 +1150,15 @@ mod tests {
                 Ok(())
             }
         };
-        let mut dfs = Dfs {
-            fd: &NoDetector,
-            max_deliveries: usize::MAX,
-            dedup: true,
-            por: false,
-            check: &mut check,
-            table: BTreeMap::new(),
-            pool: Vec::new(),
-            path: Vec::new(),
-            result: ExploreResult::EMPTY,
-        };
-        dfs.table.insert(fp, 1);
-        dfs.node(&sim, 3, &[]);
+        let cfg = ExploreConfig::new(3).por(false);
+        let table = SharedTable::new();
+        assert!(table.claim(fp, ctx, 1)); // seed: explored at budget 1
+        let mut dfs = Dfs::new(&NoDetector, &cfg, &table, None, &mut check);
+        dfs.node(&sim, None, 3, &SleepSet::new());
         assert_eq!(dfs.result.deduped, 0, "larger remaining budget must re-explore");
         let (script, _) = dfs.result.violation.expect("violation beyond the seeded budget");
         assert_eq!(script.iter().filter(|c| c.p == ProcessId(1)).count(), 2);
-        assert_eq!(dfs.table.get(&fp), Some(&3), "re-exploring must raise the recorded budget");
+        assert_eq!(table.get(fp, ctx), Some(3), "re-exploring must raise the recorded budget");
 
         // A revisit at equal (or smaller) remaining budget is skipped.
         let mut check2 = |s: &Simulation<TwoStepDecider>| {
@@ -848,19 +1168,10 @@ mod tests {
                 Ok(())
             }
         };
-        let mut dfs2 = Dfs {
-            fd: &NoDetector,
-            max_deliveries: usize::MAX,
-            dedup: true,
-            por: false,
-            check: &mut check2,
-            table: BTreeMap::new(),
-            pool: Vec::new(),
-            path: Vec::new(),
-            result: ExploreResult::EMPTY,
-        };
-        dfs2.table.insert(fp, 3);
-        dfs2.node(&sim, 3, &[]);
+        let table2 = SharedTable::new();
+        assert!(table2.claim(fp, ctx, 3));
+        let mut dfs2 = Dfs::new(&NoDetector, &cfg, &table2, None, &mut check2);
+        dfs2.node(&sim, None, 3, &SleepSet::new());
         assert_eq!(dfs2.result.deduped, 1);
         assert_eq!(dfs2.result.states, 0);
         assert_eq!(dfs2.result.violation, None);
@@ -878,8 +1189,32 @@ mod tests {
             let full = explore_with(&sim, &NoDetector, &unreduced(depth), &mut c1);
             let mut c2 = |_: &Simulation<Sender>| Ok(());
             let red = explore_with(&sim, &NoDetector, &ExploreConfig::new(depth), &mut c2);
+            let mut c3 = |_: &Simulation<Sender>| Ok(());
+            let dp =
+                explore_with(&sim, &NoDetector, &ExploreConfig::new(depth).dpor(true), &mut c3);
             assert_eq!(full.ok(), red.ok(), "depth {depth}");
+            assert_eq!(full.ok(), dp.ok(), "depth {depth}");
             assert!(red.states <= full.states, "depth {depth}");
+            assert!(dp.states <= red.states, "depth {depth}");
         }
+    }
+
+    #[test]
+    fn sleep_context_splits_dedup_keys() {
+        // Two visits of one state under different sleep contexts must
+        // not merge: the context with the larger sleep set explores a
+        // subset, and merging would let it shadow schedules only the
+        // other context covers.
+        let pattern = FailurePattern::all_correct(2);
+        let sim = Simulation::new(vec![Sender::default(); 2], pattern);
+        let fp = sim.fingerprint();
+        let mut ctx_sleep = SleepSet::new();
+        ctx_sleep.insert(SleepKey { p: ProcessId(1), deliver: None });
+        let table = SharedTable::new();
+        assert!(table.claim(fp, ctx_sleep.fingerprint(), 3));
+        // Same state, empty context: a different key, so it claims too.
+        assert!(table.claim(fp, SleepSet::new().fingerprint(), 3));
+        // Same state, same context: dedup.
+        assert!(!table.claim(fp, ctx_sleep.fingerprint(), 3));
     }
 }

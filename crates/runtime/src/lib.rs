@@ -57,10 +57,12 @@
 
 mod automaton;
 mod diagram;
+mod dpor;
 mod explore;
 #[cfg(test)]
 mod fairness_tests;
 mod fingerprint;
+mod hb;
 mod network;
 pub mod repro;
 mod scheduler;
@@ -71,8 +73,10 @@ mod trace;
 
 pub use automaton::{Automaton, Effects, Envelope, MsgId, OpEvent, StepInput};
 pub use diagram::{column_time, render_diagram, render_summary, MAX_COLUMNS};
+pub use dpor::{wake_process, wake_races, SleepKey, SleepSet};
 pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResult};
 pub use fingerprint::{fnv1a_64, Fnv64};
+pub use hb::{HbState, VClock};
 pub use network::Network;
 pub use repro::{
     shrink_schedule, Schedule, ScheduleError, ShrinkOptions, ShrinkReport, SCHEDULE_VERSION,

@@ -372,16 +372,49 @@ impl<M: fmt::Debug> Network<M> {
     /// Message ids and `sent_at` stamps are harness metadata — excluded,
     /// so interleavings that merely reorder equal sends coincide.
     ///
-    /// The multiset view is only faithful when every pending message is
-    /// a candidate delivery; under a finite delivery cap the explorer
-    /// samples queues by arrival order and must not dedup on this hash
-    /// (`ExploreConfig::effective` forces the reductions off there — see
-    /// `Simulation::fingerprint`).
+    /// The multiset view is faithful for the explorer because delivery
+    /// menus are enumerated in canonical content order (the sorted
+    /// [`Network::pending_envelope_fps`]): even a finite delivery cap
+    /// samples a content-order prefix the multiset determines. An
+    /// order-sensitive sibling, [`Network::fingerprint_ordered_into`],
+    /// exists for callers that distinguish arrival order.
     pub(crate) fn fingerprint_into(&self, h: &mut Fnv64) {
         for q in &self.queues {
             h.write_usize(q.len());
             h.write_u64(q.multiset_fingerprint());
         }
+        self.counters_into(h);
+    }
+
+    /// Order-sensitive variant of [`Network::fingerprint_into`]: each
+    /// pending queue is hashed as the exact arrival-order **sequence** of
+    /// per-envelope hashes instead of a multiset, so two equal sequence
+    /// fingerprints mean the queues agree envelope-for-envelope. Uses
+    /// the same memoized per-[`Slot`] hashes as the multiset view, so
+    /// the per-send hashing cost is shared.
+    pub(crate) fn fingerprint_ordered_into(&self, h: &mut Fnv64) {
+        for q in &self.queues {
+            h.write_usize(q.len());
+            for s in q.iter() {
+                h.write_u64(s.envelope_fp());
+            }
+        }
+        self.counters_into(h);
+    }
+
+    /// The envelope fingerprints of the messages pending at `to`, in
+    /// arrival (alive-index) order. The explorer sorts these to build
+    /// its canonical content-ordered delivery menu, which is what lets
+    /// it dedup on the order-insensitive multiset fingerprint even with
+    /// sleep sets and delivery caps on (see `crate::explore`). Uses the
+    /// same memoized per-[`Slot`] hashes as the fingerprint flavors.
+    pub(crate) fn pending_envelope_fps(&self, to: ProcessId) -> impl Iterator<Item = u64> + '_ {
+        self.queues[to.index()].iter().map(Slot::envelope_fp)
+    }
+
+    /// The global-counter and fault-state tail both fingerprint flavors
+    /// share.
+    fn counters_into(&self, h: &mut Fnv64) {
         h.write_u64(self.sent_count);
         h.write_u64(self.delivered_count);
         // Fault state is hashed only when an adversary is installed, so
@@ -399,23 +432,31 @@ impl<M: fmt::Debug> Network<M> {
     }
 }
 
-impl<M: fmt::Debug> ArrivalQueue<M> {
-    /// Wrapping sum of the alive slots' `(sender, payload)` hashes, each
-    /// memoized in its [`Slot`] on first use. Shared (fanned) payloads
-    /// hash their `Debug` rendering just like inline ones, so the batched
-    /// representation leaves every fingerprint bit-identical.
-    fn multiset_fingerprint(&self) -> u64 {
-        self.slots[self.head..].iter().flatten().fold(0u64, |acc, s| {
-            let fp = s.fp.get().unwrap_or_else(|| {
-                let mut eh = Fnv64::new();
-                eh.write_u64(u64::from(s.from.0));
-                eh.write_debug(s.payload.get());
-                let fp = eh.finish();
-                s.fp.set(Some(fp));
-                fp
-            });
-            acc.wrapping_add(fp)
+impl<M: fmt::Debug> Slot<M> {
+    /// The `(sender, payload)` hash of this envelope, memoized in the
+    /// slot on first use (and carried across clones — see [`Slot`]).
+    /// Shared (fanned) payloads hash their `Debug` rendering just like
+    /// inline ones, so the batched representation leaves every
+    /// fingerprint bit-identical.
+    fn envelope_fp(&self) -> u64 {
+        self.fp.get().unwrap_or_else(|| {
+            let mut eh = Fnv64::new();
+            eh.write_u64(u64::from(self.from.0));
+            eh.write_debug(self.payload.get());
+            let fp = eh.finish();
+            self.fp.set(Some(fp));
+            fp
         })
+    }
+}
+
+impl<M: fmt::Debug> ArrivalQueue<M> {
+    /// Wrapping sum of the alive slots' memoized envelope hashes.
+    fn multiset_fingerprint(&self) -> u64 {
+        self.slots[self.head..]
+            .iter()
+            .flatten()
+            .fold(0u64, |acc, s| acc.wrapping_add(s.envelope_fp()))
     }
 }
 

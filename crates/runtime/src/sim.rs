@@ -748,15 +748,35 @@ impl<A: Automaton + fmt::Debug> Simulation<A> {
     ///
     /// Queues hash as multisets because two interleavings that send the
     /// same messages in different order produce arrival-permuted queues:
-    /// delivery-by-index over permuted queues generates permuted but
-    /// pairwise check-equivalent children, so merging the states is sound
-    /// and is exactly what makes commuting-send diamonds collapse. That
-    /// argument needs the **full** delivery fan-out: under a finite
-    /// `max_deliveries` cap only an arrival-order prefix of each queue is
-    /// enumerated, permuted queues expand different capped child sets,
-    /// and the explorer forces its reductions off (see
-    /// `ExploreConfig::max_deliveries`).
+    /// the explorer enumerates deliveries in canonical *content* order
+    /// (sorted by envelope fingerprint) and keys sleep sets by content,
+    /// so permuted queues expand pairwise check-equivalent children with
+    /// identical sleep contexts — merging the states is sound (even
+    /// under a finite `max_deliveries` cap, whose menu is a
+    /// content-order prefix) and is exactly what makes commuting-send
+    /// diamonds collapse.
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_impl(false)
+    }
+
+    /// Order-sensitive sibling of [`Simulation::fingerprint`]: identical
+    /// except that each network queue is hashed as its exact
+    /// arrival-order **sequence** of envelopes rather than a multiset.
+    ///
+    /// Equal ordered fingerprints mean the two states agree
+    /// envelope-for-envelope per queue — strictly finer than the
+    /// multiset view, at the price of *not* collapsing commuting-send
+    /// diamonds whose queues are permutations of each other. The
+    /// explorer's canonical content-ordered enumeration made the
+    /// multiset hash sound for dedup everywhere, so this flavor is not
+    /// on the dedup path; it remains the right key for callers that do
+    /// distinguish arrival order (differential tooling, queue-order
+    /// diagnostics).
+    pub fn fingerprint_ordered(&self) -> u64 {
+        self.fingerprint_impl(true)
+    }
+
+    fn fingerprint_impl(&self, ordered: bool) -> u64 {
         let mut h = Fnv64::new();
         h.write_u8(b'T');
         h.write_u64(self.now.0);
@@ -785,7 +805,11 @@ impl<A: Automaton + fmt::Debug> Simulation<A> {
             h.write_debug(a);
         }
         h.write_u8(b'N');
-        self.net.fingerprint_into(&mut h);
+        if ordered {
+            self.net.fingerprint_ordered_into(&mut h);
+        } else {
+            self.net.fingerprint_into(&mut h);
+        }
         h.write_u8(b'R');
         self.trace.fingerprint_into(&mut h);
         h.finish()

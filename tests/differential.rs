@@ -11,13 +11,17 @@
 use sih::agreement::{
     check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes,
 };
-use sih::detectors::{Sigma, SigmaK, WeakSigma, WeakSigmaK};
-use sih::model::{FailureDetector, FailurePattern, ProcessId, ProcessSet, Time};
+use sih::detectors::{Sigma, SigmaK, SigmaS, WeakSigma, WeakSigmaK};
+use sih::model::{FailureDetector, FailurePattern, OpKind, ProcessId, ProcessSet, Time, Value};
+use sih::registers::{abd_processes, check_linearizable};
 use sih::runtime::sweep::Sweep;
-use sih::runtime::{explore, FairScheduler, Simulation};
+use sih::runtime::{
+    explore, explore_with, Automaton, ExploreConfig, ExploreResult, FairScheduler, Simulation,
+};
 use sih_lab::repro::{
     capture_from_script, record_first_violation, replay, ReplayMode, PANIC_VERDICT,
 };
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 const SEEDS: u64 = 64;
@@ -269,4 +273,145 @@ fn engines_agree_that_validity_needs_no_weakening_to_check() {
         }
     });
     assert!(hits.iter().any(|&h| h), "sweep missed the planted invariant");
+}
+
+// ---------------------------------------------------------------------------
+// Reduction-engine differential: unreduced vs sleep sets vs source-DPOR.
+//
+// The three reduction strengths must agree not just on the verdict but on
+// the *set of terminal states reached* — the Mazurkiewicz-trace soundness
+// claim made concrete. Terminal states are collected by fingerprint from
+// inside the checker (the explorer calls it on every non-deduped visit;
+// a deduped revisit was fingerprint-identical to its first visit, so set
+// semantics are unaffected), and commuting quiet steps reach the *same*
+// state either side of the swap, so a sound reduction may skip revisits
+// but never lose a member of the set.
+// ---------------------------------------------------------------------------
+
+/// Runs `explore_with` and also collects the fingerprint set of end
+/// states: terminal (all correct halted, or nobody schedulable — the
+/// explorer's own dead-end condition) or sitting exactly on the depth
+/// bound (every step advances `now`, so the bound is visible to the
+/// checker as `now == depth`). Both kinds are preserved by a sound
+/// reduction: a pruned schedule has a commuted representative of the
+/// same length reaching the identical state.
+fn explore_terminal_digest<A, D>(
+    sim: &Simulation<A>,
+    fd: &D,
+    cfg: &ExploreConfig,
+    depth: usize,
+    mut check: impl FnMut(&Simulation<A>) -> Result<(), String>,
+) -> (ExploreResult, BTreeSet<u64>)
+where
+    A: Automaton + Clone + std::fmt::Debug,
+    D: FailureDetector + ?Sized,
+{
+    let horizon = Time(sim.now().0 + depth as u64);
+    let mut terminals = BTreeSet::new();
+    let mut wrapped = |s: &Simulation<A>| {
+        if s.all_correct_halted() || s.schedulable_set().is_empty() || s.now() == horizon {
+            terminals.insert(s.fingerprint());
+        }
+        check(s)
+    };
+    let result = explore_with(sim, fd, cfg, &mut wrapped);
+    (result, terminals)
+}
+
+/// The three engine configurations under test, strongest last.
+fn engine_ladder(depth: usize) -> [(&'static str, ExploreConfig); 3] {
+    [
+        ("unreduced", ExploreConfig::new(depth).dedup(false).por(false)),
+        ("sleep-set", ExploreConfig::new(depth)),
+        ("source-dpor", ExploreConfig::new(depth).dpor(true)),
+    ]
+}
+
+/// Asserts the full ladder agrees on verdict and terminal set for one
+/// scenario, and that each stronger engine visits no more states.
+fn assert_ladder_agrees<A, D>(
+    scenario: &str,
+    depth: usize,
+    sim: &Simulation<A>,
+    fd: &D,
+    make_check: impl Fn() -> Box<dyn FnMut(&Simulation<A>) -> Result<(), String>>,
+) where
+    A: Automaton + Clone + std::fmt::Debug,
+    D: FailureDetector + ?Sized,
+{
+    let mut base: Option<(bool, BTreeSet<u64>)> = None;
+    let mut prev_states = u64::MAX;
+    for (name, cfg) in engine_ladder(depth) {
+        let (result, terminals) = explore_terminal_digest(sim, fd, &cfg, depth, make_check());
+        assert!(!terminals.is_empty(), "{scenario}/{name}: no terminal states reached");
+        match &base {
+            None => {
+                prev_states = result.states;
+                base = Some((result.ok(), terminals));
+            }
+            Some((ok, reference)) => {
+                assert_eq!(result.ok(), *ok, "{scenario}/{name}: verdict diverged");
+                assert_eq!(
+                    &terminals, reference,
+                    "{scenario}/{name}: terminal fingerprint set diverged"
+                );
+                assert!(
+                    result.states <= prev_states,
+                    "{scenario}/{name}: {} states > weaker engine's {prev_states}",
+                    result.states
+                );
+                prev_states = result.states;
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_ladder_agrees_on_fig2() {
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let sigma = Sigma::new(ProcessId(0), ProcessId(1), &pattern, 0);
+    let proposals = distinct_proposals(n);
+    let sim = Simulation::new(fig2_processes(&proposals), pattern);
+    assert_ladder_agrees("fig2", 8, &sim, &sigma, || {
+        let proposals = proposals.clone();
+        Box::new(move |s: &Simulation<_>| {
+            check_k_agreement_safety(s.trace(), &proposals, n - 1).map_err(|e| e.to_string())
+        })
+    });
+}
+
+#[test]
+fn reduction_ladder_agrees_on_fig4() {
+    let n = 3;
+    let k = 1;
+    let active: ProcessSet = (0..2u32).map(ProcessId).collect();
+    let pattern = FailurePattern::all_correct(n);
+    let det = SigmaK::new(active, &pattern, 0);
+    let proposals = distinct_proposals(n);
+    let sim = Simulation::new(fig4_processes(&proposals), pattern);
+    assert_ladder_agrees("fig4", 7, &sim, &det, || {
+        let proposals = proposals.clone();
+        Box::new(move |s: &Simulation<_>| {
+            check_k_agreement_safety(s.trace(), &proposals, n - k).map_err(|e| e.to_string())
+        })
+    });
+}
+
+#[test]
+fn reduction_ladder_agrees_on_abd() {
+    // The ABD register (a different automaton family: quorum phases,
+    // per-message state machines) under a sound Σ_S — linearizability as
+    // the checked property.
+    let n = 3;
+    let pattern = FailurePattern::all_correct(n);
+    let s: ProcessSet = (0..n as u32).map(ProcessId).collect();
+    let det = SigmaS::new(s, &pattern, 0);
+    let scripts = vec![vec![OpKind::Write(Value(7))], vec![OpKind::Read], vec![]];
+    let sim = Simulation::new(abd_processes(s, n, scripts), pattern);
+    assert_ladder_agrees("abd", 6, &sim, &det, || {
+        Box::new(|s: &Simulation<_>| {
+            check_linearizable(&s.trace().op_records(), None).map_err(|e| e.to_string())
+        })
+    });
 }

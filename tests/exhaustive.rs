@@ -62,12 +62,35 @@ fn fig4_safety_over_all_schedules_n3_k1() {
     let result = explore(&sim, &det, 8, 3, &mut check);
     assert!(result.ok(), "violation: {:?}", result.violation);
     assert!(result.states > 0 && result.terminals > 0);
-    // A finite delivery cap forces both reductions off (capped delivery
-    // sampling is arrival-order-sensitive; the multiset fingerprint is
-    // not), so this verdict covers every capped schedule by plain
-    // enumeration — no dedup/POR equivalence argument involved.
-    assert_eq!(result.deduped, 0, "dedup must be forced off under a finite cap");
-    assert_eq!(result.pruned, 0, "POR must be forced off under a finite cap");
+    // Reductions stay ON under a finite delivery cap: capped dedup keys
+    // on the arrival-order-sensitive fingerprint (equal ordered queues ⇒
+    // identical capped delivery menus forever), and sleep sets are
+    // cap-stable because commuting a sibling step past a sleeping choice
+    // never renumbers the delivery index it names. Both must have fired…
+    assert!(result.deduped > 0, "dedup never fired under the cap: {result:?}");
+    assert!(result.pruned > 0, "sleep sets never fired under the cap: {result:?}");
+    assert!(result.table_bytes > 0);
+
+    // …and the capped reduced verdict must agree with the capped *and*
+    // the uncapped unreduced enumerations (the ground truth no
+    // equivalence argument touches).
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - k).map_err(|e| e.to_string())
+    };
+    let capped_plain = explore_with(
+        &sim,
+        &det,
+        &ExploreConfig::new(8).max_deliveries(3).dedup(false).por(false),
+        &mut check,
+    );
+    assert_eq!(result.ok(), capped_plain.ok(), "capped reduced vs capped unreduced");
+    assert!(result.states < capped_plain.states, "cap-sound reductions did nothing");
+    let mut check = |s: &Simulation<_>| {
+        check_k_agreement_safety(s.trace(), &proposals, n - k).map_err(|e| e.to_string())
+    };
+    let uncapped_plain =
+        explore_with(&sim, &det, &ExploreConfig::new(8).dedup(false).por(false), &mut check);
+    assert_eq!(result.ok(), uncapped_plain.ok(), "capped reduced vs uncapped unreduced");
 }
 
 #[test]
@@ -159,12 +182,21 @@ fn parallel_exploration_is_thread_count_independent() {
         }
     };
 
-    let cfg = ExploreConfig::new(9).frontier_depth(3);
-    let serial = explore_with(&sim, &sigma, &cfg, &mut make_check());
-    for threads in [1, 2, 8] {
-        let par = explore_par(&sim, &sigma, &cfg.threads(threads), make_check);
-        assert_eq!(par, serial, "threads={threads} diverged from the serial run");
+    for cfg in [
+        ExploreConfig::new(9).frontier_depth(3),
+        // Source-DPOR carries sleep sets and vector clocks into the
+        // frontier jobs; its counters must stay worker-count-invariant
+        // too — including with the auto-sized frontier (depth 0).
+        ExploreConfig::new(9).dpor(true).frontier_depth(3),
+        ExploreConfig::new(9).dpor(true),
+    ] {
+        let serial = explore_with(&sim, &sigma, &cfg, &mut make_check());
+        for threads in [1, 2, 8] {
+            let par = explore_par(&sim, &sigma, &cfg.threads(threads), make_check);
+            assert_eq!(par, serial, "threads={threads} diverged from the serial run ({cfg:?})");
+        }
     }
+    let cfg = ExploreConfig::new(9).frontier_depth(3);
 
     // Same determinism when a violation is present: the planted mutant's
     // script must not depend on the thread count either.
