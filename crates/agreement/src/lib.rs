@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod ablation;
+mod byzantine;
 mod consensus;
 mod fig2;
 mod fig4;
 mod spec;
 
 pub use ablation::{fig2_ablation_violation, Fig2WithoutPhase2};
+pub use byzantine::{equivocator_processes, Equivocator};
 pub use consensus::{paxos_processes, PaxosConsensus, PaxosMsg};
 pub use fig2::{fig2_processes, Fig2Msg, Fig2SetAgreement};
 pub use fig4::{fig4_processes, Fig4Msg, Fig4SetAgreement};

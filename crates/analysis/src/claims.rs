@@ -35,7 +35,18 @@ pub const CLAIMS: [(&str, &str, &str, &[&str]); 10] = [
 /// R-claim owns them — harness-level robustness experiments. Each needs
 /// a dispatch arm (`"<id>" =>`) and a runner function (`fn <id>_*`) in
 /// `crates/lab/src/experiments.rs`, exactly like the claim experiments.
-pub const STANDALONE_EXPERIMENTS: [&str; 1] = ["faults"];
+pub const STANDALONE_EXPERIMENTS: [&str; 2] = ["faults", "byzantine"];
+
+/// The scripted protocol attacks of the Byzantine tier. Each wrapper
+/// type must be exercised end to end: a workload-registry entry in
+/// `crates/lab/src/repro.rs` (so the attack records, shrinks and
+/// replays) and a `lab byzantine` matrix cell in
+/// `crates/lab/src/byzantine.rs` (so the armor ladder measures it).
+/// Adding an attack script without both artifacts fails this check.
+pub const ATTACK_SCRIPTS: [(&str, &str, &str, &str); 2] = [
+    ("Equivocator", "crates/agreement/src/byzantine.rs", "fig2-byz-equivocate", "equivocate"),
+    ("SplitAckForger", "crates/registers/src/byzantine.rs", "abd-byz-split-ack", "split-ack"),
+];
 
 /// Runs the completeness check against the workspace at `root`.
 ///
@@ -105,7 +116,47 @@ pub fn check_claims(root: &Path) -> (Vec<ClaimEvidence>, Vec<Finding>) {
             });
         }
     }
+    check_attack_scripts(root, &mut findings);
     (evidence, findings)
+}
+
+/// Every scripted protocol attack must be wired through both harness
+/// layers: the repro workload registry and the byzantine matrix.
+fn check_attack_scripts(root: &Path, findings: &mut Vec<Finding>) {
+    let repro_src = read_or_report(root, "crates/lab/src/repro.rs", findings);
+    let matrix_src = read_or_report(root, "crates/lab/src/byzantine.rs", findings);
+    for (wrapper, source, workload, attack) in ATTACK_SCRIPTS {
+        let defined =
+            read_or_report(root, source, findings).contains(&format!("pub struct {wrapper}"));
+        if !defined {
+            findings.push(Finding {
+                rule: "attack-script-unregistered",
+                file: source.to_string(),
+                line: 0,
+                message: format!("attack script {wrapper} is not defined in {source}"),
+            });
+        }
+        if !(repro_src.contains(&format!("name: \"{workload}\"")) && repro_src.contains(wrapper)) {
+            findings.push(Finding {
+                rule: "attack-script-unregistered",
+                file: "crates/lab/src/repro.rs".into(),
+                line: 0,
+                message: format!(
+                    "attack script {wrapper} has no workload-registry entry `{workload}`"
+                ),
+            });
+        }
+        if !matrix_src.contains(&format!("attack: \"{attack}\"")) {
+            findings.push(Finding {
+                rule: "attack-script-unregistered",
+                file: "crates/lab/src/byzantine.rs".into(),
+                line: 0,
+                message: format!(
+                    "attack script {wrapper} has no `lab byzantine` matrix cell `{attack}`"
+                ),
+            });
+        }
+    }
 }
 
 fn read_or_report(root: &Path, rel: &str, findings: &mut Vec<Finding>) -> String {

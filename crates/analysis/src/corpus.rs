@@ -16,7 +16,7 @@ use std::path::Path;
 /// The workload checkers a corpus schedule may name — mirrors the
 /// `WORKLOADS` registry in `crates/lab/src/repro.rs` (cross-checked by
 /// [`check_corpus`]).
-pub const REGISTERED_CHECKERS: [&str; 7] = [
+pub const REGISTERED_CHECKERS: [&str; 13] = [
     "fig2-sigma",
     "fig2-weak-sigma",
     "fig4-sigma-k",
@@ -24,11 +24,19 @@ pub const REGISTERED_CHECKERS: [&str; 7] = [
     "abd-sigma-s",
     "abd-weak-quorum",
     "fig6-without-change",
+    "fig2-byz-perturb",
+    "fig2-byz-equivocate",
+    "fig4-byz-perturb",
+    "abd-byz-perturb",
+    "abd-byz-forge-ack",
+    "abd-byz-split-ack",
 ];
 
-/// The schedule-format version this validator understands — mirrors
-/// `SCHEDULE_VERSION` in `crates/runtime/src/repro.rs`.
-pub const SCHEDULE_VERSION: u32 = 1;
+/// The newest schedule-format version this validator understands —
+/// mirrors `SCHEDULE_VERSION` in `crates/runtime/src/repro.rs`. Version
+/// 1 files stay readable; the `v2` additions (`adversary:`, `attack:`,
+/// `armor:` lines) are only legal under a `v2` header.
+pub const SCHEDULE_VERSION: u32 = 2;
 
 /// Runs the corpus check against the workspace at `root`.
 pub fn check_corpus(root: &Path) -> Vec<Finding> {
@@ -131,7 +139,7 @@ pub fn validate_schedule_text(file: &str, text: &str) -> Vec<Finding> {
     let mut checker_seen = false;
     let mut verdict: Option<String> = None;
     let mut choices = 0usize;
-    let mut header_seen = false;
+    let mut version: Option<u32> = None;
     let mut required = ["n", "k", "seed", "max-steps"]
         .into_iter()
         .map(|f| (f, false))
@@ -143,15 +151,24 @@ pub fn validate_schedule_text(file: &str, text: &str) -> Vec<Finding> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if !header_seen {
-            if line != format!("sih-schedule v{SCHEDULE_VERSION}") {
-                bad(
-                    lineno,
-                    format!("expected header `sih-schedule v{SCHEDULE_VERSION}`, found `{line}`"),
-                );
-                return findings;
+        if version.is_none() {
+            let v = line
+                .strip_prefix("sih-schedule v")
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|v| (1..=SCHEDULE_VERSION).contains(v));
+            match v {
+                Some(v) => version = Some(v),
+                None => {
+                    bad(
+                        lineno,
+                        format!(
+                            "expected header `sih-schedule v1`..`sih-schedule \
+                             v{SCHEDULE_VERSION}`, found `{line}`"
+                        ),
+                    );
+                    return findings;
+                }
             }
-            header_seen = true;
             continue;
         }
         let Some((key, value)) = line.split_once(':') else {
@@ -209,6 +226,42 @@ pub fn validate_schedule_text(file: &str, text: &str) -> Vec<Finding> {
                     );
                 }
             }
+            "adversary" => {
+                if version == Some(1) {
+                    bad(lineno, "`adversary:` lines need a `sih-schedule v2` header".to_string());
+                } else if !adversary_line_ok(value, n) {
+                    bad(
+                        lineno,
+                        format!(
+                            "expected `adversary: flip|perturb|replay|forge-sender|forge-ack \
+                             pI->pJ offset%stride @[from, until|inf) x=N`, found `{value}`"
+                        ),
+                    );
+                }
+            }
+            "attack" => {
+                if version == Some(1) {
+                    bad(lineno, "`attack:` lines need a `sih-schedule v2` header".to_string());
+                } else {
+                    let ok = value.split_once(" x=").is_some_and(|(name, x)| {
+                        ["equivocate", "split-ack"].contains(&name.trim())
+                            && x.trim().parse::<u64>().is_ok()
+                    });
+                    if !ok {
+                        bad(
+                            lineno,
+                            format!("expected `attack: equivocate|split-ack x=N`, found `{value}`"),
+                        );
+                    }
+                }
+            }
+            "armor" => {
+                if version == Some(1) {
+                    bad(lineno, "`armor:` lines need a `sih-schedule v2` header".to_string());
+                } else if !value.parse::<u8>().is_ok_and(|r| r <= 3) {
+                    bad(lineno, format!("`armor` takes a rung 0..=3, found `{value}`"));
+                }
+            }
             "choice" => {
                 choices += 1;
                 let mut parts = value.split_whitespace();
@@ -223,7 +276,7 @@ pub fn validate_schedule_text(file: &str, text: &str) -> Vec<Finding> {
         }
     }
 
-    if !header_seen {
+    if version.is_none() {
         bad(0, "file has no schedule header".to_string());
         return findings;
     }
@@ -262,6 +315,26 @@ fn link_line_ok(value: &str, n: Option<u64>) -> bool {
     if kind != "drop" && kind != "dup" {
         return false;
     }
+    window_tail_ok(parts, n)
+}
+
+/// `flip|perturb|replay|forge-sender|forge-ack pI->pJ offset%stride
+/// @[from, until|inf) x=N` — the v2 mutation-window grammar.
+fn adversary_line_ok(value: &str, n: Option<u64>) -> bool {
+    let Some((head, x)) = value.rsplit_once(" x=") else { return false };
+    if x.trim().parse::<u64>().is_err() {
+        return false;
+    }
+    let mut parts = head.split_whitespace();
+    let Some(kind) = parts.next() else { return false };
+    if !["flip", "perturb", "replay", "forge-sender", "forge-ack"].contains(&kind) {
+        return false;
+    }
+    window_tail_ok(parts, n)
+}
+
+/// The shared `pI->pJ offset%stride @[from, until|inf)` window tail.
+fn window_tail_ok<'a>(mut parts: impl Iterator<Item = &'a str>, n: Option<u64>) -> bool {
     let Some(edge) = parts.next() else { return false };
     let Some((src, dst)) = edge.split_once("->") else { return false };
     if !parse_pid(src, n) || !parse_pid(dst, n) {
@@ -311,9 +384,52 @@ choice: p0 .
 choice: p1 0
 ";
 
+    const GOOD_V2: &str = "\
+sih-schedule v2
+checker: abd-byz-forge-ack
+n: 4
+k: 1
+seed: 0
+max-steps: 6000
+verdict: violation:not-linearizable
+armor: 1
+adversary: forge-ack p3->p1 0%1 @[0, 11) x=77
+adversary: perturb p0->p2 1%2 @[3, inf) x=100
+attack: split-ack x=55
+choice: p2 .
+choice: p1 0
+";
+
     #[test]
     fn a_well_formed_schedule_passes() {
         assert_eq!(validate_schedule_text("x.schedule", GOOD), vec![]);
+    }
+
+    #[test]
+    fn a_well_formed_v2_schedule_passes() {
+        assert_eq!(validate_schedule_text("x.schedule", GOOD_V2), vec![]);
+    }
+
+    #[test]
+    fn adversary_lines_under_a_v1_header_are_flagged() {
+        let text = GOOD_V2.replace("sih-schedule v2", "sih-schedule v1");
+        let findings = validate_schedule_text("x.schedule", &text);
+        assert!(findings.iter().any(|f| f.message.contains("need a `sih-schedule v2` header")));
+    }
+
+    #[test]
+    fn malformed_v2_lines_are_flagged() {
+        for (needle, replacement) in [
+            ("forge-ack p3->p1", "forge-everything p3->p1"),
+            ("@[0, 11) x=77", "@[0, 11)"),
+            ("attack: split-ack x=55", "attack: split-brain x=55"),
+            ("armor: 1", "armor: 9"),
+            ("adversary: perturb p0->p2", "adversary: perturb p9->p2"),
+        ] {
+            let text = GOOD_V2.replace(needle, replacement);
+            let findings = validate_schedule_text("x.schedule", &text);
+            assert!(!findings.is_empty(), "`{replacement}` was accepted");
+        }
     }
 
     #[test]

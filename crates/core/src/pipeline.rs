@@ -11,16 +11,19 @@
 //! worker, so the hot loop stops re-allocating per run.
 
 use sih_agreement::{
-    distinct_proposals, fig2_processes, fig4_processes, paxos_processes, Fig2SetAgreement,
-    Fig4SetAgreement, PaxosConsensus,
+    distinct_proposals, fig2_processes, fig4_processes, paxos_processes, Equivocator,
+    Fig2SetAgreement, Fig4SetAgreement, PaxosConsensus,
 };
 use sih_detectors::{Omega, Sigma, SigmaK, SigmaS};
-use sih_model::{FailurePattern, FdOutput, LinkFaultPlan, OpKind, OpRecord, ProcessId, ProcessSet};
+use sih_model::{
+    AdversaryPlan, Armor, AttackKind, AttackSpec, FailurePattern, FdOutput, LinkFaultPlan, OpKind,
+    OpRecord, ProcessId, ProcessSet,
+};
 use sih_reductions::{
     fig3_processes, fig5_processes, fig6_processes, Fig3SigmaFromSigmaPair, Fig5SigmaKFromSigmaX,
     Fig6AntiOmegaFromSigma,
 };
-use sih_registers::{abd_processes, AbdRegister};
+use sih_registers::{abd_processes, AbdRegister, SplitAckForger};
 use sih_runtime::{
     stubborn_processes, FairScheduler, RunOutcome, SimPool, Stacked, Stubborn, Trace,
 };
@@ -49,6 +52,12 @@ pub type FaultyFig2Pool = SimPool<Stubborn<Fig2SetAgreement>>;
 pub type FaultyFig4Pool = SimPool<Stubborn<Fig4SetAgreement>>;
 /// Reusable simulation slot for [`run_register_workload_faulty_pooled`].
 pub type FaultyRegisterPool = SimPool<Stubborn<AbdRegister>>;
+/// Reusable simulation slot for [`run_fig2_byz_pooled`].
+pub type ByzFig2Pool = SimPool<Equivocator<Fig2SetAgreement>>;
+/// Reusable simulation slot for [`run_fig4_byz_pooled`].
+pub type ByzFig4Pool = SimPool<Fig4SetAgreement>;
+/// Reusable simulation slot for [`run_register_workload_byz_pooled`].
+pub type ByzRegisterPool = SimPool<SplitAckForger>;
 
 /// Runs Figure 2 (set agreement from `σ`) in a pooled simulation;
 /// returns the run's trace, borrowed from the pool.
@@ -442,6 +451,110 @@ pub fn run_register_workload_raw_faulty_pooled<'a>(
     let mut sched = FairScheduler::new(seed);
     let outcome = sim.run_until(&mut sched, &det, max_steps, |sim| {
         sim.pattern().correct().iter().all(|p| sim.process(p).script_finished())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs Figure 2 under a Byzantine adversary: a network-level
+/// [`AdversaryPlan`] mutating in-flight messages, an optional scripted
+/// equivocation attack at `a0`, and an [`Armor`] rung deciding which
+/// attack classes the honest side validates away.
+///
+/// Runs on the **raw** automata (no [`Stubborn`] layer): the adversary
+/// consumes and replaces envelopes at the network, and this tier studies
+/// the bare protocol's degradation; the stubborn-retransmission interplay
+/// is covered separately by the runtime's invariant tests.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fig2_byz_pooled<'a>(
+    pool: &'a mut ByzFig2Pool,
+    pattern: &FailurePattern,
+    adv: &AdversaryPlan,
+    attack: Option<AttackSpec>,
+    armor: Armor,
+    a0: ProcessId,
+    a1: ProcessId,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let sigma = Sigma::new(a0, a1, pattern, seed);
+    let equivocating = matches!(attack, Some(AttackSpec { kind: AttackKind::Equivocate, .. }));
+    let x = attack.map(|a| a.x).unwrap_or(0);
+    let procs = fig2_processes(&distinct_proposals(n))
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Equivocator::new(p, equivocating && i == a0.index(), x, armor))
+        .collect();
+    let sim = pool.acquire(procs, pattern);
+    if !adv.is_honest() {
+        sim.set_adversary(adv.clone(), armor);
+    }
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &sigma, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs Figure 4 under a Byzantine adversary; see
+/// [`run_fig2_byz_pooled`]. Figure 4 has no scripted attack (its
+/// fan-outs are already relay-tagged), so only the network-level plan
+/// applies.
+pub fn run_fig4_byz_pooled<'a>(
+    pool: &'a mut ByzFig4Pool,
+    pattern: &FailurePattern,
+    adv: &AdversaryPlan,
+    armor: Armor,
+    active: ProcessSet,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let det = SigmaK::new(active, pattern, seed);
+    let sim = pool.acquire(fig4_processes(&distinct_proposals(n)), pattern);
+    if !adv.is_honest() {
+        sim.set_adversary(adv.clone(), armor);
+    }
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &det, max_steps, |s| {
+        s.pattern().correct().is_subset(s.trace().decided())
+    });
+    (sim.trace(), outcome)
+}
+
+/// Runs an ABD `S`-register workload under a Byzantine adversary: a
+/// network-level [`AdversaryPlan`], an optional scripted split-ack
+/// forgery at `attacker`, and an [`Armor`] rung; see
+/// [`run_fig2_byz_pooled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_register_workload_byz_pooled<'a>(
+    pool: &'a mut ByzRegisterPool,
+    pattern: &FailurePattern,
+    adv: &AdversaryPlan,
+    attack: Option<AttackSpec>,
+    armor: Armor,
+    attacker: ProcessId,
+    s: ProcessSet,
+    scripts: Vec<Vec<OpKind>>,
+    seed: u64,
+    max_steps: u64,
+) -> (&'a Trace, RunOutcome) {
+    let n = pattern.n();
+    let det = SigmaS::new(s, pattern, seed);
+    let forging = matches!(attack, Some(AttackSpec { kind: AttackKind::SplitAck, .. }));
+    let x = attack.map(|a| a.x).unwrap_or(0);
+    let procs = abd_processes(s, n, scripts)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| SplitAckForger::new(p, forging && i == attacker.index(), x, armor))
+        .collect();
+    let sim = pool.acquire(procs, pattern);
+    if !adv.is_honest() {
+        sim.set_adversary(adv.clone(), armor);
+    }
+    let mut sched = FairScheduler::new(seed);
+    let outcome = sim.run_until(&mut sched, &det, max_steps, |sim| {
+        s.iter().all(|p| sim.process(p).inner().script_finished())
     });
     (sim.trace(), outcome)
 }

@@ -1,7 +1,7 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | explore | faults | repro | all> [--n N] [--k K]
+//! lab <e1..e15 | figure1 | explore | faults | byzantine | repro | all> [--n N] [--k K]
 //!     [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]
 //! ```
 //!
@@ -19,6 +19,11 @@
 //! plus the permanent-partition starvation witness) and, with `--json`,
 //! writes the `BENCH_faults.json` artifact.
 //!
+//! `lab byzantine` runs the graceful-degradation matrix (Figures 2/4 and
+//! the ABD register under deterministic message mutation and scripted
+//! protocol attacks, swept over the minimum-armor ladder) and, with
+//! `--json`, writes the `BENCH_byzantine.json` artifact.
+//!
 //! `lab scale` runs the large-`n` scaling tier (the majority-quorum ABD
 //! register plus sampled Figure 2/Figure 4 decisions at
 //! `n ∈ {10³, 10⁴, 10⁵}`; add `--huge` for `10⁶`, or lower the ladder
@@ -32,8 +37,9 @@
 //! `--fresh DIR` to also re-record each planted violation from scratch).
 
 use sih_lab::{
-    render_figure1, repro, run_experiment, run_explore_bench, run_faults_bench, run_scale_bench,
-    ExperimentReport, ExploreLabConfig, FaultsLabConfig, LabConfig, ScaleLabConfig, EXPERIMENT_IDS,
+    render_figure1, repro, run_byzantine_bench, run_experiment, run_explore_bench,
+    run_faults_bench, run_scale_bench, ByzantineLabConfig, ExperimentReport, ExploreLabConfig,
+    FaultsLabConfig, LabConfig, ScaleLabConfig, EXPERIMENT_IDS,
 };
 use sih_runtime::Schedule;
 use std::process::ExitCode;
@@ -43,7 +49,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | faults | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--frontier-depth K] [--max-n N] [--sample D] [--huge] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | byzantine | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--frontier-depth K] [--max-n N] [--sample D] [--huge] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         eprintln!(
@@ -58,6 +64,7 @@ fn main() -> ExitCode {
     let mut cfg = LabConfig::default();
     let mut explore_cfg = ExploreLabConfig::default();
     let mut faults_cfg = FaultsLabConfig::default();
+    let mut byz_cfg = ByzantineLabConfig::default();
     let mut scale_cfg = ScaleLabConfig::default();
     let mut json_path: Option<String> = None;
 
@@ -71,15 +78,18 @@ fn main() -> ExitCode {
                 cfg.n = value(&mut it).parse().expect("--n takes an integer");
                 explore_cfg.n = cfg.n;
                 faults_cfg.n = cfg.n;
+                byz_cfg.n = cfg.n;
             }
             "--k" => cfg.k = value(&mut it).parse().expect("--k takes an integer"),
             "--seeds" => {
                 cfg.seeds = value(&mut it).parse().expect("--seeds takes an integer");
                 faults_cfg.seeds = cfg.seeds;
+                byz_cfg.seeds = cfg.seeds;
             }
             "--steps" => {
                 cfg.max_steps = value(&mut it).parse().expect("--steps takes an integer");
                 faults_cfg.max_steps = cfg.max_steps;
+                byz_cfg.max_steps = cfg.max_steps;
             }
             "--depth" => {
                 explore_cfg.depth = value(&mut it).parse().expect("--depth takes an integer")
@@ -92,6 +102,7 @@ fn main() -> ExitCode {
                 cfg.threads = value(&mut it).parse().expect("--threads takes an integer");
                 explore_cfg.threads = cfg.threads;
                 faults_cfg.threads = cfg.threads;
+                byz_cfg.threads = cfg.threads;
                 scale_cfg.threads = cfg.threads;
             }
             "--max-n" => {
@@ -122,6 +133,23 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("UNEXPECTED scale outcome");
+            ExitCode::FAILURE
+        };
+    }
+
+    if command == "byzantine" {
+        let report = run_byzantine_bench(&byz_cfg);
+        print!("{report}");
+        let ok = report.ok();
+        if let Some(path) = json_path {
+            let json = report.to_json().to_string_pretty();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote byzantine bench to {path}");
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("UNEXPECTED byzantine outcome");
             ExitCode::FAILURE
         };
     }
@@ -184,7 +212,7 @@ fn main() -> ExitCode {
         id if EXPERIMENT_IDS.contains(&id) => vec![timed_run(id)],
         other => {
             eprintln!(
-                "unknown command {other}; expected e1..e15, explore, faults, scale, figure1 or all"
+                "unknown command {other}; expected e1..e15, explore, faults, byzantine, scale, figure1 or all"
             );
             return ExitCode::FAILURE;
         }

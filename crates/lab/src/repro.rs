@@ -27,18 +27,20 @@
 //! caught and mapped to the stable verdict token `panic`, making
 //! panic-witnessing schedules first-class shrinkable artifacts.
 
-use sih_agreement::{check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes};
+use sih_agreement::{
+    check_k_agreement_safety, distinct_proposals, fig2_processes, fig4_processes, Equivocator,
+};
 use sih_detectors::{check_anti_omega, Sigma, SigmaK, SigmaS, WeakSigma, WeakSigmaK, WeakSigmaS};
 use sih_model::{
-    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, OpKind, ProcessId, ProcessSet, Time,
-    Value,
+    AdversaryPlan, Armor, AttackKind, AttackSpec, FailureDetector, FailurePattern, FdOutput,
+    LinkFaultPlan, OpKind, ProcessId, ProcessSet, Time, Value,
 };
 use sih_reductions::Fig6WithoutChange;
-use sih_registers::{abd_processes, check_linearizable, LinearizabilityViolation};
+use sih_registers::{abd_processes, check_linearizable, LinearizabilityViolation, SplitAckForger};
 use sih_runtime::sweep::Sweep;
 use sih_runtime::{
-    shrink_schedule, Automaton, Choice, FairScheduler, Schedule, ScriptedScheduler, ShrinkOptions,
-    ShrinkReport, Simulation,
+    shrink_schedule, Automaton, Choice, Corruptible, FairScheduler, Schedule, ScriptedScheduler,
+    ShrinkOptions, ShrinkReport, Simulation,
 };
 use std::fmt;
 
@@ -115,6 +117,60 @@ pub const WORKLOADS: &[Workload] = &[
         default_n: 4,
         default_steps: 60_000,
     },
+    Workload {
+        name: "fig2-byz-perturb",
+        summary: "Fig. 2 under a value-perturbing network adversary (validity attack)",
+        expect_ok: false,
+        default_n: 3,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "fig2-byz-equivocate",
+        summary: "Fig. 2 with p0 equivocating per recipient (agreement/validity attack)",
+        expect_ok: false,
+        default_n: 3,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "fig4-byz-perturb",
+        summary: "Fig. 4 under a value-perturbing network adversary (validity attack)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 4_000,
+    },
+    Workload {
+        name: "abd-byz-perturb",
+        summary: "ABD under timestamp-perturbing links (write order scrambled)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 6_000,
+    },
+    Workload {
+        name: "abd-byz-forge-ack",
+        summary: "ABD under fabricated quorum acks in flight (stale-future read)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 6_000,
+    },
+    Workload {
+        name: "abd-byz-split-ack",
+        summary: "ABD with one replica forging split acks per client (atomicity attack)",
+        expect_ok: false,
+        default_n: 4,
+        default_steps: 6_000,
+    },
+];
+
+/// The workloads whose reconstruction honors the schedule's adversary
+/// fields. Every other workload rejects a non-default adversary plan,
+/// attack or armor rung instead of silently ignoring it.
+pub const BYZ_WORKLOADS: &[&str] = &[
+    "fig2-byz-perturb",
+    "fig2-byz-equivocate",
+    "fig4-byz-perturb",
+    "abd-byz-perturb",
+    "abd-byz-forge-ack",
+    "abd-byz-split-ack",
 ];
 
 /// Looks up a workload by name.
@@ -185,7 +241,7 @@ static INSTALL_HOOK: std::sync::Once = std::sync::Once::new();
 /// stderr. The replacement hook is installed once and delegates to the
 /// previous hook for every thread that is not inside `quiet_catch`, so
 /// unrelated panics keep their backtraces.
-fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+pub(crate) fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
     INSTALL_HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
@@ -213,7 +269,7 @@ fn drive<A, D>(
     faults: &LinkFaultPlan,
     fd: &D,
     driver: &Driver<'_>,
-    mut done: impl FnMut(&Simulation<A>) -> bool,
+    done: impl FnMut(&Simulation<A>) -> bool,
     verdict: impl FnOnce(&Simulation<A>) -> String,
 ) -> RunResult
 where
@@ -224,6 +280,52 @@ where
     if !faults.is_reliable() {
         sim.set_link_faults(faults.clone());
     }
+    finish(sim, fd, driver, done, verdict)
+}
+
+/// [`drive`] with the schedule's mutation adversary installed — the
+/// byzantine workloads' variant (their message types carry the
+/// [`Corruptible`] mutation algebra; the honest workloads' need not).
+#[allow(clippy::too_many_arguments)]
+fn drive_byz<A, D>(
+    procs: Vec<A>,
+    pattern: &FailurePattern,
+    faults: &LinkFaultPlan,
+    adversary: &AdversaryPlan,
+    armor: Armor,
+    fd: &D,
+    driver: &Driver<'_>,
+    done: impl FnMut(&Simulation<A>) -> bool,
+    verdict: impl FnOnce(&Simulation<A>) -> String,
+) -> RunResult
+where
+    A: Automaton,
+    A::Msg: Corruptible,
+    D: FailureDetector + ?Sized,
+{
+    let mut sim = Simulation::new(procs, pattern.clone());
+    if !faults.is_reliable() {
+        sim.set_link_faults(faults.clone());
+    }
+    if !adversary.is_honest() {
+        sim.set_adversary(adversary.clone(), armor);
+    }
+    finish(sim, fd, driver, done, verdict)
+}
+
+/// The shared driving tail: steps `sim` per `driver` under quiet panic
+/// capture and computes the verdict.
+fn finish<A, D>(
+    mut sim: Simulation<A>,
+    fd: &D,
+    driver: &Driver<'_>,
+    mut done: impl FnMut(&Simulation<A>) -> bool,
+    verdict: impl FnOnce(&Simulation<A>) -> String,
+) -> RunResult
+where
+    A: Automaton,
+    D: FailureDetector + ?Sized,
+{
     let stepped = quiet_catch(std::panic::AssertUnwindSafe(|| {
         match driver {
             Driver::Fair { seed, max_steps } => {
@@ -287,13 +389,26 @@ fn abd_scripts() -> (ProcessSet, Vec<Vec<OpKind>>) {
     (s, scripts)
 }
 
+/// The two-writer register workload used by the tamper-class Byzantine
+/// witnesses: perturbing timestamps can flip the apparent write order,
+/// which a single-writer script could never expose.
+fn byz_abd_scripts() -> (ProcessSet, Vec<Vec<OpKind>>) {
+    let s: ProcessSet = [ProcessId(0), ProcessId(1)].into_iter().collect();
+    let scripts = vec![
+        vec![OpKind::Write(Value(1)), OpKind::Read],
+        vec![OpKind::Read, OpKind::Write(Value(2)), OpKind::Read],
+    ];
+    (s, scripts)
+}
+
 fn first_ids(count: usize) -> ProcessSet {
     (0..count as u32).map(ProcessId).collect()
 }
 
 /// Reconstructs the named workload and drives it. Everything a schedule
-/// records — `n`, `k`, `seed`, pattern, faults — plus a driver fully
-/// determines the run.
+/// records — `n`, `k`, `seed`, pattern, faults, adversary plan, attack,
+/// armor — plus a driver fully determines the run.
+#[allow(clippy::too_many_arguments)]
 fn run_workload(
     name: &str,
     n: usize,
@@ -301,13 +416,24 @@ fn run_workload(
     seed: u64,
     pattern: &FailurePattern,
     faults: &LinkFaultPlan,
+    adversary: &AdversaryPlan,
+    attack: Option<AttackSpec>,
+    armor: Armor,
     driver: &Driver<'_>,
 ) -> Result<RunResult, ReproError> {
-    if pattern.n() != n || faults.n() != n {
+    if pattern.n() != n || faults.n() != n || adversary.n() != n {
         return Err(ReproError::BadParams(format!(
-            "n mismatch: n={n}, pattern over {}, faults over {}",
+            "n mismatch: n={n}, pattern over {}, faults over {}, adversary over {}",
             pattern.n(),
-            faults.n()
+            faults.n(),
+            adversary.n()
+        )));
+    }
+    if !BYZ_WORKLOADS.contains(&name)
+        && (!adversary.is_honest() || attack.is_some() || armor != Armor::NONE)
+    {
+        return Err(ReproError::BadParams(format!(
+            "workload `{name}` does not honor adversary fields; only {BYZ_WORKLOADS:?} do"
         )));
     }
     match name {
@@ -362,6 +488,59 @@ fn run_workload(
                 Ok(drive(procs, pattern, faults, &fd, driver, done, verdict))
             }
         }
+        "fig2-byz-perturb" | "fig2-byz-equivocate" => {
+            if n < 2 {
+                return Err(ReproError::BadParams(format!("fig2 needs n >= 2, got {n}")));
+            }
+            // All processes wrapped so the system type is uniform; p0 is
+            // the equivocator iff the schedule carries the attack (the
+            // shrinker may have dropped it).
+            let equivocating =
+                matches!(attack, Some(AttackSpec { kind: AttackKind::Equivocate, .. }));
+            let x = attack.map(|a| a.x).unwrap_or(0);
+            let procs: Vec<_> = fig2_processes(&distinct_proposals(n))
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Equivocator::new(p, equivocating && i == 0, x, armor))
+                .collect();
+            let fd = Sigma::new(ProcessId(0), ProcessId(1), pattern, seed);
+            let verdict = |sim: &Simulation<_>| agreement_verdict(sim, n, n - 1);
+            Ok(drive_byz(procs, pattern, faults, adversary, armor, &fd, driver, |_| false, verdict))
+        }
+        "fig4-byz-perturb" => {
+            if k < 1 || 2 * k > n {
+                return Err(ReproError::BadParams(format!(
+                    "fig4 needs 1 <= k and 2k <= n, got k={k}, n={n}"
+                )));
+            }
+            let active = first_ids(2 * k);
+            let procs = fig4_processes(&distinct_proposals(n));
+            let fd = SigmaK::new(active, pattern, seed);
+            let verdict = move |sim: &Simulation<_>| agreement_verdict(sim, n, n - k);
+            Ok(drive_byz(procs, pattern, faults, adversary, armor, &fd, driver, |_| false, verdict))
+        }
+        "abd-byz-perturb" | "abd-byz-forge-ack" | "abd-byz-split-ack" => {
+            if n < 2 {
+                return Err(ReproError::BadParams(format!("abd needs n >= 2, got {n}")));
+            }
+            let (s, scripts) =
+                if name == "abd-byz-perturb" { byz_abd_scripts() } else { abd_scripts() };
+            let forging = matches!(attack, Some(AttackSpec { kind: AttackKind::SplitAck, .. }));
+            let x = attack.map(|a| a.x).unwrap_or(0);
+            // The forger is the last replica — never one of the clients.
+            let attacker = n - 1;
+            let procs: Vec<_> = abd_processes(s, n, scripts)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| SplitAckForger::new(p, forging && i == attacker, x, armor))
+                .collect();
+            let done = move |sim: &Simulation<SplitAckForger>| {
+                s.iter().all(|p| sim.process(p).inner().script_finished())
+            };
+            let fd = SigmaS::new(s, pattern, seed);
+            let verdict = |sim: &Simulation<_>| linearizability_verdict(sim);
+            Ok(drive_byz(procs, pattern, faults, adversary, armor, &fd, driver, done, verdict))
+        }
         "fig6-without-change" => {
             if n < 2 {
                 return Err(ReproError::BadParams(format!("fig6 needs n >= 2, got {n}")));
@@ -414,6 +593,61 @@ pub fn default_faults(name: &str, n: usize) -> LinkFaultPlan {
     }
 }
 
+/// The adversary configuration — mutation plan, scripted attack, armor —
+/// a fresh `record` run of the workload uses. Honest workloads get the
+/// honest plan; the byzantine workloads get their canonical attack at
+/// armor rung 0, so the violation they exist to witness actually lands.
+pub fn default_adversary(name: &str, n: usize) -> (AdversaryPlan, Option<AttackSpec>, Armor) {
+    let honest = (AdversaryPlan::honest(n), None, Armor::NONE);
+    match name {
+        // Perturbing p0's traffic to p1 injects a never-proposed value
+        // into the decision flood: a validity violation at p1.
+        "fig2-byz-perturb" | "fig4-byz-perturb" => (
+            AdversaryPlan::builder(n)
+                .perturb(ProcessId(0), ProcessId(1), 100, Time::ZERO, None)
+                .build(),
+            None,
+            Armor::NONE,
+        ),
+        // p0 tells odd peers the story `x = 99`: a decision flood with a
+        // value nobody proposed.
+        "fig2-byz-equivocate" => (
+            AdversaryPlan::honest(n),
+            Some(AttackSpec { kind: AttackKind::Equivocate, x: 99 }),
+            Armor::NONE,
+        ),
+        // Timestamp perturbation on every link scrambles the apparent
+        // order of the two writes; some seed's read observes the flip.
+        "abd-byz-perturb" => {
+            let mut b = AdversaryPlan::builder(n);
+            for src in 0..n as u32 {
+                for dst in 0..n as u32 {
+                    if src != dst {
+                        b = b.perturb(ProcessId(src), ProcessId(dst), 100, Time::ZERO, None);
+                    }
+                }
+            }
+            (b.build(), None, Armor::NONE)
+        }
+        // A fabricated quorum ack from the last replica to the reader
+        // carries a future timestamp; its value wins the read's max.
+        "abd-byz-forge-ack" if n >= 2 => (
+            AdversaryPlan::builder(n)
+                .forge_ack(ProcessId(n as u32 - 1), ProcessId(1), 77, Time::ZERO, None)
+                .build(),
+            None,
+            Armor::NONE,
+        ),
+        // The last replica answers odd clients with an invented view.
+        "abd-byz-split-ack" => (
+            AdversaryPlan::honest(n),
+            Some(AttackSpec { kind: AttackKind::SplitAck, x: 55 }),
+            Armor::NONE,
+        ),
+        _ => honest,
+    }
+}
+
 /// Parameters of a fresh recording run.
 #[derive(Clone, Debug)]
 pub struct RecordRequest {
@@ -446,6 +680,7 @@ pub fn record(req: &RecordRequest) -> Result<Option<Schedule>, ReproError> {
     let max_steps = req.max_steps.unwrap_or(w.default_steps);
     let pattern = default_pattern(w.name, n);
     let faults = default_faults(w.name, n);
+    let (adversary, attack, armor) = default_adversary(w.name, n);
     let rr = run_workload(
         w.name,
         n,
@@ -453,6 +688,9 @@ pub fn record(req: &RecordRequest) -> Result<Option<Schedule>, ReproError> {
         req.seed,
         &pattern,
         &faults,
+        &adversary,
+        attack,
+        armor,
         &Driver::Fair { seed: req.seed, max_steps },
     )?;
     if rr.verdict == "ok" {
@@ -466,6 +704,9 @@ pub fn record(req: &RecordRequest) -> Result<Option<Schedule>, ReproError> {
         max_steps,
         pattern,
         faults,
+        adversary,
+        attack,
+        armor,
         choices: rr.executed,
         verdict: rr.verdict,
     }))
@@ -503,8 +744,21 @@ pub fn capture_from_script(
     faults: LinkFaultPlan,
     script: Vec<Choice>,
 ) -> Result<Schedule, ReproError> {
-    let rr =
-        run_workload(name, n, k, seed, &pattern, &faults, &Driver::Strict { choices: &script })?;
+    // The exhaustive explorer runs adversary-free; captures from it are
+    // honest-plan schedules by construction.
+    let adversary = AdversaryPlan::honest(n);
+    let rr = run_workload(
+        name,
+        n,
+        k,
+        seed,
+        &pattern,
+        &faults,
+        &adversary,
+        None,
+        Armor::NONE,
+        &Driver::Strict { choices: &script },
+    )?;
     Ok(Schedule {
         checker: name.to_string(),
         n,
@@ -513,6 +767,9 @@ pub fn capture_from_script(
         max_steps: rr.executed.len() as u64,
         pattern,
         faults,
+        adversary,
+        attack: None,
+        armor: Armor::NONE,
         choices: rr.executed,
         verdict: rr.verdict,
     })
@@ -545,7 +802,18 @@ pub fn replay(s: &Schedule, mode: ReplayMode) -> Result<ReplayReport, ReproError
         ReplayMode::Strict => Driver::Strict { choices: &s.choices },
         ReplayMode::Lenient => Driver::Lenient { choices: &s.choices },
     };
-    let rr = run_workload(&s.checker, s.n, s.k, s.seed, &s.pattern, &s.faults, &driver)?;
+    let rr = run_workload(
+        &s.checker,
+        s.n,
+        s.k,
+        s.seed,
+        &s.pattern,
+        &s.faults,
+        &s.adversary,
+        s.attack,
+        s.armor,
+        &driver,
+    )?;
     let matches = rr.verdict == s.verdict
         && match mode {
             ReplayMode::Strict => rr.executed == s.choices,

@@ -1,0 +1,657 @@
+//! Adversary plans: deterministic per-link message-mutation schedules,
+//! scripted protocol attacks, and the "armor" validation ladder.
+//!
+//! [`LinkFaultPlan`](crate::LinkFaultPlan) breaks the reliable-channel
+//! assumption; an [`AdversaryPlan`] breaks the *authenticated-channel*
+//! assumption (§2.1 of the paper assumes both). For each directed link and
+//! each send it decides — purely from the plan, the sender's clock, and a
+//! per-link send counter — whether the message crosses untouched or is
+//! mutated: its fields flipped, its values perturbed, its sender forged, a
+//! quorum ack fabricated in its place, or the whole envelope replaced by a
+//! stale replay of an earlier send. No ambient randomness is ever
+//! consulted, so simulations driven by a plan keep the determinism
+//! contract (DESIGN.md §6) and stay fingerprint-stable.
+//!
+//! The second half of the module is the *defense* vocabulary: every
+//! mutation (and every scripted attack) belongs to an [`AttackClass`], and
+//! an [`Armor`] level says which classes the honest processes can detect
+//! and discard. Armor is modeled as an oracle: the simulator knows which
+//! envelopes are adversarial and neutralizes exactly the classes a real
+//! cryptographic implementation of that rung could reject. The "minimum
+//! armor" study (`lab byzantine`) climbs this ladder per attack.
+
+use crate::{ProcessId, ProcessSet, Time};
+use std::fmt;
+
+/// What a single mutation window does to the sends it selects.
+///
+/// Like [`LinkFault`](crate::LinkFault), windows select sends by the
+/// per-link mutation counter `k`: a window with `stride`/`offset` applies
+/// to the `k`-th send iff `k % stride == offset`. The `x` parameter of the
+/// window feeds the mutation deterministically (a perturbation delta, a
+/// forged sender id, a fabricated value) — the same plan always produces
+/// the same corrupted bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// Rewrite the message to a *different protocol field/variant*
+    /// carrying the same data (e.g. a `Phase1` announcement re-tagged as a
+    /// `Phase2` echo). Inexpressible flips pass through untouched.
+    Flip,
+    /// Perturb the values/rounds inside the message by the window's `x`
+    /// (e.g. `Decision(v)` becomes `Decision(v + x)` — a value outside
+    /// the proposal set, the classic validity-breaking corruption).
+    Perturb,
+    /// Consume the selected envelope and deliver, in its place, a stale
+    /// replay of the most recent *untampered* payload sent earlier on the
+    /// same link. If nothing was sent before, the send passes untouched.
+    Replay,
+    /// Deliver the payload unchanged but with a forged sender id
+    /// (`x mod n`, skipping the true sender).
+    ForgeSender,
+    /// Replace the message with a fabricated quorum acknowledgement
+    /// claiming state the sender never had (protocols without acks pass
+    /// the send through untouched).
+    ForgeAck,
+}
+
+impl MutationKind {
+    /// The attack class this mutation belongs to (what armor must defeat).
+    pub fn class(self) -> AttackClass {
+        match self {
+            MutationKind::Flip | MutationKind::Perturb => AttackClass::Tamper,
+            MutationKind::Replay => AttackClass::Replay,
+            MutationKind::ForgeSender => AttackClass::SenderForgery,
+            MutationKind::ForgeAck => AttackClass::AckForgery,
+        }
+    }
+
+    /// Stable lowercase name (used by the schedule format and lab tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::Flip => "flip",
+            MutationKind::Perturb => "perturb",
+            MutationKind::Replay => "replay",
+            MutationKind::ForgeSender => "forge-sender",
+            MutationKind::ForgeAck => "forge-ack",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; `None` for unknown strings.
+    pub fn from_name(s: &str) -> Option<MutationKind> {
+        Some(match s {
+            "flip" => MutationKind::Flip,
+            "perturb" => MutationKind::Perturb,
+            "replay" => MutationKind::Replay,
+            "forge-sender" => MutationKind::ForgeSender,
+            "forge-ack" => MutationKind::ForgeAck,
+            _ => return None,
+        })
+    }
+
+    /// All mutation kinds, in ladder/table order.
+    pub const ALL: [MutationKind; 5] = [
+        MutationKind::Flip,
+        MutationKind::Perturb,
+        MutationKind::Replay,
+        MutationKind::ForgeSender,
+        MutationKind::ForgeAck,
+    ];
+}
+
+/// The classes of adversarial behavior, each defeated by one armor rung.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Content tampering (field flips, value perturbation) — caught by a
+    /// payload digest.
+    Tamper,
+    /// Stale re-injection of genuine earlier messages — caught by the
+    /// provenance/freshness rung (digests verify, the nonce does not).
+    Replay,
+    /// Envelopes claiming a sender that never sent them — caught by the
+    /// sender-id (authentication) rung.
+    SenderForgery,
+    /// Fabricated quorum acknowledgements unbacked by replica state —
+    /// caught by the ack-provenance rung.
+    AckForgery,
+    /// One sender telling different peers different things, every copy
+    /// validly "signed" — only cross-validation (provenance) catches it.
+    Equivocation,
+}
+
+/// The cumulative validation ladder bolted onto the honest processes.
+///
+/// Rungs are cumulative: level 1 enables the sender-id check, level 2
+/// adds the payload digest, level 3 adds ack-provenance/freshness
+/// cross-validation. [`Armor::defeats`] maps each [`AttackClass`] to the
+/// first rung able to reject it — the mapping the `lab byzantine` ladder
+/// measures empirically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Armor(u8);
+
+impl Armor {
+    /// No validation: the paper's model taken outside its assumptions.
+    pub const NONE: Armor = Armor(0);
+    /// Rung 1: sender-id check (authenticated envelopes).
+    pub const SENDER_ID: Armor = Armor(1);
+    /// Rung 2: rung 1 plus a payload digest (content integrity).
+    pub const DIGEST: Armor = Armor(2);
+    /// Rung 3: rung 2 plus ack-provenance/freshness cross-validation.
+    pub const PROVENANCE: Armor = Armor(3);
+    /// The highest rung.
+    pub const MAX: Armor = Armor::PROVENANCE;
+
+    /// An armor level from a raw rung number (clamped to the ladder).
+    pub fn level(level: u8) -> Armor {
+        Armor(level.min(Self::MAX.0))
+    }
+
+    /// The rung number (0 = none … 3 = full).
+    #[inline]
+    pub fn rung(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this armor level rejects attacks of `class`.
+    pub fn defeats(self, class: AttackClass) -> bool {
+        let needed = match class {
+            AttackClass::SenderForgery => 1,
+            AttackClass::Tamper => 2,
+            AttackClass::Replay | AttackClass::AckForgery | AttackClass::Equivocation => 3,
+        };
+        self.0 >= needed
+    }
+
+    /// The whole ladder, bottom to top.
+    pub const LADDER: [Armor; 4] =
+        [Armor::NONE, Armor::SENDER_ID, Armor::DIGEST, Armor::PROVENANCE];
+}
+
+impl fmt::Display for Armor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One mutation window: a [`MutationKind`] active on one directed link
+/// during `[from, until)` (with `until = None` meaning "forever"),
+/// selecting sends by the per-link mutation counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MutationWindow {
+    /// Sender side of the directed link.
+    pub src: ProcessId,
+    /// Receiver side of the directed link.
+    pub dst: ProcessId,
+    /// The mutation applied to selected sends inside the window.
+    pub kind: MutationKind,
+    /// Deterministic mutation parameter (delta / forged id / fabricated
+    /// value seed, interpreted per kind).
+    pub x: u64,
+    /// Period of the counter selection (`>= 1`).
+    pub stride: u64,
+    /// Residue selected within the period (`< stride`).
+    pub offset: u64,
+    /// First time at which the window is active.
+    pub from: Time,
+    /// First time at which the window is no longer active (exclusive);
+    /// `None` means the adversary never quiesces on this link.
+    pub until: Option<Time>,
+}
+
+impl MutationWindow {
+    /// Whether the window is active at time `t`.
+    #[inline]
+    pub fn active_at(&self, t: Time) -> bool {
+        t >= self.from && self.until.is_none_or(|u| t < u)
+    }
+
+    /// Whether the window selects the `k`-th send on its link.
+    #[inline]
+    pub fn selects(&self, k: u64) -> bool {
+        k % self.stride == self.offset
+    }
+}
+
+/// A scripted per-workload protocol attack: a Byzantine *process* (not a
+/// channel) running one of the library's attack scripts.
+///
+/// Scripts are expressed as `Automaton` wrappers in the protocol crates
+/// (the equivocating proposer wraps the Figure 2 automaton, the split-ack
+/// forger wraps the ABD replica); this type is the replayable description
+/// a [`Schedule`](../../sih_runtime/struct.Schedule.html) carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AttackSpec {
+    /// Which script runs.
+    pub kind: AttackKind,
+    /// The script's deterministic parameter (value offsets etc.).
+    pub x: u64,
+}
+
+/// The scripted attack library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Figure 2: the proposer announces *different* values to different
+    /// peers (Phase 1 and decision floods), every copy validly signed.
+    Equivocate,
+    /// ABD: a replica splits the read view — it answers queries from half
+    /// the clients with a fabricated newer `(ts, value)` pair while
+    /// acknowledging honestly to the rest.
+    SplitAck,
+}
+
+impl AttackKind {
+    /// The attack class (what armor must defeat).
+    pub fn class(self) -> AttackClass {
+        match self {
+            AttackKind::Equivocate => AttackClass::Equivocation,
+            AttackKind::SplitAck => AttackClass::AckForgery,
+        }
+    }
+
+    /// Stable lowercase name (schedule format and lab tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Equivocate => "equivocate",
+            AttackKind::SplitAck => "split-ack",
+        }
+    }
+
+    /// Parses [`name`](Self::name) back; `None` for unknown strings.
+    pub fn from_name(s: &str) -> Option<AttackKind> {
+        Some(match s {
+            "equivocate" => AttackKind::Equivocate,
+            "split-ack" => AttackKind::SplitAck,
+            _ => return None,
+        })
+    }
+
+    /// All scripted attacks in the library.
+    pub const ALL: [AttackKind; 2] = [AttackKind::Equivocate, AttackKind::SplitAck];
+}
+
+/// A deterministic message-mutation schedule — the Byzantine sibling of
+/// [`LinkFaultPlan`](crate::LinkFaultPlan).
+///
+/// A plan is a finite list of [`MutationWindow`]s. The action applied to
+/// the `k`-th send on a directed link at time `t` is a pure function of
+/// the plan, `t`, and `k`: the **first** matching window wins (mutations
+/// do not stack — one envelope carries one corruption).
+///
+/// # Example
+///
+/// ```
+/// use sih_model::{AdversaryPlan, MutationKind, ProcessId, Time};
+/// let plan = AdversaryPlan::builder(3)
+///     .perturb(ProcessId(0), ProcessId(1), 7, Time(0), Some(Time(100)))
+///     .build();
+/// let action = plan.action(ProcessId(0), ProcessId(1), Time(5), 0);
+/// assert_eq!(action, Some((MutationKind::Perturb, 7)));
+/// assert_eq!(plan.action(ProcessId(1), ProcessId(0), Time(5), 0), None);
+/// assert_eq!(plan.quiescence_time(), Some(Time(100)));
+/// ```
+#[derive(PartialEq, Eq, Hash)]
+pub struct AdversaryPlan {
+    n: usize,
+    windows: Vec<MutationWindow>,
+}
+
+// Manual Clone so `clone_from` (used by simulation pools and explorer
+// state copies) reuses the window vector instead of reallocating it.
+impl Clone for AdversaryPlan {
+    fn clone(&self) -> Self {
+        AdversaryPlan { n: self.n, windows: self.windows.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.windows.clone_from(&source.windows);
+    }
+}
+
+impl AdversaryPlan {
+    /// Starts building a plan over `n` processes (no mutations unless
+    /// windows are added).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > ProcessSet::MAX_PROCESSES`.
+    pub fn builder(n: usize) -> AdversaryPlanBuilder {
+        assert!(n > 0, "a system has at least one process");
+        assert!(n <= ProcessSet::MAX_PROCESSES, "at most 64 processes supported");
+        AdversaryPlanBuilder { plan: AdversaryPlan { n, windows: Vec::new() } }
+    }
+
+    /// The attack-free plan: every send crosses untouched.
+    pub fn honest(n: usize) -> AdversaryPlan {
+        Self::builder(n).build()
+    }
+
+    /// Number of processes `n = |Π|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The mutation windows of the plan, in insertion order.
+    #[inline]
+    pub fn windows(&self) -> &[MutationWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan has no mutation windows at all.
+    #[inline]
+    pub fn is_honest(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The mutation (if any) applied to the `k`-th send on the directed
+    /// link `src -> dst` at time `t`. The first matching window wins.
+    pub fn action(
+        &self,
+        src: ProcessId,
+        dst: ProcessId,
+        t: Time,
+        k: u64,
+    ) -> Option<(MutationKind, u64)> {
+        self.windows
+            .iter()
+            .find(|w| w.src == src && w.dst == dst && w.active_at(t) && w.selects(k))
+            .map(|w| (w.kind, w.x))
+    }
+
+    /// The time from which the adversary is quiet: the maximum `until`
+    /// over all windows, or `None` if some window never closes. A plan
+    /// with no windows quiesces at `Time::ZERO`.
+    pub fn quiescence_time(&self) -> Option<Time> {
+        let mut q = Time::ZERO;
+        for w in &self.windows {
+            match w.until {
+                None => return None,
+                Some(u) => q = q.max(u),
+            }
+        }
+        Some(q)
+    }
+
+    /// A seeded pseudo-random plan over `n` processes with every window
+    /// bounded by `horizon` — `quiescence_time()` is always finite.
+    ///
+    /// The generator is the same splitmix64 stream discipline as
+    /// [`LinkFaultPlan::random_plan`](crate::LinkFaultPlan::random_plan):
+    /// identical inputs produce identical plans on every platform.
+    pub fn random_plan(n: usize, seed: u64, horizon: Time) -> AdversaryPlan {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut b = Self::builder(n);
+        let windows = 1 + (next() % 4) as usize;
+        for _ in 0..windows {
+            let src = ProcessId((next() % n as u64) as u32);
+            let dst = ProcessId((next() % n as u64) as u32);
+            let kind = MutationKind::ALL[(next() % MutationKind::ALL.len() as u64) as usize];
+            let x = 1 + next() % 64;
+            let stride = 1 + next() % 4;
+            let offset = next() % stride;
+            let from = Time(next() % horizon.0.max(1));
+            let until = Some(Time((from.0 + 1 + next() % horizon.0.max(1)).min(horizon.0)));
+            b = b.mutate(MutationWindow { src, dst, kind, x, stride, offset, from, until });
+        }
+        b.build()
+    }
+}
+
+impl fmt::Debug for AdversaryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AdversaryPlan(n={}, windows=[", self.n)?;
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{} p{}→p{} {}%{} x={}",
+                w.kind.name(),
+                w.src.index(),
+                w.dst.index(),
+                w.offset,
+                w.stride,
+                w.x
+            )?;
+            match w.until {
+                Some(u) => write!(f, " @[{}, {})", w.from, u)?,
+                None => write!(f, " @[{}, ∞)", w.from)?,
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+/// Builder for [`AdversaryPlan`] (see [`AdversaryPlan::builder`]).
+#[derive(Clone, Debug)]
+pub struct AdversaryPlanBuilder {
+    plan: AdversaryPlan,
+}
+
+impl AdversaryPlanBuilder {
+    /// Adds an arbitrary mutation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range processes, empty windows, or invalid
+    /// stride/offset selections.
+    pub fn mutate(mut self, w: MutationWindow) -> Self {
+        let n = self.plan.n;
+        assert!(w.src.index() < n && w.dst.index() < n, "process out of range");
+        if let Some(u) = w.until {
+            assert!(w.from < u, "a mutation window must be non-empty (from < until)");
+        }
+        assert!(w.stride >= 1, "stride must be at least 1");
+        assert!(w.offset < w.stride, "offset must be smaller than stride");
+        self.plan.windows.push(w);
+        self
+    }
+
+    fn every(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        kind: MutationKind,
+        x: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.mutate(MutationWindow { src, dst, kind, x, stride: 1, offset: 0, from, until })
+    }
+
+    /// Flips the protocol field of every send on `src -> dst` in the window.
+    pub fn flip(self, src: ProcessId, dst: ProcessId, from: Time, until: Option<Time>) -> Self {
+        self.every(src, dst, MutationKind::Flip, 0, from, until)
+    }
+
+    /// Perturbs the values of every send on `src -> dst` by `x`.
+    pub fn perturb(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        x: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.every(src, dst, MutationKind::Perturb, x, from, until)
+    }
+
+    /// Replaces every send on `src -> dst` in the window with a stale
+    /// replay of the previous untampered payload on that link.
+    pub fn replay(self, src: ProcessId, dst: ProcessId, from: Time, until: Option<Time>) -> Self {
+        self.every(src, dst, MutationKind::Replay, 0, from, until)
+    }
+
+    /// Forges the sender id of every send on `src -> dst` to `x mod n`
+    /// (skipping the true sender).
+    pub fn forge_sender(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        x: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.every(src, dst, MutationKind::ForgeSender, x, from, until)
+    }
+
+    /// Replaces every send on `src -> dst` in the window with a fabricated
+    /// quorum acknowledgement seeded by `x`.
+    pub fn forge_ack(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        x: u64,
+        from: Time,
+        until: Option<Time>,
+    ) -> Self {
+        self.every(src, dst, MutationKind::ForgeAck, x, from, until)
+    }
+
+    /// Finishes the plan.
+    pub fn build(self) -> AdversaryPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_plan_never_acts() {
+        let plan = AdversaryPlan::honest(3);
+        assert!(plan.is_honest());
+        assert_eq!(plan.quiescence_time(), Some(Time::ZERO));
+        for k in 0..10 {
+            assert_eq!(plan.action(ProcessId(0), ProcessId(2), Time(k), k), None);
+        }
+    }
+
+    #[test]
+    fn window_is_time_and_counter_selective() {
+        let plan = AdversaryPlan::builder(2)
+            .mutate(MutationWindow {
+                src: ProcessId(0),
+                dst: ProcessId(1),
+                kind: MutationKind::Perturb,
+                x: 9,
+                stride: 3,
+                offset: 1,
+                from: Time(10),
+                until: Some(Time(20)),
+            })
+            .build();
+        let f = |t, k| plan.action(ProcessId(0), ProcessId(1), Time(t), k);
+        assert_eq!(f(10, 1), Some((MutationKind::Perturb, 9)));
+        assert_eq!(f(19, 4), Some((MutationKind::Perturb, 9)));
+        assert_eq!(f(15, 0), None);
+        assert_eq!(f(9, 1), None);
+        assert_eq!(f(20, 1), None);
+        assert_eq!(plan.action(ProcessId(1), ProcessId(0), Time(15), 1), None);
+    }
+
+    #[test]
+    fn first_matching_window_wins() {
+        let plan = AdversaryPlan::builder(2)
+            .flip(ProcessId(0), ProcessId(1), Time(0), None)
+            .perturb(ProcessId(0), ProcessId(1), 3, Time(0), None)
+            .build();
+        assert_eq!(
+            plan.action(ProcessId(0), ProcessId(1), Time(0), 0),
+            Some((MutationKind::Flip, 0))
+        );
+    }
+
+    #[test]
+    fn quiescence_is_the_max_close_time() {
+        let plan = AdversaryPlan::builder(3)
+            .perturb(ProcessId(0), ProcessId(1), 1, Time(0), Some(Time(30)))
+            .replay(ProcessId(1), ProcessId(2), Time(10), Some(Time(50)))
+            .build();
+        assert_eq!(plan.quiescence_time(), Some(Time(50)));
+        let open =
+            AdversaryPlan::builder(2).flip(ProcessId(0), ProcessId(1), Time(0), None).build();
+        assert_eq!(open.quiescence_time(), None);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_bounded() {
+        let a = AdversaryPlan::random_plan(4, 42, Time(500));
+        let b = AdversaryPlan::random_plan(4, 42, Time(500));
+        assert_eq!(a, b);
+        let c = AdversaryPlan::random_plan(4, 43, Time(500));
+        assert_ne!(a, c, "different seeds should give different plans");
+        assert!(!a.windows().is_empty());
+        let q = a.quiescence_time().expect("random plans always quiesce");
+        assert!(q <= Time(500), "windows bounded by the horizon, got {q:?}");
+    }
+
+    #[test]
+    fn armor_ladder_defeats_each_class_at_its_rung() {
+        use AttackClass::*;
+        assert!(!Armor::NONE.defeats(SenderForgery));
+        assert!(Armor::SENDER_ID.defeats(SenderForgery));
+        assert!(!Armor::SENDER_ID.defeats(Tamper));
+        assert!(Armor::DIGEST.defeats(Tamper));
+        assert!(!Armor::DIGEST.defeats(Replay));
+        assert!(!Armor::DIGEST.defeats(AckForgery));
+        assert!(!Armor::DIGEST.defeats(Equivocation));
+        for class in [Tamper, Replay, SenderForgery, AckForgery, Equivocation] {
+            assert!(Armor::PROVENANCE.defeats(class), "{class:?}");
+        }
+        assert_eq!(Armor::level(9), Armor::MAX, "levels clamp to the ladder");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in MutationKind::ALL {
+            assert_eq!(MutationKind::from_name(kind.name()), Some(kind));
+        }
+        for kind in AttackKind::ALL {
+            assert_eq!(AttackKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(MutationKind::from_name("bogus"), None);
+        assert_eq!(AttackKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn debug_format_lists_windows() {
+        let plan = AdversaryPlan::builder(2)
+            .perturb(ProcessId(0), ProcessId(1), 7, Time(3), Some(Time(9)))
+            .build();
+        let s = format!("{plan:?}");
+        assert!(s.contains("perturb p0→p1"), "{s}");
+        assert!(s.contains("x=7"), "{s}");
+        assert!(s.contains("t3"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        let _ = AdversaryPlan::builder(2).flip(ProcessId(0), ProcessId(1), Time(5), Some(Time(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn offset_out_of_stride_rejected() {
+        let _ = AdversaryPlan::builder(2).mutate(MutationWindow {
+            src: ProcessId(0),
+            dst: ProcessId(1),
+            kind: MutationKind::Flip,
+            x: 0,
+            stride: 2,
+            offset: 2,
+            from: Time(0),
+            until: None,
+        });
+    }
+}

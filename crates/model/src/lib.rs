@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod environment;
 mod failure;
 mod fd;
@@ -52,6 +53,10 @@ mod proptests;
 mod time;
 mod value;
 
+pub use adversary::{
+    AdversaryPlan, AdversaryPlanBuilder, Armor, AttackClass, AttackKind, AttackSpec, MutationKind,
+    MutationWindow,
+};
 pub use environment::Environment;
 pub use failure::{FailurePattern, FailurePatternBuilder};
 pub use fd::{FailureDetector, FdOutput, NoDetector};

@@ -29,11 +29,13 @@
 #![warn(missing_docs)]
 
 mod abd;
+mod byzantine;
 mod client;
 mod extraction;
 mod linearizability;
 
 pub use abd::{abd_processes, abd_processes_with_rule, AbdMsg, AbdRegister, QuorumRule, Timestamp};
+pub use byzantine::{split_ack_processes, SplitAckForger};
 pub use client::WorkloadSpec;
 pub use extraction::{extracting, SigmaExtractor};
 pub use linearizability::{

@@ -77,7 +77,7 @@ pub use dpor::{wake_process, wake_races, SleepKey, SleepSet};
 pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResult};
 pub use fingerprint::{fnv1a_64, Fnv64};
 pub use hb::{HbState, VClock};
-pub use network::Network;
+pub use network::{Corruptible, Network};
 pub use repro::{
     shrink_schedule, Schedule, ScheduleError, ShrinkOptions, ShrinkReport, SCHEDULE_VERSION,
 };

@@ -26,10 +26,39 @@
 // by the tree's size invariant (see ArrivalQueue docs).
 use crate::automaton::{Envelope, MsgId};
 use crate::fingerprint::Fnv64;
-use sih_model::{LinkFaultPlan, ProcessId, SendFate, Time};
+use sih_model::{AdversaryPlan, Armor, LinkFaultPlan, MutationKind, ProcessId, SendFate, Time};
 use std::cell::Cell;
 use std::fmt;
 use std::sync::Arc;
+
+/// A protocol message the mutation adversary knows how to corrupt.
+///
+/// Each protocol crate implements this for its message enum; the default
+/// body makes every mutation inexpressible, so toy/test message types can
+/// opt in with an empty `impl Corruptible for M {}`. Implementations must
+/// be **pure**: the same `(self, kind, x)` always yields the same result,
+/// or replay determinism breaks.
+///
+/// Only [`MutationKind::Flip`], [`MutationKind::Perturb`] and
+/// [`MutationKind::ForgeAck`] are routed here — sender forgeries and
+/// stale replays are envelope-level operations the [`Network`] performs
+/// itself.
+pub trait Corruptible: Sized {
+    /// The corrupted message for mutation `kind` with deterministic
+    /// parameter `x`, or `None` when the mutation cannot be expressed on
+    /// this message (the send then crosses untouched).
+    fn corrupt(&self, kind: MutationKind, x: u64) -> Option<Self> {
+        let _ = (kind, x);
+        None
+    }
+}
+
+/// Monomorphized [`Corruptible::corrupt`] entry point, stored as a plain
+/// fn pointer in [`AdversaryState`] so the generic [`Network`] send path
+/// needs no `Corruptible` bound (only [`Network::set_adversary`] does).
+fn corrupt_thunk<M: Corruptible>(m: &M, kind: MutationKind, x: u64) -> Option<M> {
+    m.corrupt(kind, x)
+}
 
 /// A queued payload: owned for unicasts, ref-counted for fan-outs.
 ///
@@ -94,6 +123,10 @@ struct Slot<M> {
     from: ProcessId,
     sent_at: Time,
     payload: Payload<M>,
+    /// Whether the mutation adversary touched this envelope (corrupted
+    /// payload, forged sender, or stale replay). Tampered deliveries are
+    /// counted in `mutated_count` instead of `delivered_count`.
+    tampered: bool,
     fp: Cell<Option<u64>>,
 }
 
@@ -316,6 +349,65 @@ impl Clone for LinkFaultState {
     }
 }
 
+/// Installed message-mutation adversary: the plan, the armor level of the
+/// honest processes, the per-directed-link mutation counters, and the
+/// per-link stale-payload stash that feeds [`MutationKind::Replay`].
+///
+/// Boxed and optional on [`Network`] like [`LinkFaultState`]: the honest
+/// (default) case pays one pointer of space and a null check per send.
+struct AdversaryState<M> {
+    plan: AdversaryPlan,
+    armor: Armor,
+    /// `sends[src * n + dst]`: sends consulted so far on that directed
+    /// link (independent of the link-fault counters; only sends that
+    /// survive a drop window reach the adversary).
+    sends: Vec<u64>,
+    /// `stash[src * n + dst]`: the most recent *untampered* payload sent
+    /// on that link — what a stale replay re-injects. Only maintained for
+    /// links some `Replay` window targets (see `stash_links`); consumed
+    /// originals never re-enter the stash, so a replayed envelope cannot
+    /// be resurrected a second time by the stash itself (retransmission
+    /// layers like `Stubborn` stay the only legitimate resenders).
+    stash: Vec<Option<M>>,
+    /// `stash_links[link]`: whether any replay window targets the link.
+    stash_links: Vec<bool>,
+    /// Monomorphized [`Corruptible::corrupt`] (see [`corrupt_thunk`]).
+    corrupt: fn(&M, MutationKind, u64) -> Option<M>,
+}
+
+impl<M: Clone> Clone for AdversaryState<M> {
+    fn clone(&self) -> Self {
+        AdversaryState {
+            plan: self.plan.clone(),
+            armor: self.armor,
+            sends: self.sends.clone(),
+            stash: self.stash.clone(),
+            stash_links: self.stash_links.clone(),
+            corrupt: self.corrupt,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.plan.clone_from(&source.plan);
+        self.armor = source.armor;
+        self.sends.clone_from(&source.sends);
+        self.stash.clone_from(&source.stash);
+        self.stash_links.clone_from(&source.stash_links);
+        self.corrupt = source.corrupt;
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for AdversaryState<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdversaryState")
+            .field("plan", &self.plan)
+            .field("armor", &self.armor)
+            .field("sends", &self.sends)
+            .field("stash", &self.stash)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The in-flight message state of a run.
 #[derive(Debug)]
 pub struct Network<M> {
@@ -326,8 +418,14 @@ pub struct Network<M> {
     delivered_count: u64,
     dropped_count: u64,
     duplicated_count: u64,
+    mutated_count: u64,
+    forged_count: u64,
+    armored_count: u64,
     /// The link-fault adversary, if one is installed (`None` = reliable).
     faults: Option<Box<LinkFaultState>>,
+    /// The message-mutation adversary, if one is installed
+    /// (`None` = authenticated channels, the paper's model).
+    adversary: Option<Box<AdversaryState<M>>>,
     /// Empty→nonempty queue transitions since the last drain, when wake
     /// tracking is on (`None` = off, the default — see
     /// [`Network::set_wake_tracking`]).
@@ -344,7 +442,11 @@ impl<M: Clone> Clone for Network<M> {
             delivered_count: self.delivered_count,
             dropped_count: self.dropped_count,
             duplicated_count: self.duplicated_count,
+            mutated_count: self.mutated_count,
+            forged_count: self.forged_count,
+            armored_count: self.armored_count,
             faults: self.faults.clone(),
+            adversary: self.adversary.clone(),
             woken: self.woken.clone(),
         }
     }
@@ -356,7 +458,14 @@ impl<M: Clone> Clone for Network<M> {
         self.delivered_count = source.delivered_count;
         self.dropped_count = source.dropped_count;
         self.duplicated_count = source.duplicated_count;
+        self.mutated_count = source.mutated_count;
+        self.forged_count = source.forged_count;
+        self.armored_count = source.armored_count;
         match (&mut self.faults, &source.faults) {
+            (Some(dst), Some(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+        match (&mut self.adversary, &source.adversary) {
             (Some(dst), Some(src)) => dst.clone_from(src),
             (dst, src) => *dst = src.clone(),
         }
@@ -429,6 +538,28 @@ impl<M: fmt::Debug> Network<M> {
             }
             h.write_debug(&state.plan);
         }
+        // Mirror: adversary state is hashed only when installed, so both
+        // reliable and faulty-but-honest fingerprints are unchanged.
+        if let Some(adv) = &self.adversary {
+            h.write_u64(0x425A); // "BZ" tag separating the adversary section
+            h.write_u64(self.mutated_count);
+            h.write_u64(self.forged_count);
+            h.write_u64(self.armored_count);
+            for &k in &adv.sends {
+                h.write_u64(k);
+            }
+            for s in &adv.stash {
+                match s {
+                    None => h.write_u64(0),
+                    Some(m) => {
+                        h.write_u64(1);
+                        h.write_debug(m);
+                    }
+                }
+            }
+            h.write_debug(&adv.plan);
+            h.write_u64(u64::from(adv.armor.rung()));
+        }
     }
 }
 
@@ -470,7 +601,11 @@ impl<M: Clone> Network<M> {
             delivered_count: 0,
             dropped_count: 0,
             duplicated_count: 0,
+            mutated_count: 0,
+            forged_count: 0,
+            armored_count: 0,
             faults: None,
+            adversary: None,
             woken: None,
         }
     }
@@ -481,8 +616,9 @@ impl<M: Clone> Network<M> {
     }
 
     /// Empties the network for reuse, keeping queue allocations. Also
-    /// uninstalls any link-fault plan — a pooled simulation starts
-    /// reliable until the next [`Network::set_link_faults`].
+    /// uninstalls any link-fault plan and any mutation adversary — a
+    /// pooled simulation starts reliable and honest until the next
+    /// [`Network::set_link_faults`] / [`Network::set_adversary`].
     pub fn reset(&mut self) {
         for q in &mut self.queues {
             q.clear();
@@ -492,7 +628,11 @@ impl<M: Clone> Network<M> {
         self.delivered_count = 0;
         self.dropped_count = 0;
         self.duplicated_count = 0;
+        self.mutated_count = 0;
+        self.forged_count = 0;
+        self.armored_count = 0;
         self.faults = None;
+        self.adversary = None;
         self.woken = None;
     }
 
@@ -511,6 +651,114 @@ impl<M: Clone> Network<M> {
     /// The installed link-fault plan, if any.
     pub fn link_fault_plan(&self) -> Option<&LinkFaultPlan> {
         self.faults.as_ref().map(|s| &s.plan)
+    }
+
+    /// Installs a message-mutation adversary; subsequent sends consult
+    /// its plan, with `armor` deciding which attack classes the honest
+    /// processes neutralize. Per-link mutation counters start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's process count differs from the network's.
+    pub fn set_adversary(&mut self, plan: AdversaryPlan, armor: Armor)
+    where
+        M: Corruptible,
+    {
+        assert_eq!(plan.n(), self.n(), "plan size must match the network");
+        let n = self.n();
+        let links = n * n;
+        let mut stash_links = vec![false; links];
+        for w in plan.windows() {
+            if w.kind == MutationKind::Replay {
+                stash_links[w.src.index() * n + w.dst.index()] = true;
+            }
+        }
+        self.adversary = Some(Box::new(AdversaryState {
+            plan,
+            armor,
+            sends: vec![0; links],
+            stash: (0..links).map(|_| None).collect(),
+            stash_links,
+            corrupt: corrupt_thunk::<M>,
+        }));
+    }
+
+    /// The installed adversary plan, if any.
+    pub fn adversary_plan(&self) -> Option<&AdversaryPlan> {
+        self.adversary.as_ref().map(|s| &s.plan)
+    }
+
+    /// The armor level of the installed adversary, if any.
+    pub fn armor(&self) -> Option<Armor> {
+        self.adversary.as_ref().map(|s| s.armor)
+    }
+
+    /// Uninstalls the mutation adversary (counters and queues are left
+    /// untouched), returning its plan and armor if one was installed.
+    /// The differential armor suite uses this to compare terminal
+    /// fingerprints against adversary-free baselines.
+    pub fn take_adversary(&mut self) -> Option<(AdversaryPlan, Armor)> {
+        self.adversary.take().map(|s| (s.plan, s.armor))
+    }
+
+    /// Consults the installed adversary for one send `from -> to` at
+    /// `sent_at` that survived the link-fault layer. Returns `None` when
+    /// the envelope crosses untouched, or `Some((payload, sender))` with
+    /// the corrupted payload and (possibly forged) sender id when it was
+    /// tampered with. Counter side effects: `armored_count` for
+    /// neutralized actions, `forged_count` for sender/ack forgeries, and
+    /// the per-link stash for future stale replays (clean sends only —
+    /// consumed originals are gone for good).
+    fn consult_adversary(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        sent_at: Time,
+        payload: &M,
+    ) -> Option<(M, ProcessId)> {
+        let n = self.queues.len();
+        let adv = self.adversary.as_deref_mut()?;
+        let link = from.index() * n + to.index();
+        let k = adv.sends[link];
+        adv.sends[link] += 1;
+        let mut result: Option<(M, ProcessId)> = None;
+        if let Some((kind, x)) = adv.plan.action(from, to, sent_at, k) {
+            if adv.armor.defeats(kind.class()) {
+                self.armored_count += 1;
+            } else {
+                match kind {
+                    MutationKind::ForgeSender => {
+                        // Forge `x mod n`, skipping the true sender (a
+                        // one-process system has nobody to impersonate).
+                        if n > 1 {
+                            let mut f = (x % n as u64) as u32;
+                            if f == from.0 {
+                                f = (f + 1) % n as u32;
+                            }
+                            self.forged_count += 1;
+                            result = Some((payload.clone(), ProcessId(f)));
+                        }
+                    }
+                    MutationKind::Replay => {
+                        if let Some(stale) = &adv.stash[link] {
+                            result = Some((stale.clone(), from));
+                        }
+                    }
+                    MutationKind::Flip | MutationKind::Perturb | MutationKind::ForgeAck => {
+                        if let Some(m) = (adv.corrupt)(payload, kind, x) {
+                            if kind == MutationKind::ForgeAck {
+                                self.forged_count += 1;
+                            }
+                            result = Some((m, from));
+                        }
+                    }
+                }
+            }
+        }
+        if result.is_none() && adv.stash_links[link] {
+            adv.stash[link] = Some(payload.clone());
+        }
+        result
     }
 
     /// Enqueues a message; returns its id.
@@ -547,16 +795,21 @@ impl<M: Clone> Network<M> {
             SendFate::Deliver { copies } => {
                 self.sent_count += copies;
                 self.duplicated_count += copies - 1;
+                let (payload, from, tampered) =
+                    match self.consult_adversary(from, to, sent_at, &payload) {
+                        Some((m, f)) => (m, f, true),
+                        None => (payload, from, false),
+                    };
                 let queue = &mut self.queues[to.index()];
                 let was_empty = queue.len() == 0;
                 for _ in 1..copies {
                     let payload = Payload::Inline(payload.clone());
-                    queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None) });
+                    queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None), tampered });
                 }
                 // The last copy moves the payload: the reliable fast path
                 // (copies == 1) clones nothing.
                 let payload = Payload::Inline(payload);
-                queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None) });
+                queue.push(Slot { id, from, sent_at, payload, fp: Cell::new(None), tampered });
                 if was_empty {
                     if let Some(tracked) = &mut self.woken {
                         tracked.push(to);
@@ -616,16 +869,44 @@ impl<M: Clone> Network<M> {
                 SendFate::Deliver { copies } => {
                     self.sent_count += copies;
                     self.duplicated_count += copies - 1;
+                    let mutated = self.consult_adversary(from, to, sent_at, &shared);
                     let queue = &mut self.queues[to.index()];
                     let was_empty = queue.len() == 0;
-                    for _ in 0..copies {
-                        queue.push(Slot {
-                            id,
-                            from,
-                            sent_at,
-                            payload: Payload::Shared(Arc::clone(&shared)),
-                            fp: Cell::new(None),
-                        });
+                    match mutated {
+                        Some((m, f)) => {
+                            // A tampered recipient leaves the shared batch:
+                            // its copies carry the corrupted payload inline.
+                            for _ in 1..copies {
+                                queue.push(Slot {
+                                    id,
+                                    from: f,
+                                    sent_at,
+                                    payload: Payload::Inline(m.clone()),
+                                    fp: Cell::new(None),
+                                    tampered: true,
+                                });
+                            }
+                            queue.push(Slot {
+                                id,
+                                from: f,
+                                sent_at,
+                                payload: Payload::Inline(m),
+                                fp: Cell::new(None),
+                                tampered: true,
+                            });
+                        }
+                        None => {
+                            for _ in 0..copies {
+                                queue.push(Slot {
+                                    id,
+                                    from,
+                                    sent_at,
+                                    payload: Payload::Shared(Arc::clone(&shared)),
+                                    fp: Cell::new(None),
+                                    tampered: false,
+                                });
+                            }
+                        }
                     }
                     if was_empty {
                         if let Some(tracked) = &mut self.woken {
@@ -707,8 +988,14 @@ impl<M: Clone> Network<M> {
     ///
     /// Panics if `index` is out of range.
     pub fn deliver(&mut self, to: ProcessId, index: usize) -> Envelope<M> {
-        self.delivered_count += 1;
         let slot = self.queues[to.index()].remove(index);
+        // Tampered envelopes count as `mutated`, not `delivered`, keeping
+        // `sent == delivered + dropped + mutated + in_flight` exact.
+        if slot.tampered {
+            self.mutated_count += 1;
+        } else {
+            self.delivered_count += 1;
+        }
         Envelope {
             id: slot.id,
             from: slot.from,
@@ -737,6 +1024,27 @@ impl<M: Clone> Network<M> {
     /// duplicate copy beyond a send's first).
     pub fn duplicated_count(&self) -> u64 {
         self.duplicated_count
+    }
+
+    /// Total tampered envelopes removed from the queues so far. A
+    /// tampered delivery counts here *instead of* in `delivered_count`,
+    /// so `sent == delivered + dropped + mutated + in_flight` stays
+    /// exact with or without an adversary.
+    pub fn mutated_count(&self) -> u64 {
+        self.mutated_count
+    }
+
+    /// Total sends on which the adversary forged provenance (a fake
+    /// sender id or a fabricated quorum ack). Counted at send time; a
+    /// forged envelope also counts in `mutated_count` once delivered.
+    pub fn forged_count(&self) -> u64 {
+        self.forged_count
+    }
+
+    /// Total adversary actions neutralized by the installed armor rung
+    /// (the send crossed untouched).
+    pub fn armored_count(&self) -> u64 {
+        self.armored_count
     }
 
     /// Total messages still in flight.
@@ -948,6 +1256,159 @@ mod tests {
         faulty2.set_link_faults(LinkFaultPlan::reliable(2));
         faulty2.send(ProcessId(0), ProcessId(1), Time(1), 5);
         assert_eq!(fp(&faulty), fp(&faulty2));
+    }
+
+    /// Test payload: `corrupt` arithmetic chosen so every mutation kind
+    /// is observable and total (never `None`) except stale replays,
+    /// which the network serves from its stash.
+    impl Corruptible for u8 {
+        fn corrupt(&self, kind: MutationKind, x: u64) -> Option<u8> {
+            match kind {
+                MutationKind::Flip => Some(!*self),
+                MutationKind::Perturb => Some(self.wrapping_add(x as u8)),
+                MutationKind::ForgeAck => Some(x as u8),
+                MutationKind::Replay | MutationKind::ForgeSender => None,
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_mutates_deterministically_and_invariant_holds() {
+        use sih_model::AdversaryPlan;
+        let plan = AdversaryPlan::builder(2)
+            .perturb(ProcessId(0), ProcessId(1), 100, Time(0), None)
+            .build();
+        let run = || {
+            let mut net: Network<u8> = Network::new(2);
+            net.set_adversary(plan.clone(), Armor::NONE);
+            net.send(ProcessId(0), ProcessId(1), Time(1), 10); // perturbed
+            net.send(ProcessId(1), ProcessId(0), Time(1), 20); // other link: clean
+            let a = net.deliver(ProcessId(1), 0);
+            let b = net.deliver(ProcessId(0), 0);
+            (a.payload, b.payload, net.mutated_count(), net.delivered_count())
+        };
+        assert_eq!(run(), (110, 20, 1, 1));
+        assert_eq!(run(), run());
+        // The extended invariant: mutated deliveries are not `delivered`.
+        let mut net: Network<u8> = Network::new(2);
+        net.set_adversary(plan, Armor::NONE);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 1);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 2);
+        net.deliver(ProcessId(1), 0);
+        assert_eq!(
+            net.sent_count(),
+            net.delivered_count()
+                + net.dropped_count()
+                + net.mutated_count()
+                + net.in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn armor_neutralizes_defeated_classes_at_the_send() {
+        use sih_model::AdversaryPlan;
+        let plan =
+            AdversaryPlan::builder(2).flip(ProcessId(0), ProcessId(1), Time(0), None).build();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_adversary(plan, Armor::DIGEST); // rung 2 defeats Tamper
+        net.send(ProcessId(0), ProcessId(1), Time(1), 10);
+        let e = net.deliver(ProcessId(1), 0);
+        assert_eq!(e.payload, 10); // crossed untouched
+        assert_eq!(net.armored_count(), 1);
+        assert_eq!(net.mutated_count(), 0);
+        assert_eq!(net.delivered_count(), 1);
+    }
+
+    #[test]
+    fn forged_sender_rewrites_the_envelope_provenance() {
+        use sih_model::AdversaryPlan;
+        let plan = AdversaryPlan::builder(3)
+            .forge_sender(ProcessId(0), ProcessId(1), 2, Time(0), None)
+            .build();
+        let mut net: Network<u8> = Network::new(3);
+        net.set_adversary(plan, Armor::NONE);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 7);
+        let e = net.deliver(ProcessId(1), 0);
+        assert_eq!(e.from, ProcessId(2)); // impersonates p2 (= x mod n)
+        assert_eq!(e.payload, 7);
+        assert_eq!(net.forged_count(), 1);
+        assert_eq!(net.mutated_count(), 1);
+    }
+
+    #[test]
+    fn replay_serves_stale_payloads_without_resurrecting_consumed_ones() {
+        use sih_model::{AdversaryPlan, MutationWindow};
+        // Replay every second send on 0 -> 1 (k % 2 == 1).
+        let plan = AdversaryPlan::builder(2)
+            .mutate(MutationWindow {
+                src: ProcessId(0),
+                dst: ProcessId(1),
+                kind: MutationKind::Replay,
+                x: 0,
+                stride: 2,
+                offset: 1,
+                from: Time(0),
+                until: None,
+            })
+            .build();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_adversary(plan, Armor::NONE);
+        // k=0: clean, stashed. k=1: replaced by the stale 10 — the
+        // intended 11 is consumed and must never reappear. k=2: clean
+        // again (restashes 12). k=3: replays 12, not the consumed 11.
+        net.send(ProcessId(0), ProcessId(1), Time(1), 10);
+        net.send(ProcessId(0), ProcessId(1), Time(2), 11);
+        net.send(ProcessId(0), ProcessId(1), Time(3), 12);
+        net.send(ProcessId(0), ProcessId(1), Time(4), 13);
+        let got: Vec<u8> = (0..4).map(|_| net.deliver(ProcessId(1), 0).payload).collect();
+        assert_eq!(got, vec![10, 10, 12, 12]);
+        assert_eq!(net.mutated_count(), 2);
+        // A replay window with an empty stash passes the send through.
+        let plan =
+            AdversaryPlan::builder(2).replay(ProcessId(0), ProcessId(1), Time(0), None).build();
+        let mut net: Network<u8> = Network::new(2);
+        net.set_adversary(plan, Armor::NONE);
+        net.send(ProcessId(0), ProcessId(1), Time(1), 42);
+        assert_eq!(net.deliver(ProcessId(1), 0).payload, 42);
+        assert_eq!(net.mutated_count(), 0);
+    }
+
+    #[test]
+    fn adversary_free_fingerprints_ignore_the_adversary_machinery() {
+        use crate::fingerprint::Fnv64;
+        use sih_model::AdversaryPlan;
+        let fp = |net: &Network<u8>| {
+            let mut h = Fnv64::new();
+            net.fingerprint_into(&mut h);
+            h.finish()
+        };
+        let mut plain: Network<u8> = Network::new(2);
+        plain.send(ProcessId(0), ProcessId(1), Time(1), 5);
+        // An installed (even honest) adversary widens the fingerprint
+        // domain, exactly like an installed fault plan...
+        let mut adv: Network<u8> = Network::new(2);
+        adv.set_adversary(AdversaryPlan::honest(2), Armor::NONE);
+        adv.send(ProcessId(0), ProcessId(1), Time(1), 5);
+        assert_ne!(fp(&plain), fp(&adv));
+        // ...but uninstalling it restores the baseline domain: this is
+        // what the differential armor suite relies on.
+        adv.take_adversary();
+        assert_eq!(fp(&plain), fp(&adv));
+    }
+
+    #[test]
+    fn broadcast_consults_the_adversary_per_recipient() {
+        use sih_model::AdversaryPlan;
+        let plan =
+            AdversaryPlan::builder(3).perturb(ProcessId(0), ProcessId(2), 5, Time(0), None).build();
+        let mut net: Network<u8> = Network::new(3);
+        net.set_adversary(plan, Armor::NONE);
+        net.broadcast(ProcessId(0), Time(1), 10, 3, None);
+        assert_eq!(net.deliver(ProcessId(0), 0).payload, 10);
+        assert_eq!(net.deliver(ProcessId(1), 0).payload, 10);
+        assert_eq!(net.deliver(ProcessId(2), 0).payload, 15);
+        assert_eq!(net.mutated_count(), 1);
+        assert_eq!(net.delivered_count(), 2);
     }
 
     #[test]

@@ -41,14 +41,44 @@
 //! index 4 of `pI`'s arrival-ordered pending queue. The `verdict` is a
 //! stable property-level token (e.g. `violation:agreement`, `panic`), not
 //! a detail string, so it survives shrinking unchanged.
+//!
+//! # Format (version 2)
+//!
+//! Version 2 extends v1 with the Byzantine adversary environment — a
+//! mutation plan, an optional scripted protocol attack, and the armor
+//! rung the honest processes ran with:
+//!
+//! ```text
+//! sih-schedule v2
+//! checker: fig2-byz-perturb
+//! n: 3
+//! k: 2
+//! seed: 7
+//! max-steps: 40
+//! verdict: violation:agreement
+//! armor: 1
+//! adversary: perturb p0->p1 0%1 @[0, 40) x=9
+//! adversary: forge-sender p2->p0 1%3 @[5, inf) x=1
+//! attack: equivocate x=3
+//! choice: p0 .
+//! choice: p1 0
+//! ```
+//!
+//! Both versions parse; [`Schedule::to_text`] emits v1 whenever every
+//! adversary field is at its default (honest plan, no attack, no armor),
+//! so pre-existing corpus files round-trip byte-identically.
 
 use crate::scheduler::Choice;
 use crate::{Automaton, Simulation};
-use sih_model::{FailurePattern, LinkFault, LinkFaultPlan, LinkFaultWindow, ProcessId, Time};
+use sih_model::{
+    AdversaryPlan, Armor, AttackKind, AttackSpec, FailurePattern, LinkFault, LinkFaultPlan,
+    LinkFaultWindow, MutationKind, MutationWindow, ProcessId, Time,
+};
 use std::fmt;
 
-/// The schedule format version this build reads and writes.
-pub const SCHEDULE_VERSION: u32 = 1;
+/// The schedule format version this build writes when any adversary field
+/// is non-default (it reads both v1 and v2).
+pub const SCHEDULE_VERSION: u32 = 2;
 
 /// A self-contained, replayable record of one run: workload identity and
 /// parameters, the full fault environment, and the exact choice sequence.
@@ -74,6 +104,13 @@ pub struct Schedule {
     pub pattern: FailurePattern,
     /// Link-fault plan of the run ([`LinkFaultPlan::reliable`] if none).
     pub faults: LinkFaultPlan,
+    /// Mutation-adversary plan of the run ([`AdversaryPlan::honest`] if
+    /// none was installed).
+    pub adversary: AdversaryPlan,
+    /// Scripted protocol attack the workload ran with, if any.
+    pub attack: Option<AttackSpec>,
+    /// Armor rung the honest processes ran with.
+    pub armor: Armor,
     /// The executed choice sequence, step by step.
     pub choices: Vec<Choice>,
     /// Property-level verdict token the schedule reproduces.
@@ -153,16 +190,31 @@ impl Schedule {
                 .link_fault_plan()
                 .cloned()
                 .unwrap_or_else(|| LinkFaultPlan::reliable(n)),
+            adversary: sim
+                .network()
+                .adversary_plan()
+                .cloned()
+                .unwrap_or_else(|| AdversaryPlan::honest(n)),
+            attack: None, // a workload-level concept; the recorder fills it in
+            armor: sim.network().armor().unwrap_or(Armor::NONE),
             choices: sim.script().to_vec(),
             verdict: verdict.into(),
         }
+    }
+
+    /// Whether every adversary field is at its default — such schedules
+    /// serialize in the v1 grammar, keeping pre-adversary corpus files
+    /// byte-stable.
+    fn adversary_free(&self) -> bool {
+        self.adversary.is_honest() && self.attack.is_none() && self.armor == Armor::NONE
     }
 
     /// Serializes to the versioned text format (parseable by
     /// [`Schedule::parse`]; round-trips exactly).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("sih-schedule v{SCHEDULE_VERSION}\n"));
+        let version = if self.adversary_free() { 1 } else { SCHEDULE_VERSION };
+        out.push_str(&format!("sih-schedule v{version}\n"));
         out.push_str(&format!("checker: {}\n", self.checker));
         out.push_str(&format!("n: {}\n", self.n));
         out.push_str(&format!("k: {}\n", self.k));
@@ -190,6 +242,30 @@ impl Schedule {
                 w.src, w.dst, w.from.0
             ));
         }
+        if !self.adversary_free() {
+            if self.armor != Armor::NONE {
+                out.push_str(&format!("armor: {}\n", self.armor.rung()));
+            }
+            for w in self.adversary.windows() {
+                let until = match w.until {
+                    Some(u) => u.0.to_string(),
+                    None => "inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "adversary: {} {}->{} {}%{} @[{}, {until}) x={}\n",
+                    w.kind.name(),
+                    w.src,
+                    w.dst,
+                    w.offset,
+                    w.stride,
+                    w.from.0,
+                    w.x
+                ));
+            }
+            if let Some(a) = self.attack {
+                out.push_str(&format!("attack: {} x={}\n", a.kind.name(), a.x));
+            }
+        }
         for c in &self.choices {
             match c.deliver {
                 None => out.push_str(&format!("choice: {} .\n", c.p)),
@@ -210,7 +286,7 @@ impl Schedule {
 
         let (lineno, header) = lines.next().ok_or(ScheduleError::MissingHeader)?;
         let version = header.strip_prefix("sih-schedule v").ok_or(ScheduleError::MissingHeader)?;
-        if version.parse::<u32>() != Ok(SCHEDULE_VERSION) {
+        if !matches!(version.parse::<u32>(), Ok(v) if (1..=SCHEDULE_VERSION).contains(&v)) {
             let _ = lineno;
             return Err(ScheduleError::UnsupportedVersion { found: version.to_string() });
         }
@@ -223,6 +299,9 @@ impl Schedule {
         let mut verdict: Option<String> = None;
         let mut crashes: Vec<(ProcessId, Option<Time>)> = Vec::new();
         let mut windows: Vec<LinkFaultWindow> = Vec::new();
+        let mut adv_windows: Vec<MutationWindow> = Vec::new();
+        let mut attack: Option<AttackSpec> = None;
+        let mut armor = Armor::NONE;
         let mut choices: Vec<Choice> = Vec::new();
 
         for (lineno, line) in lines {
@@ -250,6 +329,21 @@ impl Schedule {
                     ));
                 }
                 "link" => windows.push(parse_window(rest, lineno)?),
+                "adversary" => adv_windows.push(parse_mutation(rest, lineno)?),
+                "attack" => attack = Some(parse_attack(rest, lineno)?),
+                "armor" => {
+                    let rung = parse_num(rest, lineno, "armor rung")?;
+                    if rung > u64::from(Armor::MAX.rung()) {
+                        return Err(ScheduleError::Malformed {
+                            line: lineno,
+                            detail: format!(
+                                "armor rung {rung} exceeds the ladder top {}",
+                                Armor::MAX.rung()
+                            ),
+                        });
+                    }
+                    armor = Armor::level(rung as u8);
+                }
                 "choice" => {
                     let mut toks = rest.split_whitespace();
                     let p = parse_pid(
@@ -294,6 +388,9 @@ impl Schedule {
             max_steps,
             pattern: pb.build_unchecked(),
             faults: plan_from_windows(n, &windows),
+            adversary: adversary_from_windows(n, &adv_windows),
+            attack,
+            armor,
             choices,
             verdict,
         })
@@ -360,6 +457,65 @@ fn parse_window(rest: &str, line: usize) -> Result<LinkFaultWindow, ScheduleErro
     Ok(LinkFaultWindow { src, dst, fault, from, until })
 }
 
+/// Parses `perturb p0->p1 0%1 @[0, 40) x=9` (same link/selector/span
+/// grammar as `link:`, plus a mutation kind and its `x` parameter).
+fn parse_mutation(rest: &str, line: usize) -> Result<MutationWindow, ScheduleError> {
+    let bad = |detail: String| ScheduleError::Malformed { line, detail };
+    let (rest, x) = match rest.rsplit_once("x=") {
+        Some((head, x)) => (head.trim(), parse_num(x.trim(), line, "mutation x")?),
+        None => return Err(bad(format!("adversary line needs a trailing `x=N`, got `{rest}`"))),
+    };
+    let mut toks = rest.split_whitespace();
+    let kind = toks.next().ok_or_else(|| bad("empty adversary spec".to_string()))?;
+    let kind = MutationKind::from_name(kind)
+        .ok_or_else(|| bad(format!("unknown mutation kind `{kind}`")))?;
+    let linkspec = toks.next().ok_or_else(|| bad("adversary needs `pI->pJ`".to_string()))?;
+    let sel = toks.next().ok_or_else(|| bad("adversary needs `offset%stride`".to_string()))?;
+    let span: String = toks.collect::<Vec<_>>().join(" ");
+
+    let (src, dst) = linkspec
+        .split_once("->")
+        .ok_or_else(|| bad(format!("expected `pI->pJ`, got `{linkspec}`")))?;
+    let (src, dst) = (parse_pid(src, line)?, parse_pid(dst, line)?);
+
+    let (offset, stride) =
+        sel.split_once('%').ok_or_else(|| bad(format!("expected `offset%stride`, got `{sel}`")))?;
+    let (offset, stride) = (parse_num(offset, line, "offset")?, parse_num(stride, line, "stride")?);
+    if stride == 0 || offset >= stride {
+        return Err(bad(format!("selector `{offset}%{stride}` needs offset < stride, stride > 0")));
+    }
+
+    let span = span
+        .strip_prefix("@[")
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| bad(format!("expected `@[from, until)`, got `{span}`")))?;
+    let (from, until) =
+        span.split_once(',').ok_or_else(|| bad(format!("expected `from, until`, got `{span}`")))?;
+    let from = Time(parse_num(from.trim(), line, "window start")?);
+    let until = match until.trim() {
+        "inf" => None,
+        t => Some(Time(parse_num(t, line, "window end")?)),
+    };
+    if let Some(u) = until {
+        if u <= from {
+            return Err(bad(format!("empty adversary window @[{}, {})", from.0, u.0)));
+        }
+    }
+    Ok(MutationWindow { src, dst, kind, x, stride, offset, from, until })
+}
+
+/// Parses `equivocate x=3` / `split-ack x=1`.
+fn parse_attack(rest: &str, line: usize) -> Result<AttackSpec, ScheduleError> {
+    let bad = |detail: String| ScheduleError::Malformed { line, detail };
+    let (name, x) = match rest.rsplit_once("x=") {
+        Some((head, x)) => (head.trim(), parse_num(x.trim(), line, "attack x")?),
+        None => (rest.trim(), 0),
+    };
+    let kind =
+        AttackKind::from_name(name).ok_or_else(|| bad(format!("unknown attack `{name}`")))?;
+    Ok(AttackSpec { kind, x })
+}
+
 /// Rebuilds a plan from an explicit window list (used by the parser and
 /// the shrinker's window mutations).
 fn plan_from_windows(n: usize, windows: &[LinkFaultWindow]) -> LinkFaultPlan {
@@ -373,6 +529,16 @@ fn plan_from_windows(n: usize, windows: &[LinkFaultWindow]) -> LinkFaultPlan {
                 b.duplicate_every(w.src, w.dst, stride, offset, w.from, w.until)
             }
         };
+    }
+    b.build()
+}
+
+/// Rebuilds an adversary plan from an explicit window list (used by the
+/// parser and the shrinker's window mutations).
+fn adversary_from_windows(n: usize, windows: &[MutationWindow]) -> AdversaryPlan {
+    let mut b = AdversaryPlan::builder(n);
+    for &w in windows {
+        b = b.mutate(w);
     }
     b.build()
 }
@@ -448,9 +614,11 @@ pub struct ShrinkReport {
 ///    halving granularity (drops deliveries and compute steps);
 /// 2. **fault windows** — remove whole windows; close never-healing
 ///    windows; halve window spans;
-/// 3. **crashes** — remove crashes entirely, or merge a mid-run crash
+/// 3. **adversary** — drop the scripted attack; remove whole mutation
+///    windows; close never-ending windows; halve window spans;
+/// 4. **crashes** — remove crashes entirely, or merge a mid-run crash
 ///    window into crash-from-start;
-/// 4. **n-reduction** — drop the highest process while nothing in the
+/// 5. **n-reduction** — drop the highest process while nothing in the
 ///    schedule references it and `n > min_n`.
 ///
 /// The algorithm is serial and deterministic: passes run in a fixed
@@ -484,6 +652,7 @@ where
         let mut changed = false;
         changed |= ddmin_pass(&mut best, eval, &mut report);
         changed |= fault_pass(&mut best, eval, &mut report);
+        changed |= adversary_pass(&mut best, eval, &mut report);
         changed |= crash_pass(&mut best, eval, &mut report);
         changed |= reduce_n_pass(&mut best, opts.min_n, eval, &mut report);
         if !changed {
@@ -592,6 +761,62 @@ where
     any
 }
 
+fn adversary_pass<F>(best: &mut Schedule, eval: &mut F, report: &mut ShrinkReport) -> bool
+where
+    F: FnMut(&Schedule) -> Option<Schedule>,
+{
+    let mut any = false;
+    // Drop the scripted attack first: if the mutation windows alone
+    // reproduce, the minimal witness should say so.
+    if best.attack.is_some() {
+        let mut cand = best.clone();
+        cand.attack = None;
+        any |= try_accept(best, cand, eval, report);
+    }
+    // Remove whole mutation windows (retry in place after a hit).
+    let mut i = 0;
+    while i < best.adversary.windows().len() {
+        let mut ws = best.adversary.windows().to_vec();
+        ws.remove(i);
+        let mut cand = best.clone();
+        cand.adversary = adversary_from_windows(cand.n, &ws);
+        if try_accept(best, cand, eval, report) {
+            any = true;
+        } else {
+            i += 1;
+        }
+    }
+    // Close never-ending windows at the step horizon, then halve spans.
+    for i in 0..best.adversary.windows().len() {
+        let w = best.adversary.windows()[i];
+        if w.until.is_none() {
+            let mut ws = best.adversary.windows().to_vec();
+            ws[i].until = Some(Time(best.max_steps.max(w.from.0 + 1)));
+            let mut cand = best.clone();
+            cand.adversary = adversary_from_windows(cand.n, &ws);
+            any |= try_accept(best, cand, eval, report);
+        }
+        loop {
+            let w = best.adversary.windows()[i];
+            let Some(u) = w.until else { break };
+            let span = u.0.saturating_sub(w.from.0);
+            if span <= 1 {
+                break;
+            }
+            let mut ws = best.adversary.windows().to_vec();
+            ws[i].until = Some(Time(w.from.0 + span / 2));
+            let mut cand = best.clone();
+            cand.adversary = adversary_from_windows(cand.n, &ws);
+            if try_accept(best, cand, eval, report) {
+                any = true;
+            } else {
+                break;
+            }
+        }
+    }
+    any
+}
+
 fn crash_pass<F>(best: &mut Schedule, eval: &mut F, report: &mut ShrinkReport) -> bool
 where
     F: FnMut(&Schedule) -> Option<Schedule>,
@@ -635,7 +860,8 @@ where
     while best.n > min_n {
         let q = ProcessId((best.n - 1) as u32);
         let referenced = best.choices.iter().any(|c| c.p == q)
-            || best.faults.windows().iter().any(|w| w.src == q || w.dst == q);
+            || best.faults.windows().iter().any(|w| w.src == q || w.dst == q)
+            || best.adversary.windows().iter().any(|w| w.src == q || w.dst == q);
         if referenced {
             break;
         }
@@ -645,6 +871,7 @@ where
         cand.n = best.n - 1;
         cand.pattern = pattern_from_crashes(cand.n, &crashes);
         cand.faults = plan_from_windows(cand.n, best.faults.windows());
+        cand.adversary = adversary_from_windows(cand.n, best.adversary.windows());
         if try_accept(best, cand, eval, report) {
             any = true;
         } else {
@@ -673,6 +900,9 @@ mod tests {
                 .drop_link(ProcessId(0), ProcessId(1), Time(0), Some(Time(200)))
                 .duplicate_every(ProcessId(2), ProcessId(0), 3, 1, Time(5), None)
                 .build(),
+            adversary: AdversaryPlan::honest(4),
+            attack: None,
+            armor: Armor::NONE,
             choices: vec![
                 Choice { p: ProcessId(0), deliver: None },
                 Choice { p: ProcessId(1), deliver: Some(0) },
@@ -682,6 +912,18 @@ mod tests {
         }
     }
 
+    fn byz_sample() -> Schedule {
+        let mut s = sample();
+        s.checker = "fig2-byz-perturb".to_string();
+        s.adversary = AdversaryPlan::builder(4)
+            .perturb(ProcessId(0), ProcessId(1), 9, Time(0), Some(Time(40)))
+            .forge_sender(ProcessId(2), ProcessId(0), 1, Time(5), None)
+            .build();
+        s.attack = Some(AttackSpec { kind: AttackKind::Equivocate, x: 3 });
+        s.armor = Armor::SENDER_ID;
+        s
+    }
+
     #[test]
     fn text_roundtrip_is_exact() {
         let s = sample();
@@ -689,6 +931,55 @@ mod tests {
         let back = Schedule::parse(&text).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn adversary_free_schedules_serialize_as_v1() {
+        let s = sample();
+        assert!(s.to_text().starts_with("sih-schedule v1\n"));
+        assert!(!s.to_text().contains("adversary:"));
+    }
+
+    #[test]
+    fn v2_roundtrip_is_exact() {
+        let s = byz_sample();
+        let text = s.to_text();
+        assert!(text.starts_with("sih-schedule v2\n"));
+        assert!(text.contains("armor: 1\n"));
+        assert!(text.contains("adversary: perturb p0->p1 0%1 @[0, 40) x=9\n"));
+        assert!(text.contains("adversary: forge-sender p2->p0 0%1 @[5, inf) x=1\n"));
+        assert!(text.contains("attack: equivocate x=3\n"));
+        let back = Schedule::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn v2_default_armor_line_is_omitted() {
+        let mut s = byz_sample();
+        s.armor = Armor::NONE;
+        let text = s.to_text();
+        assert!(!text.contains("armor:"));
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn malformed_adversary_lines_are_rejected() {
+        let base = "sih-schedule v2\nchecker: x\nn: 2\nmax-steps: 5\nverdict: ok\n";
+        for bad in [
+            "adversary: warp p0->p1 0%1 @[0, 5) x=1\n", // unknown kind
+            "adversary: flip p0->p1 0%1 @[0, 5)\n",     // missing x=
+            "adversary: flip p0->p1 1%1 @[0, 5) x=1\n", // offset >= stride
+            "adversary: flip p0->p1 0%1 @[5, 5) x=1\n", // empty window
+            "attack: nuke x=1\n",                       // unknown attack
+            "armor: 9\n",                               // above the ladder
+        ] {
+            let text = format!("{base}{bad}");
+            assert!(
+                matches!(Schedule::parse(&text), Err(ScheduleError::Malformed { .. })),
+                "accepted: {bad}"
+            );
+        }
     }
 
     #[test]
@@ -764,6 +1055,33 @@ mod tests {
         assert_eq!(rep.original_len, 32);
         assert_eq!(rep.final_len, 1);
         assert!(rep.candidates_accepted > 0);
+    }
+
+    /// Oracle for the adversary pass: reproduces iff some perturb window
+    /// covers the 0→1 link (the attack and the forge window are noise).
+    fn byz_eval(cand: &Schedule) -> Option<Schedule> {
+        cand.adversary
+            .windows()
+            .iter()
+            .any(|w| {
+                w.kind == MutationKind::Perturb && w.src == ProcessId(0) && w.dst == ProcessId(1)
+            })
+            .then(|| cand.clone())
+    }
+
+    #[test]
+    fn shrink_minimizes_adversary_windows_and_drops_the_attack() {
+        let s = byz_sample();
+        let (min, rep) = shrink_schedule(&s, &ShrinkOptions::default(), &mut byz_eval);
+        assert_eq!(min.attack, None);
+        assert_eq!(min.adversary.windows().len(), 1);
+        let w = min.adversary.windows()[0];
+        assert_eq!(w.kind, MutationKind::Perturb);
+        // The span halves down to the minimal [0, 1) slice.
+        assert_eq!((w.from, w.until), (Time(0), Some(Time(1))));
+        assert!(rep.candidates_accepted > 0);
+        // Deterministic, like every other pass.
+        assert_eq!(shrink_schedule(&s, &ShrinkOptions::default(), &mut byz_eval).0, min);
     }
 
     #[test]

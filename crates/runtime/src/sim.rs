@@ -12,11 +12,12 @@
 // by ProcessId from the scheduler's own choice set, which is bounded by n at construction.
 use crate::automaton::{Automaton, Effects, SendOp, StepInput};
 use crate::fingerprint::Fnv64;
-use crate::network::Network;
+use crate::network::{Corruptible, Network};
 use crate::scheduler::{Choice, Scheduler};
 use crate::trace::{Trace, TraceLevel};
 use sih_model::{
-    FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, ProcSet, ProcessId, ProcessSet, Time,
+    AdversaryPlan, Armor, FailureDetector, FailurePattern, FdOutput, LinkFaultPlan, ProcSet,
+    ProcessId, ProcessSet, Time,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -106,8 +107,16 @@ pub struct RunOutcome {
     pub dropped: u64,
     /// Extra copies the link-fault plan enqueued.
     pub duplicated: u64,
+    /// Envelopes the mutation adversary tampered with that were removed
+    /// from the queues (counted here *instead of* in `delivered`).
+    pub mutated: u64,
+    /// Sends on which the adversary forged provenance (sender id or
+    /// quorum ack).
+    pub forged: u64,
+    /// Adversary actions neutralized by the installed armor rung.
+    pub armored: u64,
     /// Messages still pending at stop time. The counters always satisfy
-    /// `sent == delivered + dropped + in_flight`.
+    /// `sent == delivered + dropped + mutated + in_flight`.
     pub in_flight: u64,
 }
 
@@ -374,6 +383,39 @@ impl<A: Automaton> Simulation<A> {
         self
     }
 
+    /// Installs a message-mutation adversary on the network; subsequent
+    /// sends consult its plan with `armor` deciding which attack classes
+    /// the honest processes neutralize (see [`Network::set_adversary`]).
+    /// Call before running. [`Simulation::reset`] uninstalls it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's process count differs from the system size.
+    pub fn set_adversary(&mut self, plan: AdversaryPlan, armor: Armor)
+    where
+        A::Msg: Corruptible,
+    {
+        self.net.set_adversary(plan, armor);
+    }
+
+    /// Builder form of [`Simulation::set_adversary`].
+    #[must_use]
+    pub fn with_adversary(mut self, plan: AdversaryPlan, armor: Armor) -> Self
+    where
+        A::Msg: Corruptible,
+    {
+        self.set_adversary(plan, armor);
+        self
+    }
+
+    /// Uninstalls the mutation adversary, returning its plan and armor if
+    /// one was installed. Queues and counters are untouched; terminal
+    /// fingerprints taken afterwards use the adversary-free domain (the
+    /// differential armor suite compares against baselines this way).
+    pub fn take_adversary(&mut self) -> Option<(AdversaryPlan, Armor)> {
+        self.net.take_adversary()
+    }
+
     /// The [`RunOutcome`] network counters at the present moment.
     fn outcome(&self, steps: u64, reason: StopReason) -> RunOutcome {
         RunOutcome {
@@ -383,6 +425,9 @@ impl<A: Automaton> Simulation<A> {
             delivered: self.net.delivered_count(),
             dropped: self.net.dropped_count(),
             duplicated: self.net.duplicated_count(),
+            mutated: self.net.mutated_count(),
+            forged: self.net.forged_count(),
+            armored: self.net.armored_count(),
             in_flight: self.net.in_flight() as u64,
         }
     }

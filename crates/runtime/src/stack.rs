@@ -24,7 +24,8 @@
 // sih-analysis: allow(index-reachable) — Stubborn's per-link seq/ack tables are n²-sized at
 // construction and indexed by link ids derived from validated ProcessIds.
 use crate::automaton::{Automaton, Effects, Envelope, StepInput};
-use sih_model::{FdOutput, ProcessId};
+use crate::network::Corruptible;
+use sih_model::{FdOutput, MutationKind, ProcessId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A message of a two-layer protocol stack.
@@ -215,6 +216,27 @@ pub enum StubbornMsg<M> {
         /// Cumulative ack: every reverse-direction `seq < cum` is received.
         cum: u64,
     },
+}
+
+/// The mutation adversary reaches through the stubborn layer to the
+/// wrapped payload: `Data` frames corrupt their *inner* payload while
+/// keeping `seq`/`cum` intact, so receive-side dedup still recognizes the
+/// frame and the stubborn machinery keeps its bookkeeping — exactly one
+/// (corrupted) delivery reaches the inner automaton. Bare `Ack` frames
+/// carry nothing worth corrupting and cross untouched. Note the
+/// retransmission buffer holds the *sent* payloads: when the adversary
+/// consumes an envelope for a stale replay, the stubborn sender
+/// retransmits its own clean copy — the consumed mutation is never
+/// resurrected, because the network stashes only untampered sends.
+impl<M: Corruptible + Clone> Corruptible for StubbornMsg<M> {
+    fn corrupt(&self, kind: MutationKind, x: u64) -> Option<Self> {
+        match self {
+            StubbornMsg::Data { seq, cum, payload } => payload
+                .corrupt(kind, x)
+                .map(|payload| StubbornMsg::Data { seq: *seq, cum: *cum, payload }),
+            StubbornMsg::Ack { .. } => None,
+        }
+    }
 }
 
 /// Default retransmission period of [`Stubborn`]: every `period`-th own
