@@ -35,7 +35,7 @@ pub const CLAIMS: [(&str, &str, &str, &[&str]); 10] = [
 /// R-claim owns them — harness-level robustness experiments. Each needs
 /// a dispatch arm (`"<id>" =>`) and a runner function (`fn <id>_*`) in
 /// `crates/lab/src/experiments.rs`, exactly like the claim experiments.
-pub const STANDALONE_EXPERIMENTS: [&str; 2] = ["faults", "byzantine"];
+pub const STANDALONE_EXPERIMENTS: [&str; 3] = ["faults", "byzantine", "fuzz"];
 
 /// The scripted protocol attacks of the Byzantine tier. Each wrapper
 /// type must be exercised end to end: a workload-registry entry in

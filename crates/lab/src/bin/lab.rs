@@ -1,7 +1,7 @@
 //! `lab` — the experiment CLI.
 //!
 //! ```text
-//! lab <e1..e15 | figure1 | explore | faults | byzantine | repro | all> [--n N] [--k K]
+//! lab <e1..e15 | figure1 | explore | faults | byzantine | fuzz | repro | all> [--n N] [--k K]
 //!     [--seeds S] [--steps M] [--depth D] [--threads T] [--json PATH]
 //! ```
 //!
@@ -30,6 +30,14 @@
 //! with `--max-n`) and, with `--json`, writes the `BENCH_scale.json`
 //! artifact.
 //!
+//! `lab fuzz` runs the coverage-guided schedule fuzzer over the weakened
+//! and byzantine repro workloads (`--budget-schedules`/`--budget-ms`
+//! bound the run, `--seed` picks the mutation stream, `--corpus DIR`
+//! adds extra seed schedules, `--witness-dir DIR` writes each shrunk
+//! violation witness in corpus format) and, with `--json`, writes the
+//! `BENCH_fuzz.json` artifact. Everything but wall clock is identical
+//! for every `--threads` value.
+//!
 //! `lab repro` is the counterexample harness: `record` captures a failing
 //! schedule from a registered workload, `shrink` minimizes it with the
 //! delta-debugging engine, `replay` re-runs one schedule file, and
@@ -37,9 +45,10 @@
 //! `--fresh DIR` to also re-record each planted violation from scratch).
 
 use sih_lab::{
-    render_figure1, repro, run_byzantine_bench, run_experiment, run_explore_bench,
-    run_faults_bench, run_scale_bench, ByzantineLabConfig, ExperimentReport, ExploreLabConfig,
-    FaultsLabConfig, LabConfig, ScaleLabConfig, EXPERIMENT_IDS,
+    load_seed_schedules, render_figure1, repro, run_byzantine_bench, run_experiment,
+    run_explore_bench, run_faults_bench, run_fuzz_bench, run_scale_bench, ByzantineLabConfig,
+    ExperimentReport, ExploreLabConfig, FaultsLabConfig, FuzzLabConfig, LabConfig, ScaleLabConfig,
+    EXPERIMENT_IDS,
 };
 use sih_runtime::Schedule;
 use std::process::ExitCode;
@@ -49,7 +58,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: lab <e1..e15 | figure1 | explore | faults | byzantine | scale | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--frontier-depth K] [--max-n N] [--sample D] [--huge] [--json PATH]"
+            "usage: lab <e1..e15 | figure1 | explore | faults | byzantine | scale | fuzz | repro | all> [--n N] [--k K] [--seeds S] [--steps M] [--depth D] [--threads T] [--frontier-depth K] [--max-n N] [--sample D] [--huge] [--seed S] [--budget-schedules N] [--budget-ms MS] [--batch B] [--corpus DIR] [--witness-dir DIR] [--json PATH]"
         );
         eprintln!("experiments: {}", EXPERIMENT_IDS.join(", "));
         eprintln!(
@@ -66,6 +75,9 @@ fn main() -> ExitCode {
     let mut faults_cfg = FaultsLabConfig::default();
     let mut byz_cfg = ByzantineLabConfig::default();
     let mut scale_cfg = ScaleLabConfig::default();
+    let mut fuzz_cfg = FuzzLabConfig::default();
+    let mut fuzz_corpus_dir: Option<String> = None;
+    let mut witness_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
 
     let mut it = args[1..].iter();
@@ -104,7 +116,19 @@ fn main() -> ExitCode {
                 faults_cfg.threads = cfg.threads;
                 byz_cfg.threads = cfg.threads;
                 scale_cfg.threads = cfg.threads;
+                fuzz_cfg.threads = cfg.threads;
             }
+            "--seed" => fuzz_cfg.seed = value(&mut it).parse().expect("--seed takes an integer"),
+            "--budget-schedules" => {
+                fuzz_cfg.budget_schedules =
+                    value(&mut it).parse().expect("--budget-schedules takes an integer")
+            }
+            "--budget-ms" => {
+                fuzz_cfg.budget_ms = value(&mut it).parse().expect("--budget-ms takes an integer")
+            }
+            "--batch" => fuzz_cfg.batch = value(&mut it).parse().expect("--batch takes an integer"),
+            "--corpus" => fuzz_corpus_dir = Some(value(&mut it)),
+            "--witness-dir" => witness_dir = Some(value(&mut it)),
             "--max-n" => {
                 scale_cfg.max_n = value(&mut it).parse().expect("--max-n takes an integer")
             }
@@ -133,6 +157,60 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             eprintln!("UNEXPECTED scale outcome");
+            ExitCode::FAILURE
+        };
+    }
+
+    if command == "fuzz" {
+        let extra = match &fuzz_corpus_dir {
+            Some(dir) => match load_seed_schedules(std::path::Path::new(dir)) {
+                Ok(seeds) => seeds,
+                Err(e) => {
+                    eprintln!("reading {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Vec::new(),
+        };
+        let report = run_fuzz_bench(&fuzz_cfg, &extra);
+        println!("{report}");
+        let ok = report.ok();
+        if let Some(dir) = witness_dir {
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+            // One file per workload: the first (deterministically
+            // ordered) witness class found against it.
+            let mut written: Vec<String> = Vec::new();
+            for w in &report.witnesses {
+                if written.contains(&w.workload) {
+                    continue;
+                }
+                written.push(w.workload.clone());
+                let path = format!("{dir}/{}-fuzz.schedule", w.workload);
+                let text = format!(
+                    "# Fuzzer-found negative witness for {} (`{}`).\n\
+                     # Recorded by: lab fuzz --seed {} --budget-schedules {} (auto-shrunk \
+                     {} -> {} choices)\n{}",
+                    w.workload,
+                    w.verdict,
+                    fuzz_cfg.seed,
+                    fuzz_cfg.budget_schedules,
+                    w.shrink.original_len,
+                    w.shrink.final_len,
+                    w.schedule.to_text()
+                );
+                std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote witness {path} (`{}`)", w.verdict);
+            }
+        }
+        if let Some(path) = json_path {
+            let json = report.to_json().to_string_pretty();
+            std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote fuzz bench to {path}");
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("UNEXPECTED fuzz outcome");
             ExitCode::FAILURE
         };
     }
@@ -212,7 +290,7 @@ fn main() -> ExitCode {
         id if EXPERIMENT_IDS.contains(&id) => vec![timed_run(id)],
         other => {
             eprintln!(
-                "unknown command {other}; expected e1..e15, explore, faults, byzantine, scale, figure1 or all"
+                "unknown command {other}; expected e1..e15, explore, faults, byzantine, scale, fuzz, figure1 or all"
             );
             return ExitCode::FAILURE;
         }

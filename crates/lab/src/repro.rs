@@ -222,12 +222,19 @@ enum Driver<'a> {
     Strict { choices: &'a [Choice] },
     /// Lenient replay: skip choices illegal in the (mutated) run.
     Lenient { choices: &'a [Choice] },
+    /// Replay (strict or lenient semantics) that additionally records
+    /// the per-step state fingerprint after every executed step — the
+    /// schedule fuzzer's coverage probe.
+    Coverage { choices: &'a [Choice], strict: bool },
 }
 
 /// What a driven run produced.
 struct RunResult {
     verdict: String,
     executed: Vec<Choice>,
+    /// Per-step state fingerprints (only [`Driver::Coverage`] fills
+    /// this; empty otherwise).
+    fingerprints: Vec<u64>,
 }
 
 // ---- quiet panic capture ------------------------------------------------
@@ -273,7 +280,7 @@ fn drive<A, D>(
     verdict: impl FnOnce(&Simulation<A>) -> String,
 ) -> RunResult
 where
-    A: Automaton,
+    A: Automaton + fmt::Debug,
     D: FailureDetector + ?Sized,
 {
     let mut sim = Simulation::new(procs, pattern.clone());
@@ -299,7 +306,7 @@ fn drive_byz<A, D>(
     verdict: impl FnOnce(&Simulation<A>) -> String,
 ) -> RunResult
 where
-    A: Automaton,
+    A: Automaton + fmt::Debug,
     A::Msg: Corruptible,
     D: FailureDetector + ?Sized,
 {
@@ -323,9 +330,10 @@ fn finish<A, D>(
     verdict: impl FnOnce(&Simulation<A>) -> String,
 ) -> RunResult
 where
-    A: Automaton,
+    A: Automaton + fmt::Debug,
     D: FailureDetector + ?Sized,
 {
+    let mut fps: Vec<u64> = Vec::new();
     let stepped = quiet_catch(std::panic::AssertUnwindSafe(|| {
         match driver {
             Driver::Fair { seed, max_steps } => {
@@ -345,13 +353,51 @@ where
                     }
                 }
             }
+            Driver::Coverage { choices, strict } => {
+                if *strict {
+                    // Exactly the strict trajectory, one engine-checked
+                    // step at a time: each `run` call re-evaluates the
+                    // halt/starvation stops before stepping, so the
+                    // fingerprint stream follows the same path (and
+                    // panics in the same places) as `Driver::Strict`.
+                    let mut sched = ScriptedScheduler::new(choices.iter().copied()).strict();
+                    loop {
+                        let before = sim.now();
+                        sim.run(&mut sched, fd, 1);
+                        if sim.now() == before {
+                            break; // no step taken: halted, starved or exhausted
+                        }
+                        fps.push(sim.fingerprint());
+                    }
+                } else {
+                    // Lenient legality, but with the engine's halt and
+                    // starvation stops mirrored: plain lenient replay
+                    // happily executes legal no-op steps past the point
+                    // where every strict runner would have stopped, and
+                    // such trailing steps make the executed script
+                    // non-strict-replayable. Cutting at the same stops
+                    // keeps the canonical form (executed script +
+                    // observed verdict) a strict-replaying schedule.
+                    for &c in choices.iter() {
+                        if sim.all_correct_halted() || sim.sched_state().starved() {
+                            break;
+                        }
+                        let legal = sim.schedulable_set().contains(c.p)
+                            && c.deliver.is_none_or(|i| i < sim.network().pending_count(c.p));
+                        if legal {
+                            sim.step(c, fd);
+                            fps.push(sim.fingerprint());
+                        }
+                    }
+                }
+            }
         };
     }));
     let verdict = match stepped {
         Ok(()) => verdict(&sim),
         Err(()) => PANIC_VERDICT.to_string(),
     };
-    RunResult { verdict, executed: sim.script().to_vec() }
+    RunResult { verdict, executed: sim.script().to_vec(), fingerprints: fps }
 }
 
 fn agreement_verdict<A: Automaton>(sim: &Simulation<A>, n: usize, k: usize) -> String {
@@ -712,6 +758,47 @@ pub fn record(req: &RecordRequest) -> Result<Option<Schedule>, ReproError> {
     }))
 }
 
+/// Like [`record`] but captures the schedule **unconditionally** — an
+/// `ok` run is returned too (with `verdict: "ok"`). The schedule fuzzer
+/// seeds its corpus from these: a clean fair-scheduler trajectory is a
+/// legal, strict-replayable starting point for mutation even when the
+/// workload has no violation to witness at that seed.
+pub fn record_any(req: &RecordRequest) -> Result<Schedule, ReproError> {
+    let w =
+        workload(&req.workload).ok_or_else(|| ReproError::UnknownWorkload(req.workload.clone()))?;
+    let n = req.n.unwrap_or(w.default_n);
+    let max_steps = req.max_steps.unwrap_or(w.default_steps);
+    let pattern = default_pattern(w.name, n);
+    let faults = default_faults(w.name, n);
+    let (adversary, attack, armor) = default_adversary(w.name, n);
+    let rr = run_workload(
+        w.name,
+        n,
+        req.k,
+        req.seed,
+        &pattern,
+        &faults,
+        &adversary,
+        attack,
+        armor,
+        &Driver::Fair { seed: req.seed, max_steps },
+    )?;
+    Ok(Schedule {
+        checker: w.name.to_string(),
+        n,
+        k: req.k,
+        seed: req.seed,
+        max_steps,
+        pattern,
+        faults,
+        adversary,
+        attack,
+        armor,
+        choices: rr.executed,
+        verdict: rr.verdict,
+    })
+}
+
 /// [`record`] over seeds `0..seed_tries`, returning the first capture.
 /// Deterministic: the ascending seed scan means the same violation is
 /// found every time.
@@ -820,6 +907,50 @@ pub fn replay(s: &Schedule, mode: ReplayMode) -> Result<ReplayReport, ReproError
             ReplayMode::Lenient => true,
         };
     Ok(ReplayReport { verdict: rr.verdict, executed: rr.executed, matches })
+}
+
+/// The outcome of a coverage replay: a [`ReplayReport`]'s data plus the
+/// per-step state fingerprint stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FingerprintReplay {
+    /// Verdict the replay produced.
+    pub verdict: String,
+    /// Choices actually executed.
+    pub executed: Vec<Choice>,
+    /// The state fingerprint after each executed step, in step order
+    /// (a panicking run keeps the prefix up to the panicking step).
+    pub fingerprints: Vec<u64>,
+}
+
+/// Replays a schedule and records the state fingerprint after every
+/// executed step — the schedule fuzzer's evaluation probe. `Strict`
+/// follows exactly the [`ReplayMode::Strict`] trajectory. `Lenient`
+/// follows the [`ReplayMode::Lenient`] one but additionally stops at
+/// the engine's halt/starvation stops, so the executed script is always
+/// a strict-replayable canonical form (plain lenient replay may tack on
+/// legal no-op steps a strict runner would never reach).
+pub fn replay_with_fingerprints(
+    s: &Schedule,
+    mode: ReplayMode,
+) -> Result<FingerprintReplay, ReproError> {
+    let driver = Driver::Coverage { choices: &s.choices, strict: mode == ReplayMode::Strict };
+    let rr = run_workload(
+        &s.checker,
+        s.n,
+        s.k,
+        s.seed,
+        &s.pattern,
+        &s.faults,
+        &s.adversary,
+        s.attack,
+        s.armor,
+        &driver,
+    )?;
+    Ok(FingerprintReplay {
+        verdict: rr.verdict,
+        executed: rr.executed,
+        fingerprints: rr.fingerprints,
+    })
 }
 
 /// Shrinks a failing schedule with the delta-debugging engine, using a

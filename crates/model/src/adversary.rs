@@ -209,6 +209,45 @@ impl MutationWindow {
     pub fn selects(&self, k: u64) -> bool {
         k % self.stride == self.offset
     }
+
+    /// The window translated by `delta` steps, span preserved. Saturates
+    /// at `t = 0`, so the result always satisfies the builder invariants
+    /// whenever `self` did — the schedule fuzzer's shift operator.
+    #[must_use]
+    pub fn shifted(mut self, delta: i64) -> MutationWindow {
+        let span = self.until.map(|u| u.0.saturating_sub(self.from.0));
+        self.from = Time(shift_time(self.from.0, delta));
+        self.until = span.map(|s| Time(self.from.0.saturating_add(s.max(1))));
+        self
+    }
+
+    /// The window with its end moved to `until`, clamped so the window
+    /// stays non-empty (`until > from`); `None` makes it permanent. The
+    /// schedule fuzzer's resize operator.
+    #[must_use]
+    pub fn resized(mut self, until: Option<Time>) -> MutationWindow {
+        self.until = until.map(|u| Time(u.0.max(self.from.0 + 1)));
+        self
+    }
+
+    /// The window with a new `offset % stride` send selector, clamped to
+    /// the builder invariants (`stride >= 1`, `offset < stride`).
+    #[must_use]
+    pub fn with_selector(mut self, stride: u64, offset: u64) -> MutationWindow {
+        self.stride = stride.max(1);
+        self.offset = offset % self.stride;
+        self
+    }
+}
+
+/// `t + delta` in saturating unsigned arithmetic (shared by the window
+/// shift helpers).
+pub(crate) fn shift_time(t: u64, delta: i64) -> u64 {
+    if delta >= 0 {
+        t.saturating_add(delta as u64)
+    } else {
+        t.saturating_sub(delta.unsigned_abs())
+    }
 }
 
 /// A scripted per-workload protocol attack: a Byzantine *process* (not a

@@ -71,6 +71,39 @@ impl LinkFaultWindow {
         };
         k % stride == offset
     }
+
+    /// The window translated by `delta` steps, span preserved. Saturates
+    /// at `t = 0`, so the result always satisfies the builder invariants
+    /// whenever `self` did — the schedule fuzzer's shift operator.
+    #[must_use]
+    pub fn shifted(mut self, delta: i64) -> LinkFaultWindow {
+        let span = self.until.map(|u| u.0.saturating_sub(self.from.0));
+        self.from = Time(crate::adversary::shift_time(self.from.0, delta));
+        self.until = span.map(|s| Time(self.from.0.saturating_add(s.max(1))));
+        self
+    }
+
+    /// The window with its end moved to `until`, clamped so the window
+    /// stays non-empty (`until > from`); `None` makes it permanent. The
+    /// schedule fuzzer's resize operator.
+    #[must_use]
+    pub fn resized(mut self, until: Option<Time>) -> LinkFaultWindow {
+        self.until = until.map(|u| Time(u.0.max(self.from.0 + 1)));
+        self
+    }
+
+    /// The window with a new `offset % stride` send selector, clamped to
+    /// the builder invariants (`stride >= 1`, `offset < stride`).
+    #[must_use]
+    pub fn with_selector(mut self, stride: u64, offset: u64) -> LinkFaultWindow {
+        let stride = stride.max(1);
+        let offset = offset % stride;
+        self.fault = match self.fault {
+            LinkFault::Drop { .. } => LinkFault::Drop { stride, offset },
+            LinkFault::Duplicate { .. } => LinkFault::Duplicate { stride, offset },
+        };
+        self
+    }
 }
 
 /// The fate of one send under a plan: either dropped, or delivered with

@@ -62,6 +62,7 @@ mod explore;
 #[cfg(test)]
 mod fairness_tests;
 mod fingerprint;
+pub mod fuzz;
 mod hb;
 mod network;
 pub mod repro;
@@ -76,6 +77,9 @@ pub use diagram::{column_time, render_diagram, render_summary, MAX_COLUMNS};
 pub use dpor::{wake_process, wake_races, SleepKey, SleepSet};
 pub use explore::{explore, explore_par, explore_with, ExploreConfig, ExploreResult};
 pub use fingerprint::{fnv1a_64, Fnv64};
+pub use fuzz::{
+    crossover, mutate, Coverage, FuzzCorpus, FuzzRng, MutOp, MutatorConfig, PowerEntry,
+};
 pub use hb::{HbState, VClock};
 pub use network::{Corruptible, Network};
 pub use repro::{

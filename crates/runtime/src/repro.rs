@@ -204,9 +204,20 @@ impl Schedule {
 
     /// Whether every adversary field is at its default — such schedules
     /// serialize in the v1 grammar, keeping pre-adversary corpus files
-    /// byte-stable.
-    fn adversary_free(&self) -> bool {
+    /// byte-stable. Equivalently: [`Schedule::to_text`] writes a v1
+    /// header iff this is true (the version invariant the fuzzer's
+    /// mutation operators must preserve).
+    pub fn adversary_free(&self) -> bool {
         self.adversary.is_honest() && self.attack.is_none() && self.armor == Armor::NONE
+    }
+
+    /// A canonical 64-bit digest of the schedule: FNV-1a/64 over the
+    /// exact serialized text. Because [`Schedule::to_text`] round-trips
+    /// exactly, equal digests mean equal schedules (up to hash
+    /// collisions) — the corpus-dedup and corpus-summary key of the
+    /// fuzzer, identical across thread counts and platforms.
+    pub fn digest(&self) -> u64 {
+        crate::fingerprint::fnv1a_64(self.to_text().as_bytes())
     }
 
     /// Serializes to the versioned text format (parseable by
@@ -516,9 +527,9 @@ fn parse_attack(rest: &str, line: usize) -> Result<AttackSpec, ScheduleError> {
     Ok(AttackSpec { kind, x })
 }
 
-/// Rebuilds a plan from an explicit window list (used by the parser and
-/// the shrinker's window mutations).
-fn plan_from_windows(n: usize, windows: &[LinkFaultWindow]) -> LinkFaultPlan {
+/// Rebuilds a plan from an explicit window list (used by the parser, the
+/// shrinker's window mutations, and the fuzzer's mutation operators).
+pub(crate) fn plan_from_windows(n: usize, windows: &[LinkFaultWindow]) -> LinkFaultPlan {
     let mut b = LinkFaultPlan::builder(n);
     for w in windows {
         b = match w.fault {
@@ -534,8 +545,9 @@ fn plan_from_windows(n: usize, windows: &[LinkFaultWindow]) -> LinkFaultPlan {
 }
 
 /// Rebuilds an adversary plan from an explicit window list (used by the
-/// parser and the shrinker's window mutations).
-fn adversary_from_windows(n: usize, windows: &[MutationWindow]) -> AdversaryPlan {
+/// parser, the shrinker's window mutations, and the fuzzer's mutation
+/// operators).
+pub(crate) fn adversary_from_windows(n: usize, windows: &[MutationWindow]) -> AdversaryPlan {
     let mut b = AdversaryPlan::builder(n);
     for &w in windows {
         b = b.mutate(w);
@@ -545,7 +557,10 @@ fn adversary_from_windows(n: usize, windows: &[MutationWindow]) -> AdversaryPlan
 
 /// Rebuilds a crash pattern over `n` processes from an explicit crash
 /// list (`None` = crashed from the start).
-fn pattern_from_crashes(n: usize, crashes: &[(ProcessId, Option<Time>)]) -> FailurePattern {
+pub(crate) fn pattern_from_crashes(
+    n: usize,
+    crashes: &[(ProcessId, Option<Time>)],
+) -> FailurePattern {
     let mut pb = FailurePattern::builder(n);
     for &(p, t) in crashes {
         pb = match t {
@@ -556,7 +571,7 @@ fn pattern_from_crashes(n: usize, crashes: &[(ProcessId, Option<Time>)]) -> Fail
     pb.build_unchecked()
 }
 
-fn crash_list(pattern: &FailurePattern) -> Vec<(ProcessId, Option<Time>)> {
+pub(crate) fn crash_list(pattern: &FailurePattern) -> Vec<(ProcessId, Option<Time>)> {
     pattern
         .all()
         .iter()
